@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the numeric kernels: hardware-order
+//! convolution/FC against the reference implementations, and the
+//! reduction primitives (tree adder, interleaved accumulators).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfcnn_core::kernel::{conv_forward_hw, fc_forward_hw};
+use dfcnn_hls::accum::InterleavedAccumulator;
+use dfcnn_hls::reduce::TreeAdder;
+use dfcnn_nn::act::Activation;
+use dfcnn_nn::layer::{Conv2d, Linear};
+use dfcnn_tensor::{ConvGeometry, Shape3, Tensor3};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tc2_conv1() -> (Conv2d, Tensor3<f32>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let geo = ConvGeometry::new(Shape3::new(32, 32, 3), 5, 5, 1, 0);
+    let f = dfcnn_tensor::init::conv_filters(&mut rng, 12, 5, 5, 3);
+    let b = dfcnn_tensor::init::random_vector(&mut rng, 12, -0.1, 0.1);
+    let conv = Conv2d::new(geo, f, b, Activation::Tanh);
+    let img = dfcnn_tensor::init::random_volume(&mut rng, geo.input, 0.0, 1.0);
+    (conv, img)
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let (conv, img) = tc2_conv1();
+    let mut g = c.benchmark_group("conv_tc2_layer1");
+    g.sample_size(20);
+    g.bench_function("reference_forward", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&img))))
+    });
+    g.bench_function("hw_order_forward", |b| {
+        b.iter(|| black_box(conv_forward_hw(black_box(&conv), 1, black_box(&img))))
+    });
+    g.finish();
+}
+
+fn bench_fc(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let w = dfcnn_tensor::init::linear_weights(&mut rng, 900, 72);
+    let fc = Linear::new(
+        w,
+        dfcnn_tensor::init::random_vector(&mut rng, 72, -0.1, 0.1),
+        Activation::Tanh,
+    );
+    let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 900), -1.0, 1.0);
+    let mut g = c.benchmark_group("fc_900_to_72");
+    g.sample_size(30);
+    g.bench_function("reference_forward", |b| {
+        b.iter(|| black_box(fc.forward(black_box(&x))))
+    });
+    g.bench_function("hw_order_forward", |b| {
+        b.iter(|| black_box(fc_forward_hw(black_box(&fc), 11, black_box(&x))))
+    });
+    g.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let vals = dfcnn_tensor::init::random_vector(&mut rng, 300, -1.0, 1.0);
+    let vals = vals.as_slice().to_vec();
+    let tree = TreeAdder::new(vals.len());
+    let mut scratch = vec![0.0f32; vals.len()];
+    let mut g = c.benchmark_group("reduce_300");
+    g.bench_function("naive_sum", |b| {
+        b.iter(|| black_box(black_box(&vals).iter().sum::<f32>()))
+    });
+    g.bench_function("tree_adder", |b| {
+        b.iter(|| black_box(tree.sum_with_scratch(black_box(&vals), &mut scratch)))
+    });
+    g.bench_function("interleaved_accumulator_11", |b| {
+        b.iter(|| {
+            let mut acc = InterleavedAccumulator::new(11);
+            for &v in &vals {
+                acc.push(v);
+            }
+            black_box(acc.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_fc, bench_reductions);
+criterion_main!(benches);

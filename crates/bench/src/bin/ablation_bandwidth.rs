@@ -1,0 +1,96 @@
+//! Ablation: **DMA bandwidth sensitivity** (§V-C, §VI).
+//!
+//! The paper tests at 400 MB/s (one 32-bit beat per 100 MHz cycle) and
+//! names better off-chip bandwidth exploitation as future work. This
+//! ablation sweeps the available bandwidth and measures the converged
+//! mean time per image: Test Case 1 is input-streaming-bound, so it
+//! degrades as soon as bandwidth drops; Test Case 2 is conv1-II-bound, so
+//! it stays flat until the stream can no longer keep the pipeline fed
+//! (below 3072/9408 ≈ 0.33 beats per cycle ≈ 130 MB/s).
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin ablation_bandwidth
+//! ```
+
+use dfcnn_bench::{quick_test_case_1, quick_test_case_2, write_json, TestCase};
+use dfcnn_core::graph::{DesignConfig, NetworkDesign};
+use dfcnn_fpga::dma::DmaConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    case: String,
+    bandwidth_mb_s: f64,
+    mean_us_per_image: f64,
+}
+
+fn with_bandwidth(tc: &TestCase, mb_s: f64) -> TestCase {
+    let cfg = DesignConfig {
+        dma: DmaConfig {
+            bandwidth_bytes_per_s: mb_s * 1e6,
+            ..DmaConfig::paper()
+        },
+        ..DesignConfig::default()
+    };
+    TestCase {
+        name: tc.name,
+        spec: tc.spec.clone(),
+        network: tc.network.clone(),
+        design: NetworkDesign::new(&tc.network, tc.design.ports().clone(), cfg).unwrap(),
+        test_accuracy: tc.test_accuracy,
+        images: tc.images.clone(),
+    }
+}
+
+fn main() {
+    println!("== Ablation: DMA bandwidth sweep (paper operates at 400 MB/s) ==\n");
+    let sweeps = [400.0, 300.0, 200.0, 130.0, 100.0, 50.0];
+    let mut all = Vec::new();
+    for tc in [quick_test_case_1(), quick_test_case_2()] {
+        println!("{}:", tc.name);
+        println!("{:>14} {:>18}", "MB/s", "mean µs/image");
+        let mut base = f64::NAN;
+        for &bw in &sweeps {
+            let case = with_bandwidth(&tc, bw);
+            let us = dfcnn_bench::mean_time_per_image_us(&case, 16);
+            if bw == 400.0 {
+                base = us;
+            }
+            println!("{bw:>14.0} {us:>18.3}");
+            all.push(Point {
+                case: tc.name.to_string(),
+                bandwidth_mb_s: bw,
+                mean_us_per_image: us,
+            });
+        }
+        let _ = base;
+        println!();
+    }
+    // shape checks
+    let at = |case: &str, bw: f64| {
+        all.iter()
+            .find(|p| p.case == case && p.bandwidth_mb_s == bw)
+            .unwrap()
+            .mean_us_per_image
+    };
+    // TC1: input-bound — halving bandwidth roughly doubles time
+    let tc1_ratio = at("Test Case 1", 200.0) / at("Test Case 1", 400.0);
+    assert!(
+        (1.7..2.3).contains(&tc1_ratio),
+        "TC1 should scale with bandwidth: ratio {tc1_ratio}"
+    );
+    // TC2: compute-bound — 200 MB/s barely moves it
+    let tc2_ratio = at("Test Case 2", 200.0) / at("Test Case 2", 400.0);
+    assert!(
+        tc2_ratio < 1.1,
+        "TC2 should be insensitive above ~130 MB/s: ratio {tc2_ratio}"
+    );
+    // but 50 MB/s starves even TC2
+    let tc2_starved = at("Test Case 2", 50.0) / at("Test Case 2", 400.0);
+    assert!(
+        tc2_starved > 1.5,
+        "TC2 must starve at 50 MB/s: {tc2_starved}"
+    );
+    println!("shape checks passed: TC1 bandwidth-bound, TC2 compute-bound until ~130 MB/s");
+    write_json("ablation_bandwidth", &all);
+}

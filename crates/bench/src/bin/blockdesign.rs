@@ -1,0 +1,31 @@
+//! Regenerate the **Fig. 4 / Fig. 5 block designs**: the per-layer window
+//! sizes, channel counts, port counts and initiation intervals of both
+//! test-case accelerators, plus the analytical stage intervals that
+//! explain each pipeline's bottleneck.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin blockdesign
+//! ```
+
+use dfcnn_bench::{quick_test_case_1, quick_test_case_2};
+
+fn main() {
+    for (tc, fig) in [(quick_test_case_1(), 4), (quick_test_case_2(), 5)] {
+        println!("== Fig. {fig}: block design of {} ==\n", tc.name);
+        println!("{}\n", tc.design.render_block_diagram());
+        println!("analytical stage intervals (cycles/image at steady state):");
+        let input_len = tc.network.input_shape().len();
+        println!(
+            "  {:<12} {:>10}   (input volume {} values @ 1/cycle)",
+            "dma-source", input_len, input_len
+        );
+        for (name, cyc) in tc.design.estimate_stage_intervals() {
+            println!("  {name:<12} {cyc:>10}");
+        }
+        let (bname, bcyc) = tc.design.estimated_bottleneck();
+        println!(
+            "  bottleneck: {bname} at {bcyc} cycles = {:.2} µs/image @ 100 MHz\n",
+            bcyc as f64 / 100.0
+        );
+    }
+}

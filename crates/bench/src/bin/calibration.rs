@@ -1,0 +1,111 @@
+//! Calibration study: what DMA/host overhead explains the gap between the
+//! ideal-platform simulation and the paper's absolute numbers?
+//!
+//! Our simulator converges to 2.62 µs (TC1) and 102.6 µs (TC2) per image;
+//! the paper reports 5.8 µs and 128.1 µs. Both gaps are *platform*, not
+//! architecture: the DMA model is ideal (full 400 MB/s, zero descriptor
+//! overhead). This binary sweeps the per-transfer setup overhead
+//! (`DmaConfig::setup_cycles` — Microblaze programming the DMA descriptor
+//! per image) and reports the best fit per test case.
+//!
+//! Findings (also discussed in EXPERIMENTS.md): TC1, which is
+//! input-stream-bound, is fully explained by ≈320 cycles of per-image DMA
+//! setup (256 + 324 = 580 cycles = 5.8 µs — exactly the paper's value).
+//! For TC2 the setup also adds one-for-one (full buffering means conv1
+//! holds no cross-image slack, so each image's pipeline start shifts by
+//! the whole setup), but matching the paper's 128.1 µs would need ≈2,550
+//! cycles of setup — which would blow TC1 out to 28 µs. One knob cannot
+//! fit both, so TC2's remaining ~25% gap must sit inside the authors'
+//! conv core (e.g. a window-copy sub-loop inflating the effective II),
+//! not in the platform.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin calibration
+//! ```
+
+use dfcnn_bench::{quick_test_case_1, quick_test_case_2, write_json, TestCase};
+use dfcnn_core::graph::{DesignConfig, NetworkDesign};
+use dfcnn_fpga::dma::DmaConfig;
+use serde::Serialize;
+
+#[derive(Serialize, Debug)]
+struct Fit {
+    case: String,
+    paper_us: f64,
+    ideal_us: f64,
+    best_setup_cycles: u64,
+    best_us: f64,
+    residual_us: f64,
+}
+
+fn with_setup(tc: &TestCase, setup: u64) -> TestCase {
+    let cfg = DesignConfig {
+        dma: DmaConfig {
+            setup_cycles: setup,
+            ..DmaConfig::paper()
+        },
+        ..DesignConfig::default()
+    };
+    TestCase {
+        name: tc.name,
+        spec: tc.spec.clone(),
+        network: tc.network.clone(),
+        design: NetworkDesign::new(&tc.network, tc.design.ports().clone(), cfg).unwrap(),
+        test_accuracy: tc.test_accuracy,
+        images: tc.images.clone(),
+    }
+}
+
+fn converged_us(tc: &TestCase) -> f64 {
+    dfcnn_bench::mean_time_per_image_us(tc, 24)
+}
+
+fn main() {
+    println!("== Calibration: per-image DMA setup overhead vs the paper's numbers ==\n");
+    let sweeps: &[u64] = &[0, 100, 200, 300, 324, 400, 600, 1000];
+    let mut fits = Vec::new();
+    for (tc, paper_us) in [(quick_test_case_1(), 5.8), (quick_test_case_2(), 128.1)] {
+        println!("{} (paper converges to {} µs):", tc.name, paper_us);
+        println!("{:>14} {:>16}", "setup cycles", "converged µs");
+        let ideal = converged_us(&tc);
+        let mut best = (0u64, ideal);
+        for &s in sweeps {
+            let us = converged_us(&with_setup(&tc, s));
+            println!("{s:>14} {us:>16.3}");
+            if (us - paper_us).abs() < (best.1 - paper_us).abs() {
+                best = (s, us);
+            }
+        }
+        let fit = Fit {
+            case: tc.name.to_string(),
+            paper_us,
+            ideal_us: ideal,
+            best_setup_cycles: best.0,
+            best_us: best.1,
+            residual_us: (best.1 - paper_us).abs(),
+        };
+        println!(
+            "best fit: setup = {} cycles -> {:.3} µs (residual {:.3} µs)\n",
+            fit.best_setup_cycles, fit.best_us, fit.residual_us
+        );
+        fits.push(fit);
+    }
+    // TC1 must be fully explainable by DMA setup; TC2 must not be
+    assert!(
+        fits[0].residual_us < 0.25,
+        "TC1 should calibrate to the paper: {:?}",
+        fits[0]
+    );
+    assert!(
+        fits[1].residual_us > 5.0,
+        "TC2's gap should NOT be explainable by DMA setup alone: {:?}",
+        fits[1]
+    );
+    println!(
+        "conclusion: TC1's absolute gap is pure host/DMA overhead (≈{} cycles/image);\n\
+         TC2's sits in the compute core and no input-side knob reaches it — the two\n\
+         published numbers have different error sources.",
+        fits[0].best_setup_cycles
+    );
+    write_json("calibration", &fits);
+}

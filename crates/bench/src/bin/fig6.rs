@@ -1,0 +1,103 @@
+//! Regenerate **Fig. 6** — mean time to process an image vs the size of
+//! the batch, for both test cases.
+//!
+//! The paper streams batches "from 1 up to 1000" and plots up to 50
+//! ("as at that point convergence is already reached"). We sweep
+//! 1..=50 by default; pass `--full` to also simulate 100 and 1000.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin fig6 [-- --full]
+//! ```
+
+use dfcnn_bench::{fig6_sweep, quick_test_case_1, quick_test_case_2, write_json, TestCase};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    name: String,
+    paper_converged_us: f64,
+    points: Vec<(usize, f64)>,
+    converged_us: f64,
+    paper_layer_count: usize,
+}
+
+fn run_case(tc: &TestCase, paper_converged_us: f64, full: bool) -> Series {
+    let mut batches: Vec<usize> = (1..=20).collect();
+    batches.extend([25, 30, 40, 50]);
+    if full {
+        batches.extend([100, 1000]);
+    }
+    let points = fig6_sweep(tc, &batches);
+    let converged_us = points.last().unwrap().1;
+    Series {
+        name: tc.name.to_string(),
+        paper_converged_us,
+        points,
+        converged_us,
+        paper_layer_count: tc.design.paper_depth(),
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cases = [(quick_test_case_1(), 5.8), (quick_test_case_2(), 128.1)];
+    println!("== Fig. 6: mean time per image vs batch size ==\n");
+    let mut series = Vec::new();
+    for (tc, paper) in &cases {
+        let s = run_case(tc, *paper, full);
+        println!(
+            "{} ({} paper layers; paper converges to ~{} µs):",
+            s.name, s.paper_layer_count, s.paper_converged_us
+        );
+        println!("{:>8} {:>16}", "batch", "mean µs/image");
+        for (b, us) in &s.points {
+            let marker = if *b == s.paper_layer_count {
+                "  <- batch = #layers"
+            } else {
+                ""
+            };
+            println!("{b:>8} {us:>16.3}{marker}");
+        }
+        println!(
+            "converged: {:.3} µs/image (paper: {} µs) — ratio {:.2}x\n",
+            s.converged_us,
+            s.paper_converged_us,
+            s.paper_converged_us / s.converged_us
+        );
+        series.push(s);
+    }
+    // the headline shape claims
+    for s in &series {
+        let first = s.points[0].1;
+        assert!(
+            s.converged_us < first,
+            "{}: batching must reduce mean time",
+            s.name
+        );
+        // convergence at batch > #layers: by twice the layer count the
+        // curve must have recovered most of the batch-1 penalty …
+        let at_knee = s
+            .points
+            .iter()
+            .find(|(b, _)| *b >= 2 * s.paper_layer_count)
+            .unwrap()
+            .1;
+        let recovered = (first - at_knee) / (first - s.converged_us);
+        assert!(
+            recovered > 0.8,
+            "{}: knee too late — only {:.0}% of the batch-1 penalty recovered \
+             by batch = 2 x layers",
+            s.name,
+            recovered * 100.0
+        );
+        // … and the residual tail is the expected ~latency/n hyperbola
+        let near = at_knee;
+        assert!(
+            (near - s.converged_us).abs() / s.converged_us < 0.20,
+            "{}: convergence knee should sit near the layer count",
+            s.name
+        );
+    }
+    println!("shape checks passed: monotone decrease, knee at batch ≈ #layers");
+    write_json("fig6", &series);
+}

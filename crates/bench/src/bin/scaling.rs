@@ -1,0 +1,150 @@
+//! Extension study: **scaling to bigger networks** (§VI future work:
+//! "implement larger CNNs ... like AlexNet or VGG", "investigate
+//! scalability by implementing bigger networks on a multi-FPGA system").
+//!
+//! For a ladder of topologies — the paper's two test cases, LeNet-5, an
+//! AlexNet-flavoured CIFAR network and a VGG-flavoured one — this binary
+//! reports, per network and datapath precision:
+//!
+//! - FLOPs/image and parameter count,
+//! - single-device resource demand (all-single-port design) and fit,
+//! - the multi-FPGA partition when one device is not enough,
+//! - the analytical bottleneck interval and implied images/s.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin scaling
+//! ```
+
+use dfcnn_bench::{write_json, SEED};
+use dfcnn_core::graph::{DesignConfig, NetworkDesign, PortConfig};
+use dfcnn_core::multi::{partition, LinkConfig};
+use dfcnn_fpga::resources::CostModel;
+use dfcnn_fpga::Device;
+use dfcnn_nn::topology::NetworkSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    network: String,
+    precision: &'static str,
+    mflops_per_image: f64,
+    params: usize,
+    dsp_demand: u64,
+    fits_one_device: bool,
+    devices_needed: Option<usize>,
+    bottleneck: Option<(String, u64)>,
+    images_per_second: Option<f64>,
+}
+
+fn study(spec: &NetworkSpec, cost: &CostModel, precision: &'static str) -> Row {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 99);
+    let network = spec.build(&mut rng);
+    let design = NetworkDesign::new(
+        &network,
+        PortConfig::single_port(spec.paper_depth()),
+        DesignConfig::default(),
+    )
+    .expect("single-port design must validate");
+    let device = Device::xc7vx485t();
+    let res = design.resources(cost);
+    let fits = device.fits(&res);
+    let plan = partition(&design, cost, &device, &LinkConfig::aurora_like()).ok();
+    let (devices, bottleneck, ips) = match &plan {
+        Some(p) => (
+            Some(p.device_count()),
+            Some(p.bottleneck.clone()),
+            Some(design.config().clock_hz as f64 / p.bottleneck.1 as f64),
+        ),
+        None => (None, None, None),
+    };
+    Row {
+        network: spec.name.clone(),
+        precision,
+        mflops_per_image: spec.flops_per_image() as f64 / 1e6,
+        params: network.param_count(),
+        dsp_demand: res.dsp,
+        fits_one_device: fits,
+        devices_needed: devices,
+        bottleneck,
+        images_per_second: ips,
+    }
+}
+
+fn main() {
+    let specs = [
+        NetworkSpec::test_case_1(),
+        NetworkSpec::test_case_2(),
+        NetworkSpec::lenet5(),
+        NetworkSpec::alexnet_tiny(),
+        NetworkSpec::vgg_tiny(),
+    ];
+    println!("== Scaling study: bigger networks, single- and multi-FPGA ==\n");
+    println!(
+        "{:<18} {:<6} {:>10} {:>9} {:>8} {:>6} {:>8} {:>12} {:>10}",
+        "network", "prec", "MFLOP/img", "params", "DSP", "fits1", "devices", "bottleneck", "img/s"
+    );
+    let mut rows = Vec::new();
+    for spec in &specs {
+        for (cost, prec) in [
+            (CostModel::default(), "f32"),
+            (CostModel::fixed_point(), "q16"),
+        ] {
+            let r = study(spec, &cost, prec);
+            println!(
+                "{:<18} {:<6} {:>10.2} {:>9} {:>8} {:>6} {:>8} {:>12} {:>10}",
+                r.network,
+                r.precision,
+                r.mflops_per_image,
+                r.params,
+                r.dsp_demand,
+                r.fits_one_device,
+                r.devices_needed
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
+                r.bottleneck
+                    .as_ref()
+                    .map(|(n, c)| format!("{n}@{c}"))
+                    .unwrap_or("-".into()),
+                r.images_per_second
+                    .map(|v| format!("{v:.0}"))
+                    .unwrap_or("-".into()),
+            );
+            rows.push(r);
+        }
+    }
+
+    // headline shape claims of the scaling story
+    let get = |name: &str, prec: &str| {
+        rows.iter()
+            .find(|r| r.network == name && r.precision == prec)
+            .unwrap()
+    };
+    // the paper-scale networks fit one device in f32
+    assert!(get("usps-testcase1", "f32").fits_one_device);
+    assert!(get("cifar10-testcase2", "f32").fits_one_device);
+    assert!(get("lenet5", "f32").fits_one_device);
+    // AlexNet-scale needs multiple devices in f32, fewer (or one) in q16
+    let ax_f32 = get("alexnet-tiny", "f32");
+    let ax_q16 = get("alexnet-tiny", "q16");
+    assert!(!ax_f32.fits_one_device);
+    assert!(ax_f32.devices_needed.unwrap() >= 2);
+    assert!(ax_q16.devices_needed.unwrap() <= ax_f32.devices_needed.unwrap());
+    // VGG-scale: infeasible per layer in f32, feasible in q16
+    let vgg_f32 = get("vgg-tiny", "f32");
+    let vgg_q16 = get("vgg-tiny", "q16");
+    assert!(
+        vgg_f32.devices_needed.is_none(),
+        "vgg f32 should be unpartitionable"
+    );
+    assert!(vgg_q16.devices_needed.is_some(), "vgg q16 should partition");
+    println!(
+        "\nshape checks passed: paper-scale fits one chip; AlexNet-scale needs \
+         {} boards in f32; VGG-scale is only reachable with the fixed-point \
+         datapath ({} boards)",
+        ax_f32.devices_needed.unwrap(),
+        vgg_q16.devices_needed.unwrap()
+    );
+    write_json("scaling", &rows);
+}

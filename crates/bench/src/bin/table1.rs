@@ -1,0 +1,97 @@
+//! Regenerate **Table I** — FPGA resources usage of the two test-case
+//! designs, as percentages of the xc7vx485t capacity, next to the paper's
+//! reported numbers.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin table1
+//! ```
+
+use dfcnn_bench::{quick_test_case_1, quick_test_case_2, write_json};
+use dfcnn_fpga::report::{utilisation_table, UtilisationRow};
+use dfcnn_fpga::resources::CostModel;
+use dfcnn_fpga::Device;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    ff: u64,
+    lut: u64,
+    bram36: u64,
+    dsp: u64,
+    util_ff: f64,
+    util_lut: f64,
+    util_bram: f64,
+    util_dsp: f64,
+    fits: bool,
+}
+
+fn main() {
+    let device = Device::xc7vx485t();
+    let cost = CostModel::default();
+    let cases = [quick_test_case_1(), quick_test_case_2()];
+
+    println!("== Table I: FPGA resources usage (reproduction) ==\n");
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for tc in &cases {
+        let used = tc.design.resources(&cost);
+        let u = device.utilisation(&used);
+        records.push(Row {
+            name: tc.name.to_string(),
+            ff: used.ff,
+            lut: used.lut,
+            bram36: used.bram36(),
+            dsp: used.dsp,
+            util_ff: u[0],
+            util_lut: u[1],
+            util_bram: u[2],
+            util_dsp: u[3],
+            fits: device.fits(&used),
+        });
+        rows.push(UtilisationRow {
+            name: tc.name.to_string(),
+            used,
+        });
+    }
+    println!("{}", utilisation_table(&device, &rows));
+
+    println!("Paper (Table I) for comparison:");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}",
+        "", "Flip-Flops", "LUT", "BRAM", "DSP Slices"
+    );
+    println!(
+        "{:<16} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+        "Test Case 1", 41.10, 50.86, 3.50, 55.04
+    );
+    println!(
+        "{:<16} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+        "Test Case 2", 61.77, 71.24, 22.82, 74.32
+    );
+
+    println!("\nPer-core breakdown:");
+    for tc in &cases {
+        println!("  {}:", tc.name);
+        for core in tc.design.cores() {
+            let r = cost.core(&core.params);
+            println!(
+                "    {:<8} FF {:>7} LUT {:>7} BRAM18 {:>4} DSP {:>5}  (II={})",
+                core.name, r.ff, r.lut, r.bram18, r.dsp, core.params.ii
+            );
+        }
+    }
+
+    for tc in &cases {
+        let used = tc.design.resources(&cost);
+        let (binding, frac) = device.binding_constraint(&used);
+        println!(
+            "\n{}: binding constraint {} at {:.1}% — fits: {}",
+            tc.name,
+            binding,
+            frac * 100.0,
+            device.fits(&used)
+        );
+    }
+    write_json("table1", &records);
+}

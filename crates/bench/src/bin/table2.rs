@@ -1,0 +1,112 @@
+//! Regenerate **Table II** — performance and power efficiency: GFLOPS,
+//! GFLOPS/W, image latency and images/s for both test cases, plus the
+//! Microsoft Stratix-V CIFAR-10 baseline row from \[28\] (2318 images/s) and
+//! the paper's headline 3.36× ratio.
+//!
+//! Measurements follow the paper's protocol: throughput at a large batch
+//! (transfers interleaved with computation are included — the simulator
+//! counts DMA streaming), latency at batch 1.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin table2
+//! ```
+
+use dfcnn_bench::{quick_test_case_1, quick_test_case_2, write_json, TestCase};
+use dfcnn_fpga::power::PowerModel;
+use dfcnn_fpga::resources::CostModel;
+use dfcnn_fpga::Device;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    dataset: String,
+    gflops: f64,
+    gflops_per_watt: f64,
+    image_latency_ms: f64,
+    images_per_second: f64,
+}
+
+fn measure(tc: &TestCase) -> Row {
+    let clock = tc.design.config().clock_hz;
+    // throughput: batch of 50 (well past convergence)
+    let batch: Vec<_> = (0..50)
+        .map(|i| tc.images[i % tc.images.len()].clone())
+        .collect();
+    let (result, _) = tc.design.instantiate(&batch).run();
+    let m = result.measurement(clock);
+    let flops = tc.spec.flops_per_image();
+    let gflops = m.gflops(flops);
+    // latency: single image end to end
+    let (single, _) = tc.design.instantiate(&batch[..1]).run();
+    let latency_s = single.measurement(clock).first_image_latency();
+    // power from the resource model at full pipeline activity
+    let cost = CostModel::default();
+    let power = PowerModel::default();
+    let used = tc.design.resources(&cost);
+    let eff = power.gflops_per_watt(gflops, &used, 1.0);
+    Row {
+        name: tc.name.to_string(),
+        dataset: if tc.name.ends_with('1') {
+            "USPS"
+        } else {
+            "CIFAR-10"
+        }
+        .to_string(),
+        gflops,
+        gflops_per_watt: eff,
+        image_latency_ms: latency_s * 1e3,
+        images_per_second: m.images_per_second(),
+    }
+}
+
+fn main() {
+    let device = Device::xc7vx485t();
+    println!("== Table II: performance and power efficiency (reproduction) ==");
+    println!(
+        "device: {} @ {} MHz\n",
+        device.name,
+        device.clock_hz / 1_000_000
+    );
+
+    let rows: Vec<Row> = [quick_test_case_1(), quick_test_case_2()]
+        .iter()
+        .map(measure)
+        .collect();
+
+    println!(
+        "{:<14} {:<10} {:>8} {:>14} {:>18} {:>10}",
+        "", "Dataset", "GFLOPS", "GFLOPS/W", "Image Latency(ms)", "Images/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:<10} {:>8.1} {:>14.2} {:>18.4} {:>10.0}",
+            r.name, r.dataset, r.gflops, r.gflops_per_watt, r.image_latency_ms, r.images_per_second
+        );
+    }
+    println!(
+        "{:<14} {:<10} {:>8} {:>14} {:>18} {:>10}",
+        "[28] (paper)", "CIFAR-10", "-", "-", "-", 2318
+    );
+
+    println!("\nPaper's Table II for comparison:");
+    println!("  Test Case 1   USPS      5.2 GFLOPS   0.25 GFLOPS/W   0.0058 ms   172414 img/s");
+    println!("  Test Case 2   CIFAR-10 28.4 GFLOPS   1.19 GFLOPS/W   0.128  ms     7809 img/s");
+    println!("  [28]          CIFAR-10    -              -              -          2318 img/s");
+
+    let tc2 = &rows[1];
+    let speedup_vs_ms = tc2.images_per_second / 2318.0;
+    println!(
+        "\nCIFAR-10 throughput vs Microsoft [28]: {:.2}x (paper reports 3.36x)",
+        speedup_vs_ms
+    );
+
+    // shape assertions: TC2 heavier per image but more GFLOPS; TC1 far
+    // higher images/s; both beat the [28] row on CIFAR-10 throughput
+    assert!(rows[0].images_per_second > rows[1].images_per_second * 10.0);
+    assert!(rows[1].gflops > rows[0].gflops);
+    assert!(speedup_vs_ms > 1.0, "must beat the [28] baseline");
+    assert!(rows[1].image_latency_ms > rows[0].image_latency_ms);
+    println!("shape checks passed: TC1 >> TC2 images/s, TC2 > TC1 GFLOPS, beats [28]");
+    write_json("table2", &rows);
+}

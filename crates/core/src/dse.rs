@@ -1,0 +1,260 @@
+//! Design-space exploration over port configurations — the paper's stated
+//! future work ("Future work will address the automation of the DSE",
+//! §IV-C), implemented here as an extension.
+//!
+//! The space: every conv/pool layer may use any divisor of its FM counts
+//! as `IN_PORTS`/`OUT_PORTS` (FC layers are fixed single-port per §IV-B).
+//! For each candidate the explorer:
+//!
+//! 1. builds the design (adapters inserted automatically),
+//! 2. estimates its resources with the calibrated cost model,
+//! 3. discards configurations that do not fit the device,
+//! 4. estimates the steady-state bottleneck interval analytically.
+//!
+//! The result is the full feasible set, its Pareto front
+//! (interval vs. DSP usage), and the fastest feasible design. On the
+//! paper's test cases the explorer reproduces the authors' empirical
+//! choices *and* finds the intermediate designs they did not try.
+
+use crate::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+use dfcnn_fpga::device::Device;
+use dfcnn_fpga::resources::{CostModel, Resources};
+use dfcnn_hls::ii::divisor_port_options;
+use dfcnn_nn::layer::Layer;
+use dfcnn_nn::Network;
+
+/// One explored design point.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// The port configuration.
+    pub ports: PortConfig,
+    /// Estimated resources.
+    pub resources: Resources,
+    /// Estimated bottleneck stage and its interval (cycles/image).
+    pub bottleneck: (String, u64),
+    /// Whether the point fits the device.
+    pub fits: bool,
+}
+
+/// Exploration output.
+#[derive(Clone, Debug)]
+pub struct DseReport {
+    /// Every evaluated point (feasible and not).
+    pub points: Vec<DesignPoint>,
+    /// Index of the fastest feasible point, if any.
+    pub best: Option<usize>,
+}
+
+impl DseReport {
+    /// Feasible points only.
+    pub fn feasible(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.points.iter().filter(|p| p.fits)
+    }
+
+    /// The fastest feasible design point.
+    pub fn best_point(&self) -> Option<&DesignPoint> {
+        self.best.map(|i| &self.points[i])
+    }
+
+    /// Pareto front over (interval, DSP) among feasible points, sorted by
+    /// interval.
+    pub fn pareto_front(&self) -> Vec<&DesignPoint> {
+        let mut feas: Vec<&DesignPoint> = self.feasible().collect();
+        feas.sort_by_key(|p| (p.bottleneck.1, p.resources.dsp));
+        let mut front: Vec<&DesignPoint> = Vec::new();
+        let mut best_dsp = u64::MAX;
+        for p in feas {
+            if p.resources.dsp < best_dsp {
+                best_dsp = p.resources.dsp;
+                front.push(p);
+            }
+        }
+        front
+    }
+}
+
+/// Per-layer candidate port pairs: divisors of the FM counts for conv and
+/// pool layers, single-port for FC (§IV-B). To keep the space tractable a
+/// layer's `in_ports` is tied to the *upstream* FM interleave choice, so we
+/// enumerate `out_ports` per layer and set each `in_ports` to the previous
+/// layer's `out_ports` where divisible (falling back to 1, with an adapter).
+pub fn enumerate_configs(network: &Network, max_ports: usize) -> Vec<PortConfig> {
+    let paper_layers: Vec<&Layer> = network
+        .layers()
+        .iter()
+        .filter(|l| matches!(l, Layer::Conv(_) | Layer::Pool(_) | Layer::Linear(_)))
+        .collect();
+    // out-port options per layer
+    let out_options: Vec<Vec<usize>> = paper_layers
+        .iter()
+        .map(|l| match l {
+            Layer::Conv(c) => divisor_port_options(c.out_maps())
+                .into_iter()
+                .filter(|&p| p <= max_ports)
+                .collect(),
+            Layer::Pool(p) => divisor_port_options(p.geometry().input.c)
+                .into_iter()
+                .filter(|&x| x <= max_ports)
+                .collect(),
+            Layer::Linear(_) => vec![1],
+            _ => unreachable!(),
+        })
+        .collect();
+    // cartesian product over out_ports choices
+    let mut configs = vec![Vec::<usize>::new()];
+    for opts in &out_options {
+        let mut next = Vec::with_capacity(configs.len() * opts.len());
+        for c in &configs {
+            for &o in opts {
+                let mut c2 = c.clone();
+                c2.push(o);
+                next.push(c2);
+            }
+        }
+        configs = next;
+    }
+    // derive in_ports: previous out_ports if it divides this layer's
+    // IN_FM, else 1 (adapter handles the conversion)
+    configs
+        .into_iter()
+        .map(|outs| {
+            let mut layers = Vec::with_capacity(outs.len());
+            let mut prev_out = 1usize;
+            for (i, l) in paper_layers.iter().enumerate() {
+                let in_fm = match l {
+                    Layer::Conv(c) => c.geometry().input.c,
+                    Layer::Pool(p) => p.geometry().input.c,
+                    Layer::Linear(f) => f.inputs(),
+                    _ => unreachable!(),
+                };
+                let in_ports = match l {
+                    Layer::Linear(_) => 1,
+                    _ if in_fm % prev_out == 0 => prev_out,
+                    _ => 1,
+                };
+                layers.push(LayerPorts {
+                    in_ports,
+                    out_ports: outs[i],
+                });
+                prev_out = outs[i];
+            }
+            PortConfig { layers }
+        })
+        .collect()
+}
+
+/// Explore the port-configuration space of a trained network.
+pub fn explore(
+    network: &Network,
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+) -> DseReport {
+    let mut points = Vec::new();
+    for ports in enumerate_configs(network, max_ports) {
+        let design = match NetworkDesign::new(network, ports.clone(), *config) {
+            Ok(d) => d,
+            Err(_) => continue,
+        };
+        let resources = design.resources(cost);
+        let fits = device.fits(&resources);
+        let bottleneck = design.estimated_bottleneck();
+        points.push(DesignPoint {
+            ports,
+            resources,
+            bottleneck,
+            fits,
+        });
+    }
+    let best = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.fits)
+        .min_by_key(|(_, p)| (p.bottleneck.1, p.resources.dsp))
+        .map(|(i, _)| i);
+    DseReport { points, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_nn::topology::NetworkSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tc1() -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        NetworkSpec::test_case_1().build(&mut rng)
+    }
+
+    #[test]
+    fn enumeration_respects_divisors_and_cap() {
+        let cfgs = enumerate_configs(&tc1(), 6);
+        // conv1 out ∈ {1,2,3,6}, pool out ∈ {1,2,3,6}, conv2 out ∈ {1,2,4}
+        // (8 and 16 capped), fc out = 1 → 4*4*3 = 48
+        assert_eq!(cfgs.len(), 48);
+        for c in &cfgs {
+            assert_eq!(c.layers[3], LayerPorts::SINGLE);
+        }
+    }
+
+    #[test]
+    fn explore_finds_feasible_designs() {
+        let report = explore(
+            &tc1(),
+            &DesignConfig::default(),
+            &CostModel::default(),
+            &Device::xc7vx485t(),
+            6,
+        );
+        assert!(report.feasible().count() > 0, "no feasible TC1 design");
+        let best = report.best_point().expect("no best point");
+        assert!(best.fits);
+        // the paper's fully-parallel conv1 choice (or better) is feasible:
+        // the best interval must be at most the input-stream bound
+        assert!(best.bottleneck.1 <= 16 * 16 + 16, "best = {best:?}");
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let report = explore(
+            &tc1(),
+            &DesignConfig::default(),
+            &CostModel::default(),
+            &Device::xc7vx485t(),
+            6,
+        );
+        let front = report.pareto_front();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].bottleneck.1 <= w[1].bottleneck.1);
+            assert!(w[0].resources.dsp > w[1].resources.dsp);
+        }
+    }
+
+    #[test]
+    fn infeasible_points_are_marked_not_dropped() {
+        // with a tiny device, everything is infeasible but still reported
+        let tiny = Device {
+            name: "tiny".into(),
+            capacity: Resources {
+                ff: 10,
+                lut: 10,
+                bram18: 1,
+                dsp: 1,
+            },
+            clock_hz: 100_000_000,
+        };
+        let report = explore(
+            &tc1(),
+            &DesignConfig::default(),
+            &CostModel::default(),
+            &tiny,
+            2,
+        );
+        assert!(report.best.is_none());
+        assert!(!report.points.is_empty());
+        assert!(report.points.iter().all(|p| !p.fits));
+    }
+}

@@ -1,0 +1,798 @@
+//! Network design construction (§IV-C).
+//!
+//! "The design of an entire network starts from the choice of the
+//! parameters to set for each module" — here, a [`PortConfig`] assigning
+//! `IN_PORTS`/`OUT_PORTS` to every paper layer (conv, pool, linear) of a
+//! trained [`dfcnn_nn::Network`]. [`NetworkDesign::new`] validates the
+//! choice, computes every core's Eq. 4 initiation interval, sizes the
+//! FIFOs, inserts demux/widen adapters at port-width mismatches, and
+//! records the [`dfcnn_fpga::CoreParams`] that drive the resource model.
+//!
+//! From one design you can then:
+//! - [`NetworkDesign::instantiate`] a cycle simulator for a batch,
+//! - estimate per-stage intervals analytically,
+//! - total the resource usage (Table I),
+//! - render a Fig. 4/5-style block diagram,
+//! - run the hardware-order forward pass on the host
+//!   ([`NetworkDesign::hw_forward`]).
+//!
+//! Two presets reproduce the paper's designs: test case 1 with the first
+//! conv and pool fully parallelised (Fig. 4) and test case 2 entirely
+//! single-port (Fig. 5). The final LogSoftMax operator runs on the host
+//! (the hardware designs of Figs. 4/5 end at the last linear layer), so
+//! the sink collects the classifier scores.
+
+use crate::endpoints::{Sink, SinkState, Source};
+use crate::layer::{ConvCore, FcCore, PoolCore};
+use crate::port::PortAdapter;
+use crate::sim::{Actor, Simulator};
+use crate::stream::ChannelSet;
+use dfcnn_fpga::dma::{DmaChannel, DmaConfig};
+use dfcnn_fpga::resources::{CoreKind, CoreParams, CostModel, Resources};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_hls::latency::OpLatency;
+use dfcnn_nn::layer::Layer;
+use dfcnn_nn::Network;
+use dfcnn_tensor::Tensor3;
+use serde::{Deserialize, Serialize};
+
+/// Port counts of one paper layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerPorts {
+    /// `IN_PORTS`.
+    pub in_ports: usize,
+    /// `OUT_PORTS`.
+    pub out_ports: usize,
+}
+
+impl LayerPorts {
+    /// Single-input-port / single-output-port.
+    pub const SINGLE: LayerPorts = LayerPorts {
+        in_ports: 1,
+        out_ports: 1,
+    };
+}
+
+/// Port assignment for every paper layer (conv/pool/linear, in network
+/// order; flatten and logsoftmax carry no ports).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// One entry per paper layer.
+    pub layers: Vec<LayerPorts>,
+}
+
+impl PortConfig {
+    /// All layers single-port.
+    pub fn single_port(paper_layers: usize) -> Self {
+        PortConfig {
+            layers: vec![LayerPorts::SINGLE; paper_layers],
+        }
+    }
+
+    /// The paper's Test Case 1 design (Fig. 4): conv1 and pool1 fully
+    /// parallel (6 ports), conv2 reading 6 ports and emitting 1, FC
+    /// single-port.
+    pub fn paper_test_case_1() -> Self {
+        PortConfig {
+            layers: vec![
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 6,
+                },
+                LayerPorts {
+                    in_ports: 6,
+                    out_ports: 6,
+                },
+                LayerPorts {
+                    in_ports: 6,
+                    out_ports: 1,
+                },
+                LayerPorts::SINGLE,
+            ],
+        }
+    }
+
+    /// The paper's Test Case 2 design (Fig. 5): every layer
+    /// single-input-port/single-output-port.
+    pub fn paper_test_case_2() -> Self {
+        Self::single_port(6)
+    }
+}
+
+/// Global design knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DesignConfig {
+    /// Operator latency table (f32 Virtex-7 by default).
+    pub ops: OpLatency,
+    /// Interleaved accumulator banks in FC cores (paper: ≥ add latency).
+    pub fc_banks: usize,
+    /// Depth of the inter-layer decoupling FIFOs.
+    pub inter_fifo_depth: usize,
+    /// DMA configuration for source and sink.
+    pub dma: DmaConfig,
+    /// Core clock (100 MHz on the VC707).
+    pub clock_hz: u64,
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        let ops = OpLatency::f32_virtex7();
+        DesignConfig {
+            ops,
+            fc_banks: ops.add as usize,
+            inter_fifo_depth: 8,
+            dma: DmaConfig::paper(),
+            clock_hz: 100_000_000,
+        }
+    }
+}
+
+/// One generated core in the design (layer core or adapter).
+#[derive(Clone, Debug)]
+pub struct CoreInfo {
+    /// Display name ("conv1", "pool1", "demux1", …).
+    pub name: String,
+    /// Cost-model parameters.
+    pub params: CoreParams,
+    /// Index into the network's layer list (`None` for adapters).
+    pub layer_index: Option<usize>,
+    /// Values entering the core per image (across all input ports).
+    pub in_values_per_image: u64,
+    /// Window positions per image (0 for FC cores and adapters).
+    pub positions: u64,
+}
+
+/// A fully-validated accelerator design for one trained network.
+#[derive(Clone, Debug)]
+pub struct NetworkDesign {
+    network: Network,
+    ports: PortConfig,
+    config: DesignConfig,
+    cores: Vec<CoreInfo>,
+    classes: usize,
+}
+
+impl NetworkDesign {
+    /// Validate a port configuration against a trained network and derive
+    /// every core's parameters.
+    ///
+    /// # Errors
+    /// A human-readable message if the configuration is inconsistent
+    /// (wrong layer count, ports not dividing FM counts, multi-port FC).
+    pub fn new(network: &Network, ports: PortConfig, config: DesignConfig) -> Result<Self, String> {
+        let paper_layers: Vec<(usize, &Layer)> = network
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Layer::Conv(_) | Layer::Pool(_) | Layer::Linear(_)))
+            .collect();
+        if paper_layers.len() != ports.layers.len() {
+            return Err(format!(
+                "port config has {} entries but the network has {} paper layers",
+                ports.layers.len(),
+                paper_layers.len()
+            ));
+        }
+        let mut cores = Vec::new();
+        let mut conv_n = 0usize;
+        let mut pool_n = 0usize;
+        let mut fc_n = 0usize;
+        let mut prev_out_ports: Option<usize> = None;
+        let mut classes = 0;
+        for ((layer_index, layer), lp) in paper_layers.iter().zip(ports.layers.iter()) {
+            let (in_fm, out_fm, kh, kw, image_w, kind, weights, in_pixels, positions) = match layer
+            {
+                Layer::Conv(c) => {
+                    conv_n += 1;
+                    let g = c.geometry();
+                    (
+                        g.input.c,
+                        c.out_maps(),
+                        g.kh,
+                        g.kw,
+                        g.input.w,
+                        CoreKind::Conv,
+                        c.filters().len(),
+                        (g.input.h * g.input.w) as u64,
+                        g.positions() as u64,
+                    )
+                }
+                Layer::Pool(p) => {
+                    pool_n += 1;
+                    let g = p.geometry();
+                    (
+                        g.input.c,
+                        g.input.c,
+                        g.kh,
+                        g.kw,
+                        g.input.w,
+                        CoreKind::Pool,
+                        0,
+                        (g.input.h * g.input.w) as u64,
+                        g.positions() as u64,
+                    )
+                }
+                Layer::Linear(f) => {
+                    fc_n += 1;
+                    classes = f.outputs();
+                    (
+                        f.inputs(),
+                        f.outputs(),
+                        1,
+                        1,
+                        1,
+                        CoreKind::Fc,
+                        f.weights().len(),
+                        1,
+                        0,
+                    )
+                }
+                _ => unreachable!(),
+            };
+            let name = match kind {
+                CoreKind::Conv => format!("conv{conv_n}"),
+                CoreKind::Pool => format!("pool{pool_n}"),
+                CoreKind::Fc => format!("fc{fc_n}"),
+                _ => unreachable!(),
+            };
+            if kind == CoreKind::Fc && *lp != LayerPorts::SINGLE {
+                return Err(format!(
+                    "{name}: FC layers are always single-input-port/single-output-port (§IV-B)"
+                ));
+            }
+            if lp.in_ports == 0 || lp.out_ports == 0 {
+                return Err(format!("{name}: port counts must be non-zero"));
+            }
+            if in_fm % lp.in_ports != 0 {
+                return Err(format!(
+                    "{name}: IN_PORTS {} does not divide IN_FM {in_fm}",
+                    lp.in_ports
+                ));
+            }
+            if out_fm % lp.out_ports != 0 {
+                return Err(format!(
+                    "{name}: OUT_PORTS {} does not divide OUT_FM {out_fm}",
+                    lp.out_ports
+                ));
+            }
+            // adapter between the previous layer's output and this input
+            if let Some(prev) = prev_out_ports {
+                if prev != lp.in_ports {
+                    let akind = if prev < lp.in_ports {
+                        CoreKind::Demux
+                    } else {
+                        CoreKind::Widen
+                    };
+                    cores.push(CoreInfo {
+                        name: format!(
+                            "{}{}",
+                            if akind == CoreKind::Demux {
+                                "demux"
+                            } else {
+                                "widen"
+                            },
+                            cores.len()
+                        ),
+                        params: CoreParams {
+                            kind: akind,
+                            in_fm,
+                            out_fm: in_fm,
+                            in_ports: prev,
+                            out_ports: lp.in_ports,
+                            kh: 1,
+                            kw: 1,
+                            image_w: 1,
+                            ii: 1,
+                            weights: 0,
+                            accumulators: 1,
+                        },
+                        layer_index: None,
+                        in_values_per_image: in_pixels * in_fm as u64,
+                        positions: 0,
+                    });
+                }
+            }
+            let ii = pipeline_ii(in_fm, lp.in_ports, out_fm, lp.out_ports);
+            cores.push(CoreInfo {
+                name,
+                params: CoreParams {
+                    kind,
+                    in_fm,
+                    out_fm,
+                    in_ports: lp.in_ports,
+                    out_ports: lp.out_ports,
+                    kh,
+                    kw,
+                    image_w,
+                    ii,
+                    weights,
+                    accumulators: if kind == CoreKind::Fc {
+                        config.fc_banks
+                    } else {
+                        1
+                    },
+                },
+                layer_index: Some(*layer_index),
+                in_values_per_image: in_pixels * in_fm as u64,
+                positions,
+            });
+            prev_out_ports = Some(lp.out_ports);
+        }
+        Ok(NetworkDesign {
+            network: network.clone(),
+            ports,
+            config,
+            cores,
+            classes,
+        })
+    }
+
+    /// The trained network this design implements.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The port configuration.
+    pub fn ports(&self) -> &PortConfig {
+        &self.ports
+    }
+
+    /// The design knobs.
+    pub fn config(&self) -> &DesignConfig {
+        &self.config
+    }
+
+    /// Every generated core (layer cores and adapters, pipeline order).
+    pub fn cores(&self) -> &[CoreInfo] {
+        &self.cores
+    }
+
+    /// Number of classifier outputs the sink collects per image.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The paper's layer count (used for the Fig. 6 convergence claim).
+    pub fn paper_depth(&self) -> usize {
+        self.ports.layers.len()
+    }
+
+    /// Total resource usage including the support platform (Table I).
+    pub fn resources(&self, cost: &CostModel) -> Resources {
+        self.cores
+            .iter()
+            .map(|c| cost.core(&c.params))
+            .sum::<Resources>()
+            + cost.platform_base()
+            + cost.dma_engine()
+    }
+
+    /// Analytical per-core stage interval (cycles per image at steady
+    /// state): the max of the input-serialisation, initiation and
+    /// output-serialisation times. The slowest stage bounds the pipeline —
+    /// "the pipeline interval is its slowest stage time" (§IV-C).
+    pub fn estimate_stage_intervals(&self) -> Vec<(String, u64)> {
+        let mut v = Vec::new();
+        for c in &self.cores {
+            let p = &c.params;
+            let interval = match p.kind {
+                CoreKind::Conv | CoreKind::Pool => {
+                    // per-port input serialisation, the Eq. 4 initiation
+                    // schedule, and per-port output serialisation
+                    let per_port_in = c.in_values_per_image / p.in_ports as u64;
+                    let initiations = c.positions * p.ii as u64;
+                    let out_serial = c.positions * (p.out_fm / p.out_ports) as u64;
+                    per_port_in.max(initiations).max(out_serial)
+                }
+                CoreKind::Fc => {
+                    let in_ii = (self.config.ops.add as u64)
+                        .div_ceil(p.accumulators as u64)
+                        .max(1);
+                    p.in_fm as u64 * in_ii + p.out_fm as u64
+                }
+                CoreKind::Demux | CoreKind::Widen => {
+                    // the adapter moves the whole boundary stream through
+                    // its narrower side at one value per port per cycle
+                    c.in_values_per_image / p.in_ports.min(p.out_ports) as u64
+                }
+            };
+            v.push((c.name.clone(), interval));
+        }
+        v
+    }
+
+    /// The estimated bottleneck stage `(name, cycles per image)`.
+    pub fn estimated_bottleneck(&self) -> (String, u64) {
+        // include the source: the DMA needs input-volume / rate cycles
+        let input_len = self.network.input_shape().len() as u64;
+        let src_cycles = (input_len as f64 / self.config.dma.beats_per_cycle()).ceil() as u64
+            + self.config.dma.setup_cycles;
+        let mut best = ("dma-source".to_string(), src_cycles);
+        for (name, cyc) in self.estimate_stage_intervals() {
+            if cyc > best.1 {
+                best = (name, cyc);
+            }
+        }
+        best
+    }
+
+    /// Fig. 4/5-style block diagram.
+    pub fn render_block_diagram(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("input {} -> ", self.network.input_shape()));
+        for c in &self.cores {
+            let p = &c.params;
+            match p.kind {
+                CoreKind::Conv => out.push_str(&format!(
+                    "[{} {}x{} {}->{}FM in:{} out:{} II={}] -> ",
+                    c.name, p.kh, p.kw, p.in_fm, p.out_fm, p.in_ports, p.out_ports, p.ii
+                )),
+                CoreKind::Pool => out.push_str(&format!(
+                    "[{} {}x{} {}FM in:{} out:{}] -> ",
+                    c.name, p.kh, p.kw, p.in_fm, p.in_ports, p.out_ports
+                )),
+                CoreKind::Fc => out.push_str(&format!(
+                    "[{} {}->{} 1x1conv acc={}] -> ",
+                    c.name, p.in_fm, p.out_fm, p.accumulators
+                )),
+                CoreKind::Demux => {
+                    out.push_str(&format!("[{} {}to{}] -> ", c.name, p.in_ports, p.out_ports))
+                }
+                CoreKind::Widen => {
+                    out.push_str(&format!("[{} {}to{}] -> ", c.name, p.in_ports, p.out_ports))
+                }
+            }
+        }
+        out.push_str(&format!("{} classes (LogSoftMax on host)", self.classes));
+        out
+    }
+
+    /// Run the hardware-order forward pass on the host (no timing):
+    /// exactly what the accelerator computes for one image, ending at the
+    /// classifier scores.
+    pub fn hw_forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        let mut cur = input.clone();
+        let mut port_iter = self.ports.layers.iter();
+        for layer in self.network.layers() {
+            cur = match layer {
+                Layer::Conv(c) => {
+                    let lp = port_iter.next().expect("port config exhausted");
+                    crate::kernel::conv_forward_hw(c, lp.in_ports, &cur)
+                }
+                Layer::Pool(p) => {
+                    let _ = port_iter.next();
+                    crate::kernel::pool_forward_hw(p, &cur)
+                }
+                Layer::Linear(f) => {
+                    let _ = port_iter.next();
+                    crate::kernel::fc_forward_hw(f, self.config.fc_banks, &cur)
+                }
+                Layer::Flatten(f) => f.forward(&cur),
+                Layer::LogSoftmax(_) => cur, // host-side, after the sink
+            };
+        }
+        cur
+    }
+
+    /// Build the cycle simulator for a batch of images.
+    pub fn instantiate(&self, images: &[Tensor3<f32>]) -> Simulator {
+        self.instantiate_with_links(images, &[])
+    }
+
+    /// Build the cycle simulator with inter-FPGA link actors inserted
+    /// after the named core indices (used by [`crate::multi`] to simulate
+    /// a partitioned chain end to end). `links` pairs a core index with
+    /// the link's `(words_per_cycle, latency_cycles)` timing.
+    pub fn instantiate_with_links(
+        &self,
+        images: &[Tensor3<f32>],
+        links: &[(usize, (f64, u64))],
+    ) -> Simulator {
+        assert!(!images.is_empty(), "empty batch");
+        assert_eq!(
+            images[0].shape(),
+            self.network.input_shape(),
+            "image shape does not match the network input"
+        );
+        let depth = self.config.inter_fifo_depth;
+        let mut chans = ChannelSet::new();
+        let mut actors: Vec<Box<dyn Actor>> = Vec::new();
+
+        // channels feeding the first core
+        let first_in = self.cores[0].params.in_ports;
+        let mut cur_chs: Vec<_> = (0..first_in).map(|_| chans.alloc(depth)).collect();
+        actors.push(Box::new(Source::new(
+            images,
+            cur_chs.clone(),
+            DmaChannel::new(self.config.dma),
+        )));
+
+        for (core_idx, c) in self.cores.iter().enumerate() {
+            let p = &c.params;
+            let out_chs: Vec<_> = (0..p.out_ports).map(|_| chans.alloc(depth)).collect();
+            let layer = c.layer_index.map(|i| &self.network.layers()[i]);
+            let actor: Box<dyn Actor> = match (p.kind, layer) {
+                (CoreKind::Conv, Some(Layer::Conv(l))) => Box::new(ConvCore::new(
+                    c.name.clone(),
+                    l,
+                    cur_chs.clone(),
+                    out_chs.clone(),
+                    p.ii,
+                    &self.config.ops,
+                )),
+                (CoreKind::Pool, Some(Layer::Pool(l))) => Box::new(PoolCore::new(
+                    c.name.clone(),
+                    l,
+                    cur_chs.clone(),
+                    out_chs.clone(),
+                    &self.config.ops,
+                )),
+                (CoreKind::Fc, Some(Layer::Linear(l))) => Box::new(FcCore::new(
+                    c.name.clone(),
+                    l,
+                    cur_chs[0],
+                    out_chs[0],
+                    p.accumulators,
+                    &self.config.ops,
+                )),
+                (CoreKind::Demux | CoreKind::Widen, None) => Box::new(PortAdapter::new(
+                    c.name.clone(),
+                    cur_chs.clone(),
+                    out_chs.clone(),
+                    p.in_fm,
+                )),
+                _ => unreachable!("core/layer mismatch"),
+            };
+            actors.push(actor);
+            cur_chs = out_chs;
+
+            // optional inter-FPGA link after this core
+            if let Some(&(_, (wpc, lat))) = links.iter().find(|(i, _)| *i == core_idx) {
+                let link_out: Vec<_> = cur_chs.iter().map(|_| chans.alloc(depth)).collect();
+                actors.push(Box::new(crate::multi::LinkActor::new(
+                    format!("link-after-{}", c.name),
+                    cur_chs.clone(),
+                    link_out.clone(),
+                    wpc,
+                    lat,
+                )));
+                cur_chs = link_out;
+            }
+        }
+
+        let state = std::rc::Rc::new(std::cell::RefCell::new(SinkState::default()));
+        actors.push(Box::new(Sink::new(
+            cur_chs,
+            self.classes,
+            state.clone(),
+            DmaChannel::new(self.config.dma),
+        )));
+        Simulator::new(actors, chans, images.len(), state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_nn::topology::NetworkSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tc1_network() -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        NetworkSpec::test_case_1().build(&mut rng)
+    }
+
+    fn tc2_network() -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        NetworkSpec::test_case_2().build(&mut rng)
+    }
+
+    #[test]
+    fn tc1_design_builds_with_paper_ports() {
+        let d = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        // conv1(II=1), pool1, conv2(II=16), fc1 — plus no adapters
+        // (1->6 direct? conv1 out 6 ports -> pool in 6 ports: direct;
+        //  pool out 6 -> conv2 in 6: direct; conv2 out 1 -> fc in 1: direct)
+        let names: Vec<_> = d.cores().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["conv1", "pool1", "conv2", "fc1"]);
+        let convs: Vec<_> = d
+            .cores()
+            .iter()
+            .filter(|c| c.params.kind == CoreKind::Conv)
+            .collect();
+        assert_eq!(convs[0].params.ii, 1, "fully parallel conv1 has II=1");
+        assert_eq!(convs[1].params.ii, 16, "conv2 II = max(16/1, 6/6)");
+        assert_eq!(d.classes(), 10);
+        assert_eq!(d.paper_depth(), 4);
+    }
+
+    #[test]
+    fn tc2_design_all_single_port() {
+        let d = NetworkDesign::new(
+            &tc2_network(),
+            PortConfig::paper_test_case_2(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let iis: Vec<_> = d.cores().iter().map(|c| c.params.ii).collect();
+        // conv1 II=12, pool1 II=12, conv2 II=36, pool2 II=36, fc(900), fc(72)
+        assert_eq!(iis[0], 12);
+        assert_eq!(iis[2], 36);
+        assert_eq!(d.paper_depth(), 6);
+    }
+
+    #[test]
+    fn adapter_inserted_on_port_mismatch() {
+        // conv1 out 2 ports, pool in 1 port -> widen adapter
+        let net = tc1_network();
+        let cfg = PortConfig {
+            layers: vec![
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 2,
+                },
+                LayerPorts::SINGLE,
+                LayerPorts::SINGLE,
+                LayerPorts::SINGLE,
+            ],
+        };
+        let d = NetworkDesign::new(&net, cfg, DesignConfig::default()).unwrap();
+        let kinds: Vec<_> = d.cores().iter().map(|c| c.params.kind).collect();
+        assert!(kinds.contains(&CoreKind::Widen));
+    }
+
+    #[test]
+    fn demux_inserted_when_consumer_wider() {
+        let net = tc1_network();
+        let cfg = PortConfig {
+            layers: vec![
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 1,
+                },
+                LayerPorts {
+                    in_ports: 6,
+                    out_ports: 6,
+                },
+                LayerPorts {
+                    in_ports: 6,
+                    out_ports: 1,
+                },
+                LayerPorts::SINGLE,
+            ],
+        };
+        let d = NetworkDesign::new(&net, cfg, DesignConfig::default()).unwrap();
+        let kinds: Vec<_> = d.cores().iter().map(|c| c.params.kind).collect();
+        assert!(kinds.contains(&CoreKind::Demux));
+    }
+
+    #[test]
+    fn wrong_layer_count_rejected() {
+        let err = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::single_port(3),
+            DesignConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("3 entries"), "{err}");
+    }
+
+    #[test]
+    fn multiport_fc_rejected() {
+        let mut cfg = PortConfig::single_port(4);
+        cfg.layers[3] = LayerPorts {
+            in_ports: 1,
+            out_ports: 2,
+        };
+        let err = NetworkDesign::new(&tc1_network(), cfg, DesignConfig::default()).unwrap_err();
+        assert!(err.contains("single-input-port"), "{err}");
+    }
+
+    #[test]
+    fn non_divisor_ports_rejected() {
+        let mut cfg = PortConfig::single_port(4);
+        cfg.layers[0] = LayerPorts {
+            in_ports: 1,
+            out_ports: 4, // 6 FMs not divisible by 4
+        };
+        let err = NetworkDesign::new(&tc1_network(), cfg, DesignConfig::default()).unwrap_err();
+        assert!(err.contains("does not divide"), "{err}");
+    }
+
+    #[test]
+    fn tc1_fits_device_tc2_fits_device() {
+        let cost = CostModel::default();
+        let dev = dfcnn_fpga::Device::xc7vx485t();
+        let d1 = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let d2 = NetworkDesign::new(
+            &tc2_network(),
+            PortConfig::paper_test_case_2(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let r1 = d1.resources(&cost);
+        let r2 = d2.resources(&cost);
+        assert!(dev.fits(&r1), "TC1 must fit: {r1:?}");
+        assert!(dev.fits(&r2), "TC2 must fit: {r2:?}");
+        // Table I shape: TC2 uses more of everything
+        assert!(r2.dsp > r1.dsp);
+        assert!(r2.lut > r1.lut);
+        assert!(r2.ff > r1.ff);
+        assert!(r2.bram18 > r1.bram18);
+    }
+
+    #[test]
+    fn tc2_bottleneck_is_conv1() {
+        let d = NetworkDesign::new(
+            &tc2_network(),
+            PortConfig::paper_test_case_2(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let (name, cyc) = d.estimated_bottleneck();
+        assert_eq!(name, "conv1");
+        // 784 windows * II 12 = 9408 cycles ≈ 94 µs
+        assert!((9_000..10_000).contains(&cyc), "cycles = {cyc}");
+    }
+
+    #[test]
+    fn tc1_bottleneck_is_input_stream() {
+        let d = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let (name, cyc) = d.estimated_bottleneck();
+        // 256 pixels at 1/cycle dominates every fully-parallel stage
+        assert_eq!(name, "dma-source");
+        assert_eq!(cyc, 256);
+    }
+
+    #[test]
+    fn block_diagram_mentions_all_cores() {
+        let d = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let diag = d.render_block_diagram();
+        for n in ["conv1", "pool1", "conv2", "fc1", "10 classes"] {
+            assert!(diag.contains(n), "missing {n} in: {diag}");
+        }
+    }
+
+    #[test]
+    fn hw_forward_close_to_reference() {
+        let net = tc1_network();
+        let d = NetworkDesign::new(
+            &net,
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, net.input_shape(), 0.0, 1.0);
+        let hw = d.hw_forward(&x);
+        // reference trace: compare pre-softmax scores
+        let trace = net.forward_trace(&x);
+        let reference = &trace[trace.len() - 2];
+        assert!(
+            hw.max_abs_diff(reference) < 1e-4,
+            "diff = {}",
+            hw.max_abs_diff(reference)
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Hardware-order numerics — the single source of truth for what the
+//! generated cores *compute*.
+//!
+//! Floating-point addition is not associative, so the accelerator's outputs
+//! depend on its summation orders: the tree adder inside the conv core
+//! (Algorithm 1's `reduce`), the sequential accumulation across Algorithm
+//! 1's group loop, and the FC core's interleaved accumulators (§IV-B).
+//! Both execution engines (the cycle simulator and the threaded engine)
+//! call these functions, so their outputs are **bit-identical** to each
+//! other; the reference implementation in `dfcnn-nn` uses plain
+//! left-to-right sums and is compared within a small tolerance.
+
+use dfcnn_hls::accum::InterleavedAccumulator;
+use dfcnn_hls::reduce::TreeAdder;
+use dfcnn_nn::act::Activation;
+use dfcnn_nn::layer::{Conv2d, Linear, Pool2d, PoolKind};
+use dfcnn_tensor::{Tensor1, Tensor3, Tensor4};
+
+/// Compute all `OUT_FM` outputs of a conv core for one window position,
+/// exactly as Algorithm 1 schedules it:
+///
+/// ```text
+/// outputs <- biases
+/// for g = 0 to IN_FM step IN_PORTS:        // group loop
+///     buf <- IN_PORTS windows               // FMs g*P .. g*P+P-1
+///     buf <- buf * weights
+///     outputs += reduce(buf)                // tree adder
+/// ```
+///
+/// `window` is in the [`crate::sst::WindowEngine::extract`] layout
+/// (`[(f·KH + dy)·KW + dx]`); `out` receives `OUT_FM` activated values.
+/// `scratch` must hold at least `2 · IN_PORTS · KH · KW` values (products
+/// plus tree-adder working space).
+#[allow(clippy::needless_range_loop)] // `k` indexes filters, bias and out in lockstep; zip() would obscure it
+pub fn conv_window(
+    out: &mut [f32],
+    window: &[f32],
+    filters: &Tensor4<f32>,
+    bias: &Tensor1<f32>,
+    activation: Activation,
+    in_ports: usize,
+    scratch: &mut [f32],
+) {
+    let (k_count, kh, kw, in_fm) = (filters.k(), filters.kh(), filters.kw(), filters.c());
+    assert_eq!(out.len(), k_count, "output buffer length mismatch");
+    assert_eq!(window.len(), kh * kw * in_fm, "window length mismatch");
+    assert_eq!(in_fm % in_ports, 0, "ports must divide channels");
+    let group_len = in_ports * kh * kw;
+    assert!(
+        scratch.len() >= 2 * group_len,
+        "scratch must hold 2 * IN_PORTS * KH * KW values"
+    );
+    let groups = in_fm / in_ports;
+    let tree = TreeAdder::new(group_len);
+    let (prods, tree_scratch) = scratch.split_at_mut(group_len);
+    for k in 0..k_count {
+        let mut acc = bias.get(k);
+        for g in 0..groups {
+            // buf <- IN_PORTS windows, multiplied by the weights
+            let mut i = 0;
+            for p in 0..in_ports {
+                let f = g * in_ports + p;
+                for dy in 0..kh {
+                    for dx in 0..kw {
+                        prods[i] = filters.get(k, dy, dx, f) * window[(f * kh + dy) * kw + dx];
+                        i += 1;
+                    }
+                }
+            }
+            // outputs += reduce(buf)
+            acc += tree.sum_with_scratch(prods, tree_scratch);
+        }
+        out[k] = activation.apply(acc);
+    }
+}
+
+/// Pooling of one per-channel window (`KH·KW` values in `(dy, dx)` order).
+/// Max-pooling compares sequentially (exact whatever the order);
+/// mean-pooling sums through a tree adder then scales by `1/(KH·KW)`, the
+/// hardware implementation of the mean.
+pub fn pool_window(kind: PoolKind, values: &[f32]) -> f32 {
+    assert!(!values.is_empty(), "empty pooling window");
+    match kind {
+        PoolKind::Max => values.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        PoolKind::Mean => {
+            let t = TreeAdder::new(values.len());
+            t.sum(values) * (1.0 / values.len() as f32)
+        }
+    }
+}
+
+/// The FC core's computation (§IV-B): for each output FM an interleaved
+/// accumulator bank fed one product per input value, merged by a tree
+/// adder, plus bias and activation.
+pub fn fc_forward(
+    weights: &Tensor4<f32>,
+    bias: &Tensor1<f32>,
+    activation: Activation,
+    input: &[f32],
+    banks: usize,
+) -> Vec<f32> {
+    let (j_count, inputs) = (weights.k(), weights.c());
+    assert_eq!(input.len(), inputs, "FC input length mismatch");
+    let mut accs: Vec<InterleavedAccumulator> = (0..j_count)
+        .map(|_| InterleavedAccumulator::new(banks))
+        .collect();
+    for (i, &x) in input.iter().enumerate() {
+        // all OUT_FM 1x1 convolutions of this input value in the same cycle
+        for (j, acc) in accs.iter_mut().enumerate() {
+            acc.push(weights.get(j, 0, 0, i) * x);
+        }
+    }
+    accs.iter()
+        .enumerate()
+        .map(|(j, acc)| activation.apply(acc.total() + bias.get(j)))
+        .collect()
+}
+
+/// Whole-image conv layer forward pass in hardware order (used by the
+/// threaded engine and by verification). Equivalent to streaming the image
+/// through a [`crate::sst::WindowEngine`] + [`conv_window`]; a test pins
+/// that equivalence.
+pub fn conv_forward_hw(conv: &Conv2d, in_ports: usize, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let geo = *conv.geometry();
+    assert_eq!(input.shape(), geo.input, "input shape mismatch");
+    let (kh, kw, in_fm) = (geo.kh, geo.kw, geo.input.c);
+    let mut out = Tensor3::zeros(conv.output_shape());
+    let mut window = vec![0.0f32; kh * kw * in_fm];
+    let mut scratch = vec![0.0f32; 2 * in_ports * kh * kw];
+    let mut outvals = vec![0.0f32; conv.out_maps()];
+    let ow = geo.out_w();
+    for (pos, (y0, x0)) in dfcnn_tensor::iter::WindowPositions::new(geo).enumerate() {
+        // build the window in WindowEngine layout: (f, dy, dx)
+        for f in 0..in_fm {
+            for dy in 0..kh {
+                for dx in 0..kw {
+                    window[(f * kh + dy) * kw + dx] =
+                        input.get_padded(y0 + dy as isize, x0 + dx as isize, f);
+                }
+            }
+        }
+        conv_window(
+            &mut outvals,
+            &window,
+            conv.filters(),
+            conv.bias(),
+            conv.activation(),
+            in_ports,
+            &mut scratch,
+        );
+        let (oy, ox) = (pos / ow, pos % ow);
+        for (k, &v) in outvals.iter().enumerate() {
+            out.set(oy, ox, k, v);
+        }
+    }
+    out
+}
+
+/// Whole-image pooling forward pass in hardware order.
+pub fn pool_forward_hw(pool: &Pool2d, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let geo = *pool.geometry();
+    assert_eq!(input.shape(), geo.input, "input shape mismatch");
+    let mut out = Tensor3::zeros(pool.output_shape());
+    let mut vals = vec![0.0f32; geo.kh * geo.kw];
+    let ow = geo.out_w();
+    for (pos, (y0, x0)) in dfcnn_tensor::iter::WindowPositions::new(geo).enumerate() {
+        let (oy, ox) = (pos / ow, pos % ow);
+        for c in 0..geo.input.c {
+            let mut i = 0;
+            for dy in 0..geo.kh {
+                for dx in 0..geo.kw {
+                    vals[i] = input.get((y0 as usize) + dy, (x0 as usize) + dx, c);
+                    i += 1;
+                }
+            }
+            out.set(oy, ox, c, pool_window(pool.kind(), &vals));
+        }
+    }
+    out
+}
+
+/// Whole-image FC forward pass in hardware order.
+pub fn fc_forward_hw(linear: &Linear, banks: usize, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let vals = fc_forward(
+        linear.weights(),
+        linear.bias(),
+        linear.activation(),
+        input.as_slice(),
+        banks,
+    );
+    Tensor3::from_vec(dfcnn_tensor::Shape3::new(1, 1, vals.len()), vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_nn::act::Activation;
+    use dfcnn_tensor::{ConvGeometry, Shape3};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_conv(seed: u64, in_c: usize, out_k: usize, hw: usize) -> (Conv2d, Tensor3<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let geo = ConvGeometry::new(Shape3::new(hw, hw, in_c), 3, 3, 1, 0);
+        let f = dfcnn_tensor::init::conv_filters(&mut rng, out_k, 3, 3, in_c);
+        let b = dfcnn_tensor::init::random_vector(&mut rng, out_k, -0.1, 0.1);
+        let conv = Conv2d::new(geo, f, b, Activation::Tanh);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, geo.input, -1.0, 1.0);
+        (conv, x)
+    }
+
+    #[test]
+    fn conv_hw_close_to_reference() {
+        let (conv, x) = random_conv(1, 4, 3, 6);
+        let hw = conv_forward_hw(&conv, 2, &x);
+        let sw = conv.forward(&x);
+        assert!(
+            hw.max_abs_diff(&sw) < 1e-4,
+            "diff = {}",
+            hw.max_abs_diff(&sw)
+        );
+    }
+
+    #[test]
+    fn conv_hw_port_grouping_changes_rounding_not_value() {
+        // different IN_PORTS give different summation orders but must stay
+        // within float tolerance of each other
+        let (conv, x) = random_conv(2, 6, 2, 5);
+        let p1 = conv_forward_hw(&conv, 1, &x);
+        let p2 = conv_forward_hw(&conv, 2, &x);
+        let p6 = conv_forward_hw(&conv, 6, &x);
+        assert!(p1.max_abs_diff(&p2) < 1e-4);
+        assert!(p1.max_abs_diff(&p6) < 1e-4);
+    }
+
+    #[test]
+    fn conv_hw_deterministic() {
+        let (conv, x) = random_conv(3, 3, 2, 5);
+        assert_eq!(conv_forward_hw(&conv, 3, &x), conv_forward_hw(&conv, 3, &x));
+    }
+
+    #[test]
+    fn pool_window_max_and_mean() {
+        assert_eq!(pool_window(PoolKind::Max, &[1.0, 5.0, -2.0, 3.0]), 5.0);
+        assert!((pool_window(PoolKind::Mean, &[1.0, 2.0, 3.0, 6.0]) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pool_hw_matches_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let geo = ConvGeometry::new(Shape3::new(6, 6, 3), 2, 2, 2, 0);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, geo.input, -1.0, 1.0);
+        for kind in [PoolKind::Max, PoolKind::Mean] {
+            let p = Pool2d::new(geo, kind);
+            let hw = pool_forward_hw(&p, &x);
+            let sw = p.forward(&x);
+            assert!(hw.max_abs_diff(&sw) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fc_hw_close_to_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let w = dfcnn_tensor::init::linear_weights(&mut rng, 64, 10);
+        let b = dfcnn_tensor::init::random_vector(&mut rng, 10, -0.1, 0.1);
+        let fc = Linear::new(w, b, Activation::Identity);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 64), -1.0, 1.0);
+        let hw = fc_forward_hw(&fc, 11, &x);
+        let sw = fc.forward(&x);
+        assert!(hw.max_abs_diff(&sw) < 1e-4);
+    }
+
+    #[test]
+    fn fc_bank_count_changes_rounding_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let w = dfcnn_tensor::init::linear_weights(&mut rng, 100, 5);
+        let fc = Linear::new(w, Tensor1::zeros(5), Activation::Identity);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 100), -1.0, 1.0);
+        let a1 = fc_forward_hw(&fc, 1, &x);
+        let a11 = fc_forward_hw(&fc, 11, &x);
+        assert!(a1.max_abs_diff(&a11) < 1e-4);
+    }
+
+    #[test]
+    fn conv_window_bias_only_when_zero_window() {
+        let f = Tensor4::from_fn(2, 2, 2, 1, |_, _, _, _| 1.0);
+        let b = Tensor1::from_vec(vec![0.5, -0.5]);
+        let window = vec![0.0f32; 4];
+        let mut out = vec![0.0f32; 2];
+        let mut scratch = vec![0.0f32; 8];
+        conv_window(
+            &mut out,
+            &window,
+            &f,
+            &b,
+            Activation::Identity,
+            1,
+            &mut scratch,
+        );
+        assert_eq!(out, vec![0.5, -0.5]);
+    }
+}

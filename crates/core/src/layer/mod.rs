@@ -1,0 +1,128 @@
+//! The layer compute cores as cycle-level actors.
+//!
+//! Each core couples an SST [`crate::sst::WindowEngine`] (where it needs a
+//! window) with a pipelined compute model: initiations at the Eq. 4
+//! interval, a pipeline depth derived from the operator latencies, and
+//! serialised emission over its output ports. All values are computed with
+//! the [`crate::kernel`] hardware-order numerics.
+
+mod conv_core;
+mod fc_core;
+mod pool_core;
+
+pub use conv_core::ConvCore;
+pub use fc_core::FcCore;
+pub use pool_core::PoolCore;
+
+use crate::stream::{ChannelId, ChannelSet};
+
+/// Per-output-port emission queue with pipeline-latency timestamps.
+///
+/// Compute results enter with a `ready_cycle`; [`OutputQueue::drain`] moves
+/// at most one value per port per cycle into the output FIFOs, respecting
+/// both the pipeline latency and downstream backpressure.
+#[derive(Clone, Debug)]
+pub(crate) struct OutputQueue {
+    queues: Vec<std::collections::VecDeque<(u64, f32)>>,
+    chs: Vec<ChannelId>,
+}
+
+impl OutputQueue {
+    pub(crate) fn new(chs: Vec<ChannelId>) -> Self {
+        OutputQueue {
+            queues: vec![std::collections::VecDeque::new(); chs.len()],
+            chs,
+        }
+    }
+
+    /// Schedule interleaved emission of `values`: value `k` leaves port
+    /// `k mod P` at `base_cycle + k/P` (one value per port per cycle).
+    pub(crate) fn schedule(&mut self, base_cycle: u64, values: &[f32]) {
+        let p = self.chs.len();
+        for (k, &v) in values.iter().enumerate() {
+            self.queues[k % p].push_back((base_cycle + (k / p) as u64, v));
+        }
+    }
+
+    /// Emit everything that is ready and accepted downstream.
+    pub(crate) fn drain(&mut self, cycle: u64, chans: &mut ChannelSet) -> usize {
+        let mut emitted = 0;
+        for (q, &ch) in self.queues.iter_mut().zip(self.chs.iter()) {
+            if let Some(&(ready, v)) = q.front() {
+                if cycle >= ready && chans.can_push(ch) {
+                    chans.push(ch, v);
+                    q.pop_front();
+                    emitted += 1;
+                }
+            }
+        }
+        emitted
+    }
+
+    /// Longest per-port backlog (total values queued, including those
+    /// still travelling through the compute pipeline). Used by tests to
+    /// observe drain progress; initiation throttling uses
+    /// [`OutputQueue::stalled_backlog`].
+    #[cfg(test)]
+    pub(crate) fn max_backlog(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).max().unwrap_or(0)
+    }
+
+    /// Longest per-port backlog of values that are *ready but unsent* —
+    /// i.e. stalled by downstream backpressure rather than still in the
+    /// pipeline. This is the signal that should throttle initiations: a
+    /// pipelined core keeps many results in flight, but stops issuing when
+    /// its output FIFO stops draining.
+    pub(crate) fn stalled_backlog(&self, cycle: u64) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.iter().filter(|&&(ready, _)| ready <= cycle).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether any value is still queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_interleaves_over_ports() {
+        let mut chans = ChannelSet::new();
+        let p0 = chans.alloc(8);
+        let p1 = chans.alloc(8);
+        let mut q = OutputQueue::new(vec![p0, p1]);
+        q.schedule(10, &[1.0, 2.0, 3.0, 4.0]);
+        // port0: (10,1),(11,3); port1: (10,2),(11,4)
+        assert_eq!(q.drain(9, &mut chans), 0, "nothing ready before base");
+        assert_eq!(q.drain(10, &mut chans), 2);
+        chans.commit_all();
+        assert_eq!(q.drain(11, &mut chans), 2);
+        chans.commit_all();
+        assert!(q.is_empty());
+        assert_eq!(chans.pop(p0), Some(1.0));
+        assert_eq!(chans.pop(p0), Some(3.0));
+        assert_eq!(chans.pop(p1), Some(2.0));
+        assert_eq!(chans.pop(p1), Some(4.0));
+    }
+
+    #[test]
+    fn drain_respects_backpressure() {
+        let mut chans = ChannelSet::new();
+        let p0 = chans.alloc(1);
+        let mut q = OutputQueue::new(vec![p0]);
+        q.schedule(0, &[1.0, 2.0]);
+        assert_eq!(q.drain(5, &mut chans), 1);
+        assert_eq!(q.drain(6, &mut chans), 0, "FIFO full (uncommitted)");
+        chans.commit_all();
+        assert_eq!(q.drain(7, &mut chans), 0, "FIFO still full");
+        chans.pop(p0);
+        assert_eq!(q.drain(8, &mut chans), 1);
+        assert_eq!(q.max_backlog(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The sub-sampling (pooling) layer core as a cycle actor.
+//!
+//! §IV-C: "as there is no combination between FM and rather just a
+//! sub-sampling of each FM, it is possible to insert parallel sub-sampling
+//! layer cores, one for each previous layer output port ... the
+//! sub-sampling cores act as a standard filter inserted between the
+//! convolutional layers without occupying too much area (perfect
+//! pipelining and no multiple windows/convolutions)."
+//!
+//! [`PoolCore`] models the whole bank of parallel pooling cores for a
+//! layer: each input port's interleaved channels are pooled independently
+//! with a short comparator/adder pipeline, and results leave on the same
+//! number of ports (the usual configuration) or re-interleaved over a
+//! different port count.
+
+use crate::kernel::pool_window;
+use crate::layer::OutputQueue;
+use crate::sim::Actor;
+use crate::sst::WindowEngine;
+use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::{EventKind, Trace};
+use dfcnn_hls::latency::OpLatency;
+use dfcnn_hls::reduce::TreeAdder;
+use dfcnn_nn::layer::{Pool2d, PoolKind};
+
+/// Pooling core bank plus its SST memory structure.
+pub struct PoolCore {
+    name: String,
+    engine: WindowEngine,
+    in_chs: Vec<ChannelId>,
+    out_q: OutputQueue,
+    kind: PoolKind,
+    kh: usize,
+    kw: usize,
+    fm: usize,
+    /// Initiation interval: interleaved channels per port (the core emits
+    /// one pooled value per channel per window).
+    ii: u64,
+    depth: u64,
+    out_per_port: usize,
+    next_initiation: u64,
+    window_buf: Vec<f32>,
+    chan_buf: Vec<f32>,
+    out_buf: Vec<f32>,
+    inits: u64,
+}
+
+impl PoolCore {
+    /// Build the pooling bank from the reference layer and port config.
+    pub fn new(
+        name: impl Into<String>,
+        pool: &Pool2d,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+        ops: &OpLatency,
+    ) -> Self {
+        let geo = *pool.geometry();
+        let fm = geo.input.c;
+        let in_ports = in_chs.len();
+        let out_ports = out_chs.len();
+        assert_eq!(fm % out_ports, 0, "OUT_PORTS must divide channel count");
+        let engine = WindowEngine::new(geo, in_ports);
+        let win = geo.kh * geo.kw;
+        // comparator tree for max, adder tree + scale for mean
+        let depth = match pool.kind() {
+            PoolKind::Max => TreeAdder::new(win).depth() as u64 * ops.cmp as u64,
+            PoolKind::Mean => TreeAdder::new(win).latency(ops) as u64 + ops.mul as u64,
+        }
+        .max(1);
+        let ii = fm.div_ceil(out_ports).max(fm.div_ceil(in_ports)) as u64;
+        PoolCore {
+            name: name.into(),
+            engine,
+            in_chs,
+            out_q: OutputQueue::new(out_chs),
+            kind: pool.kind(),
+            kh: geo.kh,
+            kw: geo.kw,
+            fm,
+            ii,
+            depth,
+            out_per_port: fm / out_ports,
+            next_initiation: 0,
+            window_buf: vec![0.0; geo.window_volume()],
+            chan_buf: vec![0.0; win],
+            out_buf: vec![0.0; fm],
+            inits: 0,
+        }
+    }
+
+    /// The initiation interval of the bank.
+    pub fn ii(&self) -> u64 {
+        self.ii
+    }
+}
+
+impl Actor for PoolCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
+        if self.out_q.drain(cycle, chans) > 0 {
+            trace.record(cycle, &self.name, EventKind::Emit);
+        }
+        for (p, &ch) in self.in_chs.iter().enumerate() {
+            if self.engine.can_accept(p) && chans.peek(ch).is_some() {
+                let v = chans.pop(ch).unwrap();
+                self.engine.accept(p, v);
+            }
+        }
+        if cycle >= self.next_initiation
+            && self.engine.window_ready()
+            && self.out_q.stalled_backlog(cycle) <= self.out_per_port
+        {
+            self.engine.extract(&mut self.window_buf);
+            // pool each channel independently
+            for f in 0..self.fm {
+                let base = f * self.kh * self.kw;
+                self.chan_buf
+                    .copy_from_slice(&self.window_buf[base..base + self.kh * self.kw]);
+                self.out_buf[f] = pool_window(self.kind, &self.chan_buf);
+            }
+            self.out_q.schedule(cycle + self.depth, &self.out_buf);
+            self.next_initiation = cycle + self.ii;
+            self.inits += 1;
+            trace.record(cycle, &self.name, EventKind::Initiate);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.out_q.is_empty() || self.engine.window_ready()
+    }
+
+    fn initiations(&self) -> u64 {
+        self.inits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::pool_forward_hw;
+    use dfcnn_tensor::{ConvGeometry, Shape3, Tensor3};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_core(
+        pool: &Pool2d,
+        in_ports: usize,
+        out_ports: usize,
+        img: &Tensor3<f32>,
+    ) -> Tensor3<f32> {
+        let mut chans = ChannelSet::new();
+        let ins: Vec<_> = (0..in_ports).map(|_| chans.alloc(8)).collect();
+        let outs: Vec<_> = (0..out_ports).map(|_| chans.alloc(8)).collect();
+        let ops = OpLatency::f32_virtex7();
+        let mut core = PoolCore::new("pool", pool, ins.clone(), outs.clone(), &ops);
+        let fm = pool.geometry().input.c;
+        let mut streams: Vec<Vec<f32>> = vec![Vec::new(); in_ports];
+        for v in img.as_slice().chunks(fm) {
+            for (f, &x) in v.iter().enumerate() {
+                streams[f % in_ports].push(x);
+            }
+        }
+        let mut cursors = vec![0usize; in_ports];
+        let out_shape = pool.output_shape();
+        let mut collected = Vec::with_capacity(out_shape.len());
+        let mut trace = Trace::disabled();
+        let mut cycle = 0u64;
+        let mut next_fm = 0usize;
+        while collected.len() < out_shape.len() {
+            for p in 0..in_ports {
+                if cursors[p] < streams[p].len() && chans.can_push(ins[p]) {
+                    chans.push(ins[p], streams[p][cursors[p]]);
+                    cursors[p] += 1;
+                }
+            }
+            core.tick(cycle, &mut chans, &mut trace);
+            loop {
+                let port = outs[next_fm % out_ports];
+                if let Some(v) = chans.pop(port) {
+                    collected.push(v);
+                    next_fm = (next_fm + 1) % fm;
+                } else {
+                    break;
+                }
+            }
+            chans.commit_all();
+            cycle += 1;
+            assert!(cycle < 1_000_000, "pool core made no progress");
+        }
+        Tensor3::from_vec(out_shape, collected)
+    }
+
+    fn random_img(seed: u64, shape: Shape3) -> Tensor3<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        dfcnn_tensor::init::random_volume(&mut rng, shape, -1.0, 1.0)
+    }
+
+    #[test]
+    fn maxpool_single_port_matches_kernel() {
+        let geo = ConvGeometry::new(Shape3::new(6, 6, 3), 2, 2, 2, 0);
+        let pool = Pool2d::new(geo, PoolKind::Max);
+        let img = random_img(1, geo.input);
+        assert_eq!(run_core(&pool, 1, 1, &img), pool_forward_hw(&pool, &img));
+    }
+
+    #[test]
+    fn maxpool_parallel_ports_match() {
+        // the paper's TC1 configuration: one pool core per port
+        let geo = ConvGeometry::new(Shape3::new(12, 12, 6), 2, 2, 2, 0);
+        let pool = Pool2d::new(geo, PoolKind::Max);
+        let img = random_img(2, geo.input);
+        assert_eq!(run_core(&pool, 6, 6, &img), pool_forward_hw(&pool, &img));
+    }
+
+    #[test]
+    fn meanpool_matches() {
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 2), 2, 2, 2, 0);
+        let pool = Pool2d::new(geo, PoolKind::Mean);
+        let img = random_img(3, geo.input);
+        assert_eq!(run_core(&pool, 2, 2, &img), pool_forward_hw(&pool, &img));
+    }
+
+    #[test]
+    fn port_reduction_matches() {
+        // 4 channels in on 4 ports, out on 2 ports
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 4), 2, 2, 2, 0);
+        let pool = Pool2d::new(geo, PoolKind::Max);
+        let img = random_img(4, geo.input);
+        assert_eq!(run_core(&pool, 4, 2, &img), pool_forward_hw(&pool, &img));
+    }
+
+    #[test]
+    fn fully_parallel_pool_ii_is_one() {
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 6), 2, 2, 2, 0);
+        let pool = Pool2d::new(geo, PoolKind::Max);
+        let mut chans = ChannelSet::new();
+        let ins: Vec<_> = (0..6).map(|_| chans.alloc(4)).collect();
+        let outs: Vec<_> = (0..6).map(|_| chans.alloc(4)).collect();
+        let core = PoolCore::new("p", &pool, ins, outs, &OpLatency::f32_virtex7());
+        assert_eq!(core.ii(), 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! The cycle-level execution engine.
+//!
+//! Every hardware entity (DMA source, port adapters, layer cores, score
+//! sink) is an [`Actor`] ticked once per simulated 100 MHz cycle against a
+//! shared [`ChannelSet`]. Channels are two-phase (see [`crate::stream`]),
+//! so intra-cycle evaluation order does not matter and each FIFO hop costs
+//! one cycle, like registered hardware.
+//!
+//! The engine is what regenerates **Fig. 6**: stream a batch of images in
+//! through the DMA model, record the cycle at which each image's scores
+//! leave the sink, and divide. It also doubles as the functional oracle:
+//! all values are computed with the [`crate::kernel`] hardware-order
+//! numerics.
+
+use crate::stream::{ChannelSet, FifoStats};
+use crate::trace::{Event, EventKind, Trace};
+
+/// A hardware entity stepped once per cycle.
+pub trait Actor {
+    /// Stable display name (used in traces and occupancy reports).
+    fn name(&self) -> &str;
+
+    /// Advance one cycle: pop/push on `chans`, update internal state.
+    /// `trace` may be a no-op sink.
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace);
+
+    /// Whether the actor still holds work in flight (pending pipeline
+    /// stages, buffered windows, unemitted values). Used for completion
+    /// and deadlock detection together with channel occupancy.
+    fn busy(&self) -> bool;
+
+    /// Number of initiations performed (compute cores) or values moved
+    /// (adapters/endpoints) — the utilisation statistic.
+    fn initiations(&self) -> u64;
+}
+
+/// Per-actor utilisation after a run.
+#[derive(Clone, Debug)]
+pub struct ActorStats {
+    /// Actor name.
+    pub name: String,
+    /// Initiations performed.
+    pub initiations: u64,
+}
+
+/// Result of simulating one batch.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Cycle at which each image's last output value was collected.
+    pub completions: Vec<u64>,
+    /// The collected class scores per image (pre-normalisation, as the
+    /// hardware emits them).
+    pub outputs: Vec<Vec<f32>>,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Per-actor utilisation.
+    pub actor_stats: Vec<ActorStats>,
+    /// Per-channel FIFO statistics.
+    pub fifo_stats: Vec<FifoStats>,
+}
+
+impl SimResult {
+    /// Convert into the host-side measurement record at the given clock.
+    pub fn measurement(&self, clock_hz: u64) -> dfcnn_fpga::host::BatchMeasurement {
+        dfcnn_fpga::host::BatchMeasurement::new(self.completions.clone(), clock_hz)
+    }
+}
+
+/// The synchronous dataflow simulator.
+pub struct Simulator {
+    actors: Vec<Box<dyn Actor>>,
+    channels: ChannelSet,
+    /// Index of the sink actor (checked for completion).
+    expected_images: usize,
+    /// Shared handle the sink writes into.
+    sink_state: std::rc::Rc<std::cell::RefCell<crate::endpoints::SinkState>>,
+    trace: Trace,
+}
+
+impl Simulator {
+    /// Assemble a simulator from parts (normally done by
+    /// [`crate::graph::NetworkDesign::instantiate`]).
+    pub fn new(
+        actors: Vec<Box<dyn Actor>>,
+        channels: ChannelSet,
+        expected_images: usize,
+        sink_state: std::rc::Rc<std::cell::RefCell<crate::endpoints::SinkState>>,
+    ) -> Self {
+        Simulator {
+            actors,
+            channels,
+            expected_images,
+            sink_state,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Enable event tracing (records every initiation/emission).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// Run to completion and return the measurements.
+    ///
+    /// # Panics
+    /// If the design deadlocks (no channel activity, no busy progress, and
+    /// the expected image count not yet collected) — with a diagnostic of
+    /// which actors were still busy.
+    pub fn run(mut self) -> (SimResult, Trace) {
+        let mut cycle: u64 = 0;
+        let mut last_activity_cycle: u64 = 0;
+        let mut last_activity = 0u64;
+        // generous stall bound: deeper than any pipeline in the designs
+        const STALL_LIMIT: u64 = 100_000;
+        loop {
+            for a in self.actors.iter_mut() {
+                a.tick(cycle, &mut self.channels, &mut self.trace);
+            }
+            self.channels.commit_all();
+            cycle += 1;
+
+            let done = self.sink_state.borrow().completions.len() >= self.expected_images;
+            if done {
+                break;
+            }
+            let act = self.channels.activity();
+            if act != last_activity {
+                last_activity = act;
+                last_activity_cycle = cycle;
+            } else if cycle - last_activity_cycle > STALL_LIMIT {
+                let busy: Vec<&str> = self
+                    .actors
+                    .iter()
+                    .filter(|a| a.busy())
+                    .map(|a| a.name())
+                    .collect();
+                panic!(
+                    "dataflow deadlock at cycle {cycle}: {} of {} images collected, \
+                     no channel activity for {STALL_LIMIT} cycles; busy actors: {busy:?}",
+                    self.sink_state.borrow().completions.len(),
+                    self.expected_images
+                );
+            }
+        }
+        let sink = self.sink_state.borrow();
+        let result = SimResult {
+            completions: sink.completions.clone(),
+            outputs: sink.outputs.clone(),
+            cycles: cycle,
+            actor_stats: self
+                .actors
+                .iter()
+                .map(|a| ActorStats {
+                    name: a.name().to_string(),
+                    initiations: a.initiations(),
+                })
+                .collect(),
+            fifo_stats: self.channels.all_stats(),
+        };
+        let mut trace = std::mem::replace(&mut self.trace, Trace::disabled());
+        trace.push(Event {
+            cycle,
+            actor: "engine".to_string(),
+            kind: EventKind::Done,
+        });
+        (result, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::SinkState;
+    use crate::stream::ChannelId;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Emits `count` increasing values, one per cycle, on its channel.
+    struct TestSource {
+        ch: ChannelId,
+        next: u64,
+        count: u64,
+    }
+    impl Actor for TestSource {
+        fn name(&self) -> &str {
+            "test-source"
+        }
+        fn tick(&mut self, _cycle: u64, chans: &mut ChannelSet, _t: &mut Trace) {
+            if self.next < self.count && chans.can_push(self.ch) {
+                chans.push(self.ch, self.next as f32);
+                self.next += 1;
+            }
+        }
+        fn busy(&self) -> bool {
+            self.next < self.count
+        }
+        fn initiations(&self) -> u64 {
+            self.next
+        }
+    }
+
+    /// Doubles each value with a fixed pipeline delay.
+    struct Doubler {
+        inp: ChannelId,
+        out: ChannelId,
+        pipe: std::collections::VecDeque<(u64, f32)>,
+        delay: u64,
+        inits: u64,
+    }
+    impl Actor for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, _t: &mut Trace) {
+            if let Some(&(ready, v)) = self.pipe.front() {
+                if cycle >= ready && chans.can_push(self.out) {
+                    chans.push(self.out, v);
+                    self.pipe.pop_front();
+                }
+            }
+            if self.pipe.len() < 4 {
+                if let Some(v) = chans.pop(self.inp) {
+                    self.pipe.push_back((cycle + self.delay, v * 2.0));
+                    self.inits += 1;
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            !self.pipe.is_empty()
+        }
+        fn initiations(&self) -> u64 {
+            self.inits
+        }
+    }
+
+    /// Collects `per_image` values per "image" into the sink state.
+    struct TestSink {
+        inp: ChannelId,
+        state: Rc<RefCell<SinkState>>,
+        per_image: usize,
+        current: Vec<f32>,
+    }
+    impl Actor for TestSink {
+        fn name(&self) -> &str {
+            "test-sink"
+        }
+        fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, _t: &mut Trace) {
+            if let Some(v) = chans.pop(self.inp) {
+                self.current.push(v);
+                if self.current.len() == self.per_image {
+                    let mut s = self.state.borrow_mut();
+                    s.outputs.push(std::mem::take(&mut self.current));
+                    s.completions.push(cycle);
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            !self.current.is_empty()
+        }
+        fn initiations(&self) -> u64 {
+            0
+        }
+    }
+
+    fn pipeline(count: u64, per_image: usize, delay: u64) -> (SimResult, Trace) {
+        let mut chans = ChannelSet::new();
+        let a = chans.alloc(4);
+        let b = chans.alloc(4);
+        let state = Rc::new(RefCell::new(SinkState::default()));
+        let actors: Vec<Box<dyn Actor>> = vec![
+            Box::new(TestSource {
+                ch: a,
+                next: 0,
+                count,
+            }),
+            Box::new(Doubler {
+                inp: a,
+                out: b,
+                pipe: Default::default(),
+                delay,
+                inits: 0,
+            }),
+            Box::new(TestSink {
+                inp: b,
+                state: state.clone(),
+                per_image,
+                current: Vec::new(),
+            }),
+        ];
+        Simulator::new(actors, chans, count as usize / per_image, state).run()
+    }
+
+    #[test]
+    fn values_flow_and_double() {
+        let (res, _) = pipeline(8, 2, 0);
+        assert_eq!(res.completions.len(), 4);
+        assert_eq!(res.outputs[0], vec![0.0, 2.0]);
+        assert_eq!(res.outputs[3], vec![12.0, 14.0]);
+    }
+
+    #[test]
+    fn pipeline_delay_shifts_completions() {
+        let (fast, _) = pipeline(4, 2, 0);
+        let (slow, _) = pipeline(4, 2, 20);
+        assert!(slow.completions[0] > fast.completions[0] + 15);
+        // steady-state throughput unchanged (pipelined delay, not II)
+        let gap_fast = fast.completions[1] - fast.completions[0];
+        let gap_slow = slow.completions[1] - slow.completions[0];
+        assert_eq!(gap_fast, gap_slow);
+    }
+
+    #[test]
+    fn completions_monotone() {
+        let (res, _) = pipeline(20, 2, 3);
+        assert!(res.completions.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (res, _) = pipeline(8, 2, 1);
+        assert_eq!(res.actor_stats.len(), 3);
+        assert_eq!(res.actor_stats[1].initiations, 8);
+        assert_eq!(res.fifo_stats.len(), 2);
+        assert_eq!(res.fifo_stats[0].pushes, 8);
+    }
+
+    #[test]
+    fn measurement_roundtrip() {
+        let (res, _) = pipeline(8, 2, 0);
+        let m = res.measurement(100_000_000);
+        assert_eq!(m.batch, 4);
+    }
+}

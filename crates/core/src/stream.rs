@@ -1,0 +1,286 @@
+//! FIFO channels with registered (two-phase) semantics.
+//!
+//! Every edge of the dataflow graph is a [`Fifo`]: bounded, in-order, with
+//! the valid/ready backpressure of an AXI4-Stream link. The simulator runs
+//! synchronously, so the FIFO is *two-phase*: values pushed during a cycle
+//! are staged and only become visible to consumers at the cycle boundary
+//! ([`Fifo::commit`]) — exactly the one-cycle-per-hop behaviour of a
+//! registered hardware FIFO, and the property that prevents a value from
+//! traversing the whole pipeline combinationally inside a single simulated
+//! cycle.
+
+/// Identifier of a channel inside a [`ChannelSet`].
+pub type ChannelId = usize;
+
+/// Occupancy and traffic statistics for one FIFO.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Total values pushed over the run.
+    pub pushes: u64,
+    /// Total values popped over the run.
+    pub pops: u64,
+    /// High-water mark of committed occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A bounded, two-phase FIFO of 32-bit values.
+///
+/// ```
+/// use dfcnn_core::stream::Fifo;
+/// let mut f = Fifo::new(4);
+/// f.push(1.0);
+/// assert_eq!(f.pop(), None);       // staged: invisible this cycle
+/// f.commit();                      // cycle boundary
+/// assert_eq!(f.pop(), Some(1.0));  // one cycle per hop, like hardware
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fifo {
+    buf: std::collections::VecDeque<f32>,
+    staged: Vec<f32>,
+    capacity: usize,
+    stats: FifoStats,
+}
+
+impl Fifo {
+    /// Create a FIFO with the given capacity (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "FIFO capacity must be at least 1");
+        Fifo {
+            buf: std::collections::VecDeque::with_capacity(capacity),
+            staged: Vec::new(),
+            capacity,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// Capacity in values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Committed occupancy (visible to consumers this cycle).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no committed values are available.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether a push is currently allowed (committed + staged < capacity).
+    pub fn can_push(&self) -> bool {
+        self.buf.len() + self.staged.len() < self.capacity
+    }
+
+    /// Stage one value for the next cycle.
+    ///
+    /// # Panics
+    /// If the FIFO is full — producers must check [`Fifo::can_push`]; a
+    /// hardware FIFO would have deasserted `ready`.
+    pub fn push(&mut self, v: f32) {
+        assert!(self.can_push(), "push into full FIFO");
+        self.staged.push(v);
+        self.stats.pushes += 1;
+    }
+
+    /// The value a pop would return, if any.
+    pub fn peek(&self) -> Option<f32> {
+        self.buf.front().copied()
+    }
+
+    /// Pop the oldest committed value.
+    pub fn pop(&mut self) -> Option<f32> {
+        let v = self.buf.pop_front();
+        if v.is_some() {
+            self.stats.pops += 1;
+        }
+        v
+    }
+
+    /// Cycle boundary: staged values become visible.
+    pub fn commit(&mut self) {
+        self.buf.extend(self.staged.drain(..));
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.buf.len());
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// Values in flight (committed + staged) — used by done-detection.
+    pub fn total_in_flight(&self) -> usize {
+        self.buf.len() + self.staged.len()
+    }
+}
+
+/// All channels of a design, indexed by [`ChannelId`].
+#[derive(Clone, Debug, Default)]
+pub struct ChannelSet {
+    fifos: Vec<Fifo>,
+    activity: u64,
+}
+
+impl ChannelSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new channel; returns its id.
+    pub fn alloc(&mut self, capacity: usize) -> ChannelId {
+        self.fifos.push(Fifo::new(capacity));
+        self.fifos.len() - 1
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Whether the set holds no channels.
+    pub fn is_empty(&self) -> bool {
+        self.fifos.is_empty()
+    }
+
+    /// Immutable access to a channel.
+    pub fn get(&self, id: ChannelId) -> &Fifo {
+        &self.fifos[id]
+    }
+
+    /// Whether channel `id` can accept a push this cycle.
+    pub fn can_push(&self, id: ChannelId) -> bool {
+        self.fifos[id].can_push()
+    }
+
+    /// Push to channel `id` (counts as activity).
+    pub fn push(&mut self, id: ChannelId, v: f32) {
+        self.fifos[id].push(v);
+        self.activity += 1;
+    }
+
+    /// Peek channel `id`.
+    pub fn peek(&self, id: ChannelId) -> Option<f32> {
+        self.fifos[id].peek()
+    }
+
+    /// Pop from channel `id` (counts as activity).
+    pub fn pop(&mut self, id: ChannelId) -> Option<f32> {
+        let v = self.fifos[id].pop();
+        if v.is_some() {
+            self.activity += 1;
+        }
+        v
+    }
+
+    /// Commit every channel (cycle boundary).
+    pub fn commit_all(&mut self) {
+        for f in &mut self.fifos {
+            f.commit();
+        }
+    }
+
+    /// Total pushes+pops since construction — the progress signal used by
+    /// deadlock detection.
+    pub fn activity(&self) -> u64 {
+        self.activity
+    }
+
+    /// Total values in flight across all channels.
+    pub fn total_in_flight(&self) -> usize {
+        self.fifos.iter().map(|f| f.total_in_flight()).sum()
+    }
+
+    /// Statistics for every channel.
+    pub fn all_stats(&self) -> Vec<FifoStats> {
+        self.fifos.iter().map(|f| f.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_invisible_until_commit() {
+        let mut f = Fifo::new(4);
+        f.push(1.0);
+        assert!(f.is_empty(), "staged value must not be visible");
+        assert_eq!(f.pop(), None);
+        f.commit();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(1.0));
+    }
+
+    #[test]
+    fn capacity_counts_staged() {
+        let mut f = Fifo::new(2);
+        f.push(1.0);
+        f.push(2.0);
+        assert!(!f.can_push(), "staged values must consume capacity");
+        f.commit();
+        assert!(!f.can_push());
+        f.pop();
+        assert!(f.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "full FIFO")]
+    fn overfull_push_panics() {
+        let mut f = Fifo::new(1);
+        f.push(1.0);
+        f.push(2.0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i as f32);
+        }
+        f.commit();
+        for i in 0..5 {
+            assert_eq!(f.pop(), Some(i as f32));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let mut f = Fifo::new(4);
+        f.push(1.0);
+        f.push(2.0);
+        f.commit();
+        f.pop();
+        let s = f.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.max_occupancy, 2);
+    }
+
+    #[test]
+    fn channel_set_round_trip() {
+        let mut cs = ChannelSet::new();
+        let a = cs.alloc(2);
+        let b = cs.alloc(2);
+        cs.push(a, 10.0);
+        cs.push(b, 20.0);
+        assert_eq!(cs.peek(a), None);
+        cs.commit_all();
+        assert_eq!(cs.peek(a), Some(10.0));
+        assert_eq!(cs.pop(b), Some(20.0));
+        assert_eq!(cs.activity(), 3); // 2 pushes + 1 pop
+        assert_eq!(cs.total_in_flight(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7.0);
+        f.commit();
+        assert_eq!(f.peek(), Some(7.0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(7.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Event tracing — a lightweight waveform substitute.
+//!
+//! When enabled, actors record initiations, emissions and stalls; the
+//! resulting log can be dumped as CSV for offline inspection (stage
+//! occupancy over time, pipeline fill/drain behaviour — the kind of
+//! insight an FPGA engineer would pull from an ILA capture).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A compute core started a new window position / input element.
+    Initiate,
+    /// A value left an output port.
+    Emit,
+    /// An image's final value was collected.
+    ImageDone,
+    /// The whole run finished.
+    Done,
+}
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// Actor name.
+    pub actor: String,
+    /// Event kind.
+    pub kind: EventKind,
+}
+
+/// An event log; a disabled trace discards everything at negligible cost.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// A trace that discards all events.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recording trace.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Record an event built lazily (avoids the `String` allocation when
+    /// disabled — the hot-path variant for actors).
+    #[inline]
+    pub fn record(&mut self, cycle: u64, actor: &str, kind: EventKind) {
+        if self.enabled {
+            self.events.push(Event {
+                cycle,
+                actor: actor.to_string(),
+                kind,
+            });
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of one actor.
+    pub fn for_actor<'a>(&'a self, actor: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.actor == actor)
+    }
+
+    /// Render as CSV (`cycle,actor,kind`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle,actor,kind\n");
+        for e in &self.events {
+            out.push_str(&format!("{},{},{:?}\n", e.cycle, e.actor, e.kind));
+        }
+        out
+    }
+
+    /// Initiation cycles of one actor — the raw series behind a stage
+    /// occupancy plot.
+    pub fn initiation_cycles(&self, actor: &str) -> Vec<u64> {
+        self.for_actor(actor)
+            .filter(|e| e.kind == EventKind::Initiate)
+            .map(|e| e.cycle)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_discards() {
+        let mut t = Trace::disabled();
+        t.record(1, "x", EventKind::Initiate);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(1, "a", EventKind::Initiate);
+        t.record(2, "b", EventKind::Emit);
+        t.record(3, "a", EventKind::Initiate);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.initiation_cycles("a"), vec![1, 3]);
+        assert_eq!(t.for_actor("b").count(), 1);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Trace::enabled();
+        t.record(5, "conv1", EventKind::Initiate);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("cycle,actor,kind\n"));
+        assert!(csv.contains("5,conv1,Initiate"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # dfcnn-datasets
+//!
+//! Synthetic, deterministic stand-ins for the paper's evaluation datasets.
+//!
+//! The paper trains and tests its two networks on **USPS** (16×16 grayscale
+//! handwritten digits from the U.S. Postal Service) and **CIFAR-10** (32×32
+//! RGB natural images). Neither dataset is redistributable inside this
+//! repository, and the paper's claims are about *throughput and latency of
+//! the dataflow architecture*, not about absolute accuracy — the accelerator
+//! computes the same function as the software network whatever the pixels
+//! are. We therefore substitute procedural generators that preserve what
+//! matters:
+//!
+//! - exact input shapes (`16×16×1` and `32×32×3`), value range `[0, 1]`,
+//!   10 classes each;
+//! - enough class structure that the reference trainer reaches high accuracy
+//!   (so "frozen weights" are meaningful, not noise);
+//! - full determinism from a `u64` seed (ChaCha8), so every experiment in
+//!   the repository is reproducible bit-for-bit.
+//!
+//! See DESIGN.md §2 for the substitution table.
+
+pub mod batch;
+pub mod cifar;
+pub mod usps;
+
+pub use batch::{Dataset, Split};
+pub use cifar::SyntheticCifar;
+pub use usps::SyntheticUsps;
+
+use dfcnn_tensor::Tensor3;
+
+/// A labelled image sample.
+pub type Sample = (Tensor3<f32>, usize);
+
+/// Common interface of the synthetic dataset generators.
+pub trait Generator {
+    /// Number of classes (10 for both paper datasets).
+    fn classes(&self) -> usize;
+    /// Shape of one image.
+    fn shape(&self) -> dfcnn_tensor::Shape3;
+    /// Generate `n` samples with labels cycling through the classes.
+    fn generate(&mut self, n: usize) -> Vec<Sample>;
+}

@@ -1,0 +1,83 @@
+//! AXI4-Stream modelling: the protocol every port in the design speaks
+//! ("all implemented using the Axi4Stream protocol", §IV-A).
+//!
+//! At the abstraction level of the cycle simulator an AXI4-Stream link is a
+//! 32-bit data beat with valid/ready handshaking and an optional `TLAST`
+//! marker; backpressure (ready deasserted) is what propagates stalls
+//! upstream through the dataflow pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// One beat on a 32-bit AXI4-Stream link.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Beat {
+    /// Payload (single-precision value in the paper's designs).
+    pub data: f32,
+    /// `TLAST`: marks the final beat of a packet (one image / one volume).
+    pub last: bool,
+}
+
+impl Beat {
+    /// A data beat.
+    pub fn new(data: f32) -> Self {
+        Beat { data, last: false }
+    }
+
+    /// A final beat of a packet.
+    pub fn last(data: f32) -> Self {
+        Beat { data, last: true }
+    }
+}
+
+/// Link width descriptor (the paper's datapath is 32-bit, §V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamWidth {
+    /// Width in bits.
+    pub bits: u32,
+}
+
+impl StreamWidth {
+    /// The paper's 32-bit datapath.
+    pub const W32: StreamWidth = StreamWidth { bits: 32 };
+
+    /// Bytes per beat.
+    pub fn bytes(&self) -> u32 {
+        self.bits / 8
+    }
+
+    /// Beats needed to move `n_bytes`.
+    pub fn beats_for(&self, n_bytes: u64) -> u64 {
+        n_bytes.div_ceil(self.bytes() as u64)
+    }
+
+    /// Peak bandwidth at the given clock in bytes/second.
+    pub fn peak_bandwidth(&self, clock_hz: u64) -> f64 {
+        clock_hz as f64 * self.bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_constructors() {
+        assert!(!Beat::new(1.0).last);
+        assert!(Beat::last(2.0).last);
+    }
+
+    #[test]
+    fn w32_geometry() {
+        assert_eq!(StreamWidth::W32.bytes(), 4);
+        assert_eq!(StreamWidth::W32.beats_for(1024), 256);
+        assert_eq!(StreamWidth::W32.beats_for(1026), 257);
+    }
+
+    #[test]
+    fn peak_bandwidth_at_100mhz() {
+        // 32-bit @ 100 MHz = 400 MB/s: exactly the paper's available
+        // bandwidth, i.e. the DMA can sustain one beat per cycle.
+        let bw = StreamWidth::W32.peak_bandwidth(100_000_000);
+        assert_eq!(bw, 400_000_000.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The measurement protocol of §V-A: a Microblaze softcore with an
+//! Axi-Timer stages image batches through the DMA and timestamps results.
+//!
+//! [`BatchMeasurement`] is the Rust-side record of one such run: per-image
+//! completion cycles, from which Fig. 6's *mean time per image* and
+//! Table II's latency/throughput columns are derived.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of running one batch through the accelerator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BatchMeasurement {
+    /// Batch size (number of images streamed back-to-back).
+    pub batch: usize,
+    /// Cycle at which each image's final output value left the accelerator,
+    /// in completion order.
+    pub completion_cycles: Vec<u64>,
+    /// Cycle at which the whole run finished (= last completion).
+    pub total_cycles: u64,
+    /// Core clock in Hz.
+    pub clock_hz: u64,
+}
+
+impl BatchMeasurement {
+    /// Construct from raw completion timestamps.
+    pub fn new(completion_cycles: Vec<u64>, clock_hz: u64) -> Self {
+        assert!(!completion_cycles.is_empty(), "no completions recorded");
+        assert!(
+            completion_cycles.windows(2).all(|w| w[0] <= w[1]),
+            "completions must be in non-decreasing order"
+        );
+        let total = *completion_cycles.last().unwrap();
+        BatchMeasurement {
+            batch: completion_cycles.len(),
+            completion_cycles,
+            total_cycles: total,
+            clock_hz,
+        }
+    }
+
+    /// Mean time per image in seconds — Fig. 6's y axis: total batch time
+    /// divided by batch size.
+    pub fn mean_time_per_image(&self) -> f64 {
+        self.total_cycles as f64 / self.clock_hz as f64 / self.batch as f64
+    }
+
+    /// Mean time per image in microseconds (the unit of Fig. 6's labels).
+    pub fn mean_time_per_image_us(&self) -> f64 {
+        self.mean_time_per_image() * 1e6
+    }
+
+    /// Latency of the first image (cycles to first completion) — Table II's
+    /// "Image Latency" column measures single-image latency, i.e. this
+    /// value at batch size 1.
+    pub fn first_image_latency(&self) -> f64 {
+        self.completion_cycles[0] as f64 / self.clock_hz as f64
+    }
+
+    /// Steady-state initiation interval between consecutive images, in
+    /// cycles (median of the completion gaps; 0 for a single image).
+    pub fn steady_interval_cycles(&self) -> u64 {
+        if self.batch < 2 {
+            return 0;
+        }
+        let mut gaps: Vec<u64> = self
+            .completion_cycles
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        gaps.sort_unstable();
+        gaps[gaps.len() / 2]
+    }
+
+    /// Sustained throughput in images per second over the batch.
+    pub fn images_per_second(&self) -> f64 {
+        1.0 / self.mean_time_per_image()
+    }
+
+    /// Sustained GFLOPS given the network's per-image FLOP count
+    /// (Table II's convention: "Performance measurements are done taking
+    /// into account also data transfers, as they are interleaved with
+    /// computation" — our total cycle count includes the DMA streaming, so
+    /// this matches).
+    pub fn gflops(&self, flops_per_image: u64) -> f64 {
+        flops_per_image as f64 * self.images_per_second() / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(completions: Vec<u64>) -> BatchMeasurement {
+        BatchMeasurement::new(completions, 100_000_000)
+    }
+
+    #[test]
+    fn mean_time_per_image() {
+        // 4 images, last completes at cycle 4000 @100 MHz -> 10 µs mean
+        let m = meas(vec![1000, 2000, 3000, 4000]);
+        assert!((m.mean_time_per_image_us() - 10.0).abs() < 1e-9);
+        assert_eq!(m.batch, 4);
+    }
+
+    #[test]
+    fn batching_amortises_latency() {
+        // pipeline: first image slow (fill), then one per 580 cycles
+        let single = meas(vec![2000]);
+        let batched = meas((0..50).map(|i| 2000 + i * 580).collect());
+        assert!(batched.mean_time_per_image() < single.mean_time_per_image());
+        assert_eq!(batched.steady_interval_cycles(), 580);
+    }
+
+    #[test]
+    fn throughput_inverse_of_mean_time() {
+        let m = meas(vec![500, 1000]);
+        assert!((m.images_per_second() - 1.0 / m.mean_time_per_image()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gflops_formula() {
+        // 1 image in 1 ms at 100 MHz = 100_000 cycles; 1 MFLOP/image ->
+        // 1 GFLOP/s
+        let m = meas(vec![100_000]);
+        assert!((m.gflops(1_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_image_latency_seconds() {
+        let m = meas(vec![580, 1160]);
+        assert!((m.first_image_latency() - 5.8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_completions_rejected() {
+        meas(vec![100, 50]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Table-I-style utilisation reporting.
+
+use crate::device::Device;
+use crate::resources::Resources;
+
+/// One named design's resource usage, ready for rendering.
+#[derive(Clone, Debug)]
+pub struct UtilisationRow {
+    /// Design name (e.g. "Test Case 1").
+    pub name: String,
+    /// Resources consumed.
+    pub used: Resources,
+}
+
+/// Render a Table-I-style utilisation table (percent of device capacity).
+pub fn utilisation_table(device: &Device, rows: &[UtilisationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FPGA resources usage on {} (percent of capacity)\n",
+        device.name
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}\n",
+        "", "Flip-Flops", "LUT", "BRAM", "DSP Slices"
+    ));
+    for row in rows {
+        let u = device.utilisation(&row.used);
+        out.push_str(&format!(
+            "{:<16} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%\n",
+            row.name,
+            u[0] * 100.0,
+            u[1] * 100.0,
+            u[2] * 100.0,
+            u[3] * 100.0
+        ));
+    }
+    out
+}
+
+/// Render absolute counts next to percentages (extended report).
+pub fn detailed_table(device: &Device, rows: &[UtilisationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Resource usage on {}\n", device.name));
+    for row in rows {
+        let u = device.utilisation(&row.used);
+        out.push_str(&format!(
+            "{}: FF {} ({:.2}%), LUT {} ({:.2}%), BRAM36 {} ({:.2}%), DSP {} ({:.2}%)",
+            row.name,
+            row.used.ff,
+            u[0] * 100.0,
+            row.used.lut,
+            u[1] * 100.0,
+            row.used.bram36(),
+            u[2] * 100.0,
+            row.used.dsp,
+            u[3] * 100.0
+        ));
+        let (binding, frac) = device.binding_constraint(&row.used);
+        out.push_str(&format!(
+            "  [binding: {} at {:.2}%, fits: {}]\n",
+            binding,
+            frac * 100.0,
+            device.fits(&row.used)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_percentages() {
+        let d = Device::xc7vx485t();
+        let rows = vec![UtilisationRow {
+            name: "Test Case 1".into(),
+            used: Resources {
+                ff: 249_559,
+                lut: 154_411,
+                bram18: 72,
+                dsp: 1541,
+            },
+        }];
+        let t = utilisation_table(&d, &rows);
+        assert!(t.contains("Test Case 1"));
+        assert!(t.contains("41.10%"), "table was:\n{t}");
+        assert!(t.contains("55.04%"), "table was:\n{t}");
+    }
+
+    #[test]
+    fn detailed_table_reports_fit_and_binding() {
+        let d = Device::xc7vx485t();
+        let rows = vec![UtilisationRow {
+            name: "X".into(),
+            used: Resources {
+                ff: 1,
+                lut: 1,
+                bram18: 1,
+                dsp: 2799,
+            },
+        }];
+        let t = detailed_table(&d, &rows);
+        assert!(t.contains("binding: DSP"));
+        assert!(t.contains("fits: true"));
+    }
+}

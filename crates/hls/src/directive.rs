@@ -1,0 +1,116 @@
+//! Typed HLS directives.
+//!
+//! The paper drives Vivado HLS with three directives: `PIPELINE` (with the
+//! Eq. 4 initiation interval) "applied to all the internal loops, including
+//! also the input/output operations" (§IV-A), partial `UNROLL` (the FC
+//! accumulator interleave, §IV-B) and complete `ARRAY_PARTITION` (the
+//! window buffer is "completely partitioned"). These types are carried in
+//! the core configurations so the resource estimator and the simulator can
+//! see which optimisation was requested — the same role the TCL directives
+//! play for the real tool.
+
+use serde::{Deserialize, Serialize};
+
+/// `#pragma HLS PIPELINE II=<n>`
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineDirective {
+    /// Requested initiation interval (Eq. 4 for compute cores).
+    pub ii: u32,
+}
+
+impl PipelineDirective {
+    /// A pipeline with the given initiation interval.
+    pub fn with_ii(ii: u32) -> Self {
+        assert!(ii >= 1, "initiation interval must be at least 1");
+        PipelineDirective { ii }
+    }
+
+    /// Fully-pipelined (`II = 1`).
+    pub fn full() -> Self {
+        Self::with_ii(1)
+    }
+}
+
+/// `#pragma HLS UNROLL factor=<n>` — partial loop unrolling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Unroll {
+    /// Unroll factor (1 = no unrolling).
+    pub factor: u32,
+}
+
+impl Unroll {
+    /// Unroll by `factor`.
+    pub fn by(factor: u32) -> Self {
+        assert!(factor >= 1, "unroll factor must be at least 1");
+        Unroll { factor }
+    }
+
+    /// No unrolling.
+    pub fn none() -> Self {
+        Self::by(1)
+    }
+}
+
+/// `#pragma HLS ARRAY_PARTITION` — how a buffer is split across registers
+/// or BRAM banks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ArrayPartition {
+    /// Keep in a single BRAM.
+    #[default]
+    None,
+    /// Split into `n` banks, cyclically.
+    Cyclic(u32),
+    /// Split into `n` contiguous banks.
+    Block(u32),
+    /// Fully partition into registers — the paper's choice for the window
+    /// buffer ("copied on a completely partitioned buffer").
+    Complete,
+}
+
+impl ArrayPartition {
+    /// Number of independently-addressable banks an array of `len` elements
+    /// ends up in (registers count as one bank each).
+    pub fn banks(&self, len: usize) -> usize {
+        match self {
+            ArrayPartition::None => 1,
+            ArrayPartition::Cyclic(n) | ArrayPartition::Block(n) => (*n as usize).min(len).max(1),
+            ArrayPartition::Complete => len.max(1),
+        }
+    }
+
+    /// Whether the array is held entirely in flip-flops (no BRAM).
+    pub fn is_registers(&self) -> bool {
+        matches!(self, ArrayPartition::Complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_full_has_ii_1() {
+        assert_eq!(PipelineDirective::full().ii, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ii_rejected() {
+        PipelineDirective::with_ii(0);
+    }
+
+    #[test]
+    fn partition_banks() {
+        assert_eq!(ArrayPartition::None.banks(100), 1);
+        assert_eq!(ArrayPartition::Cyclic(4).banks(100), 4);
+        assert_eq!(ArrayPartition::Block(8).banks(3), 3); // clamped to len
+        assert_eq!(ArrayPartition::Complete.banks(25), 25);
+        assert!(ArrayPartition::Complete.is_registers());
+        assert!(!ArrayPartition::Cyclic(2).is_registers());
+    }
+
+    #[test]
+    fn unroll_none_is_factor_1() {
+        assert_eq!(Unroll::none().factor, 1);
+    }
+}

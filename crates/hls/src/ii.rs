@@ -1,0 +1,115 @@
+//! The paper's initiation-interval rule (Eq. 4).
+//!
+//! The PIPELINE directive on the compute core's coordinate loop carries an
+//! explicit initiation interval:
+//!
+//! ```text
+//! Pipeline II = max(OUT_FM / OUT_PORTS, IN_FM / IN_PORTS)      (Eq. 4)
+//! ```
+//!
+//! Intuition: per window position, the core must *read* `IN_FM / IN_PORTS`
+//! interleaved windows from each input port and *write* `OUT_FM / OUT_PORTS`
+//! interleaved results to each output port; whichever takes longer bounds
+//! how often a new window position can start. "This additional parameter is
+//! then used by the HLS tool to infer the level of parallelism to apply"
+//! (§IV-A) — a fully parallel layer (ports == FMs) gets `II = 1`.
+
+/// Ceiling division (the port counts need not divide the FM counts evenly;
+/// the hardware then pads the interleave schedule to the next full cycle).
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    assert!(b > 0, "division by zero");
+    a.div_ceil(b)
+}
+
+/// Eq. 4: initiation interval of a layer's coordinate loop.
+///
+/// ```
+/// use dfcnn_hls::ii::pipeline_ii;
+/// // paper test case 1, conv2: 6 input FMs on 6 ports, 16 output FMs on 1
+/// assert_eq!(pipeline_ii(6, 6, 16, 1), 16);
+/// // fully parallel: a new window position every cycle
+/// assert_eq!(pipeline_ii(6, 6, 16, 16), 1);
+/// ```
+///
+/// # Panics
+/// If any argument is zero, or if ports exceed feature maps (a port with
+/// no feature map to carry is a configuration error, caught at graph
+/// construction).
+pub fn pipeline_ii(in_fm: usize, in_ports: usize, out_fm: usize, out_ports: usize) -> usize {
+    assert!(
+        in_fm > 0 && out_fm > 0,
+        "feature map counts must be non-zero"
+    );
+    assert!(
+        in_ports > 0 && out_ports > 0,
+        "port counts must be non-zero"
+    );
+    assert!(
+        in_ports <= in_fm,
+        "IN_PORTS {in_ports} exceeds IN_FM {in_fm}"
+    );
+    assert!(
+        out_ports <= out_fm,
+        "OUT_PORTS {out_ports} exceeds OUT_FM {out_fm}"
+    );
+    div_ceil(out_fm, out_ports).max(div_ceil(in_fm, in_ports))
+}
+
+/// All port counts that evenly divide a feature-map count — the natural
+/// design points the DSE explores (uneven counts waste interleave slots).
+pub fn divisor_port_options(fm: usize) -> Vec<usize> {
+    (1..=fm).filter(|p| fm.is_multiple_of(*p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_parallel_layer_has_ii_1() {
+        // TC1 conv1: 1 input FM on 1 port, 6 output FMs on 6 ports
+        assert_eq!(pipeline_ii(1, 1, 6, 6), 1);
+    }
+
+    #[test]
+    fn tc1_conv2_ii_is_16() {
+        // TC1 conv2: 6 input FMs on 6 ports, 16 output FMs on 1 port
+        assert_eq!(pipeline_ii(6, 6, 16, 1), 16);
+    }
+
+    #[test]
+    fn tc2_conv_layers() {
+        // TC2 conv1: 3 in / 1 port, 12 out / 1 port -> II = 12
+        assert_eq!(pipeline_ii(3, 1, 12, 1), 12);
+        // TC2 conv2: 12 in / 1 port, 36 out / 1 port -> II = 36
+        assert_eq!(pipeline_ii(12, 1, 36, 1), 36);
+    }
+
+    #[test]
+    fn input_side_can_dominate() {
+        assert_eq!(pipeline_ii(32, 1, 4, 1), 32);
+    }
+
+    #[test]
+    fn uneven_division_rounds_up() {
+        assert_eq!(pipeline_ii(5, 2, 3, 2), 3); // ceil(5/2)=3 > ceil(3/2)=2
+    }
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisor_port_options(12), vec![1, 2, 3, 4, 6, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn ports_above_fms_rejected() {
+        pipeline_ii(2, 4, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ports_rejected() {
+        pipeline_ii(2, 0, 4, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Operator latency table for a Virtex-7 datapath at 100 MHz.
+//!
+//! The paper pins exactly one number: the single-precision floating-point
+//! accumulation latency, "e.g. 11 clock cycles for floats" (§IV-B). The
+//! remaining values are representative of Xilinx floating-point operator
+//! cores at 100 MHz on Virtex-7 (fully pipelined: one new input per cycle,
+//! result after `latency` cycles) and of LUT/carry-chain integer datapaths.
+//! They parameterise the cycle simulator; the architectural conclusions are
+//! insensitive to their exact values because every core is fully pipelined.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency (in cycles) and initiation interval of the scalar operators the
+/// compute cores instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLatency {
+    /// Floating-point (or fixed-point) adder latency in cycles.
+    pub add: u32,
+    /// Multiplier latency in cycles.
+    pub mul: u32,
+    /// Comparator (max) latency in cycles, used by max-pooling cores.
+    pub cmp: u32,
+    /// Latency of the element-wise activation unit.
+    pub activation: u32,
+}
+
+impl OpLatency {
+    /// Single-precision floating point on Virtex-7 @ 100 MHz.
+    ///
+    /// `add = 11` is the paper's own number; `mul = 8` is the typical
+    /// full-pipeline FP multiplier depth at this clock; comparisons and
+    /// activations (piecewise/LUT-based) are short.
+    pub const fn f32_virtex7() -> Self {
+        OpLatency {
+            add: 11,
+            mul: 8,
+            cmp: 2,
+            activation: 4,
+        }
+    }
+
+    /// Fixed-point / integer datapath: single-cycle add and compare, a
+    /// 3-stage DSP48 multiply. This is the regime where the paper notes the
+    /// accumulation-latency issue "does not arise".
+    pub const fn fixed_point() -> Self {
+        OpLatency {
+            add: 1,
+            mul: 3,
+            cmp: 1,
+            activation: 1,
+        }
+    }
+
+    /// Latency of one multiply-accumulate chain stage (`mul` then `add`).
+    pub const fn mac(&self) -> u32 {
+        self.add + self.mul
+    }
+}
+
+impl Default for OpLatency {
+    fn default() -> Self {
+        Self::f32_virtex7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_float_add_latency_is_11() {
+        assert_eq!(OpLatency::f32_virtex7().add, 11);
+    }
+
+    #[test]
+    fn fixed_point_add_is_single_cycle() {
+        // §IV-B: "The issue does not arise when using integer values"
+        assert_eq!(OpLatency::fixed_point().add, 1);
+    }
+
+    #[test]
+    fn mac_sums_stages() {
+        let l = OpLatency::f32_virtex7();
+        assert_eq!(l.mac(), 19);
+    }
+
+    #[test]
+    fn default_is_float() {
+        assert_eq!(OpLatency::default(), OpLatency::f32_virtex7());
+    }
+}

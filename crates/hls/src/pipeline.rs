@@ -1,0 +1,115 @@
+//! Latency formulas for pipelined loop nests.
+//!
+//! A pipelined loop with trip count `N`, initiation interval `II` and
+//! pipeline depth `D` finishes in `D + II · (N - 1)` cycles — the single
+//! formula underlying every stage-interval estimate in this repository.
+//! [`LoopNest`] composes it for the rectangular nests the compute cores
+//! are built from.
+
+use crate::latency::OpLatency;
+use crate::reduce::TreeAdder;
+use serde::{Deserialize, Serialize};
+
+/// A pipelined loop: trip count, II, and depth of the loop body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopNest {
+    /// Total iterations (product of all nested trip counts after
+    /// flattening, which is how the PIPELINE directive treats a perfect
+    /// nest).
+    pub trip_count: u64,
+    /// Initiation interval.
+    pub ii: u32,
+    /// Pipeline depth of the loop body in cycles.
+    pub depth: u32,
+}
+
+impl LoopNest {
+    /// Construct a loop nest descriptor.
+    pub fn new(trip_count: u64, ii: u32, depth: u32) -> Self {
+        assert!(ii >= 1, "II must be at least 1");
+        assert!(depth >= 1, "depth must be at least 1");
+        LoopNest {
+            trip_count,
+            ii,
+            depth,
+        }
+    }
+
+    /// Total cycles: `depth + II * (trip_count - 1)`, or 0 for an empty loop.
+    pub fn total_cycles(&self) -> u64 {
+        if self.trip_count == 0 {
+            0
+        } else {
+            self.depth as u64 + self.ii as u64 * (self.trip_count - 1)
+        }
+    }
+
+    /// Steady-state throughput in iterations per cycle.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.ii as f64
+    }
+
+    /// The pipeline depth of a convolution compute-core body: window
+    /// multiply (one cycle issue on parallel multipliers, `mul` latency),
+    /// tree reduction over the window, accumulation into the output
+    /// register, and the activation unit.
+    pub fn conv_body_depth(window: usize, ops: &OpLatency) -> u32 {
+        ops.mul + TreeAdder::new(window).latency(ops) + ops.add + ops.activation
+    }
+
+    /// Latency of one convolution layer pass over an image:
+    /// the coordinate loop (trip count = output positions) pipelined at
+    /// `II` (Eq. 4) with the conv body depth.
+    pub fn conv_layer(positions: u64, window: usize, ii: u32, ops: &OpLatency) -> Self {
+        LoopNest::new(positions, ii, Self::conv_body_depth(window, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_formula() {
+        let l = LoopNest::new(100, 2, 10);
+        assert_eq!(l.total_cycles(), 10 + 2 * 99);
+    }
+
+    #[test]
+    fn single_iteration_is_depth() {
+        assert_eq!(LoopNest::new(1, 4, 7).total_cycles(), 7);
+    }
+
+    #[test]
+    fn empty_loop_is_free() {
+        assert_eq!(LoopNest::new(0, 1, 5).total_cycles(), 0);
+    }
+
+    #[test]
+    fn conv_body_depth_counts_all_stages() {
+        let ops = OpLatency::f32_virtex7();
+        // 5x5x1 window: mul(8) + tree(5 levels * 11) + add(11) + act(4)
+        assert_eq!(LoopNest::conv_body_depth(25, &ops), 8 + 55 + 11 + 4);
+    }
+
+    #[test]
+    fn tc2_conv1_latency_magnitude() {
+        // TC2 conv1: 28x28 positions, II = 12, 5x5x3 window
+        let ops = OpLatency::f32_virtex7();
+        let l = LoopNest::conv_layer(784, 75, 12, &ops);
+        let cycles = l.total_cycles();
+        // II-dominated: ~ 12 * 783 + depth ≈ 9.5k cycles ≈ 95 µs at 100 MHz
+        assert!((9_000..11_000).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn throughput_inverse_of_ii() {
+        assert_eq!(LoopNest::new(10, 4, 1).throughput(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be")]
+    fn zero_ii_rejected() {
+        LoopNest::new(1, 0, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Tree adder model — Algorithm 1's `reduce` step.
+//!
+//! "The multiplications results are then fed into a tree adder ... The tree
+//! adder is used in order to improve the initial latency of the core, as it
+//! executes the additions on parallel levels which decrease the pipeline
+//! depth" (§IV-A). This module models both the *cost* (adder count, pipeline
+//! depth) and the *numerics* (summation order) of that tree, so the cycle
+//! simulator reproduces the hardware's floating-point rounding behaviour
+//! exactly — bit-for-bit — rather than approximately.
+
+use crate::latency::OpLatency;
+use serde::{Deserialize, Serialize};
+
+/// A balanced binary reduction tree over `n` inputs.
+///
+/// ```
+/// use dfcnn_hls::{latency::OpLatency, reduce::TreeAdder};
+/// let tree = TreeAdder::new(25); // a 5x5 window reduction
+/// assert_eq!(tree.depth(), 5);
+/// assert_eq!(tree.adder_count(), 24);
+/// // the paper's rationale: far shallower than a sequential chain
+/// let ops = OpLatency::f32_virtex7();
+/// assert!(tree.latency(&ops) < tree.sequential_latency(&ops) / 4);
+/// assert_eq!(tree.sum(&[1.0; 25]), 25.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeAdder {
+    n: usize,
+}
+
+impl TreeAdder {
+    /// Tree over `n ≥ 1` inputs.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "tree adder needs at least one input");
+        TreeAdder { n }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels: `ceil(log2 n)` (0 for a single input).
+    pub fn depth(&self) -> u32 {
+        usize::BITS - (self.n - 1).leading_zeros()
+    }
+
+    /// Total two-input adders instantiated: `n - 1`.
+    pub fn adder_count(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Pipeline latency in cycles: `depth * add_latency`.
+    pub fn latency(&self, ops: &OpLatency) -> u32 {
+        self.depth() * ops.add
+    }
+
+    /// Latency of the *sequential* alternative (a single accumulator chain
+    /// over `n` inputs): `(n - 1) * add_latency`. The ablation benchmark
+    /// compares this against [`TreeAdder::latency`].
+    pub fn sequential_latency(&self, ops: &OpLatency) -> u32 {
+        (self.n as u32 - 1) * ops.add
+    }
+
+    /// Sum `values` in tree order, reproducing the hardware's floating
+    /// point rounding: pairwise by level, odd element forwarded.
+    ///
+    /// # Panics
+    /// If `values.len() != self.inputs()`.
+    pub fn sum(&self, values: &[f32]) -> f32 {
+        assert_eq!(values.len(), self.n, "tree adder arity mismatch");
+        let mut level: Vec<f32> = values.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.chunks_exact(2);
+            for pair in &mut it {
+                next.push(pair[0] + pair[1]);
+            }
+            if let [odd] = it.remainder() {
+                next.push(*odd);
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Tree-order sum reusing a scratch buffer (hot-loop variant: no
+    /// allocation). `scratch` must be at least `values.len()` long.
+    pub fn sum_with_scratch(&self, values: &[f32], scratch: &mut [f32]) -> f32 {
+        assert_eq!(values.len(), self.n, "tree adder arity mismatch");
+        assert!(scratch.len() >= self.n, "scratch buffer too small");
+        if self.n == 1 {
+            return values[0];
+        }
+        scratch[..self.n].copy_from_slice(values);
+        let mut len = self.n;
+        while len > 1 {
+            let half = len / 2;
+            for i in 0..half {
+                scratch[i] = scratch[2 * i] + scratch[2 * i + 1];
+            }
+            if len % 2 == 1 {
+                scratch[half] = scratch[len - 1];
+                len = half + 1;
+            } else {
+                len = half;
+            }
+        }
+        scratch[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_values() {
+        assert_eq!(TreeAdder::new(1).depth(), 0);
+        assert_eq!(TreeAdder::new(2).depth(), 1);
+        assert_eq!(TreeAdder::new(3).depth(), 2);
+        assert_eq!(TreeAdder::new(4).depth(), 2);
+        assert_eq!(TreeAdder::new(25).depth(), 5);
+        assert_eq!(TreeAdder::new(150).depth(), 8);
+    }
+
+    #[test]
+    fn adder_count_is_n_minus_1() {
+        assert_eq!(TreeAdder::new(25).adder_count(), 24);
+        assert_eq!(TreeAdder::new(1).adder_count(), 0);
+    }
+
+    #[test]
+    fn tree_beats_sequential_latency() {
+        // the paper's rationale for the tree adder
+        let ops = OpLatency::f32_virtex7();
+        let t = TreeAdder::new(25); // a 5x5 window reduction
+        assert_eq!(t.latency(&ops), 5 * 11);
+        assert_eq!(t.sequential_latency(&ops), 24 * 11);
+        assert!(t.latency(&ops) < t.sequential_latency(&ops));
+    }
+
+    #[test]
+    fn sum_matches_reference_on_integers() {
+        // integer-valued floats: any summation order is exact
+        let t = TreeAdder::new(7);
+        let vals = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(t.sum(&vals), 28.0);
+    }
+
+    #[test]
+    fn sum_order_is_pairwise() {
+        // Construct values where tree order differs from left-to-right
+        // order in f32, and pin the tree result.
+        let big = 1e8f32;
+        let vals = [big, 1.0, -big, 1.0];
+        let t = TreeAdder::new(4);
+        // tree: (big + 1) + (-big + 1) = big + (-big + 1) = ... evaluate:
+        let expect = (big + 1.0) + (-big + 1.0);
+        assert_eq!(t.sum(&vals), expect);
+        // sequential would give ((big + 1) - big) + 1 = 1 + ... different path
+        let seq = ((big + 1.0) - big) + 1.0;
+        // document that the orders genuinely differ numerically
+        assert_ne!(expect, seq);
+    }
+
+    #[test]
+    fn scratch_variant_matches_alloc_variant() {
+        let vals: Vec<f32> = (0..25).map(|i| (i as f32) * 0.3 - 2.0).collect();
+        let t = TreeAdder::new(25);
+        let mut scratch = vec![0.0f32; 25];
+        assert_eq!(t.sum(&vals), t.sum_with_scratch(&vals, &mut scratch));
+    }
+
+    #[test]
+    fn single_input_is_identity() {
+        let t = TreeAdder::new(1);
+        assert_eq!(t.sum(&[3.5]), 3.5);
+        let mut s = [0.0f32];
+        assert_eq!(t.sum_with_scratch(&[3.5], &mut s), 3.5);
+    }
+
+    #[test]
+    fn odd_sizes_sum_correctly() {
+        for n in 1..40 {
+            let vals: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let t = TreeAdder::new(n);
+            let expect = (n * (n - 1) / 2) as f32;
+            assert_eq!(t.sum(&vals), expect, "n={n}");
+            let mut scratch = vec![0.0f32; n];
+            assert_eq!(t.sum_with_scratch(&vals, &mut scratch), expect, "n={n}");
+        }
+    }
+}

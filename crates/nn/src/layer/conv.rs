@@ -1,0 +1,329 @@
+//! Convolutional layer (paper Eq. 1) — reference implementation.
+
+use crate::act::Activation;
+use dfcnn_tensor::iter::{extract_window, WindowPositions};
+use dfcnn_tensor::{ConvGeometry, Shape3, Tensor1, Tensor3, Tensor4};
+
+/// A convolutional layer: `K` filters of `KH × KW × C` applied with stride
+/// `S` and zero padding `P`, plus per-filter bias and optional activation.
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    geo: ConvGeometry,
+    filters: Tensor4<f32>,
+    bias: Tensor1<f32>,
+    activation: Activation,
+}
+
+/// Accumulated parameter gradients for a [`Conv2d`].
+#[derive(Clone, Debug)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the filter weights.
+    pub filters: Tensor4<f32>,
+    /// Gradient w.r.t. the biases.
+    pub bias: Tensor1<f32>,
+}
+
+impl Conv2d {
+    /// Create a layer from its geometry and parameters.
+    ///
+    /// # Panics
+    /// If the filter bank does not match the geometry (window extents and
+    /// input channel count) or the bias length differs from the filter count.
+    pub fn new(
+        geo: ConvGeometry,
+        filters: Tensor4<f32>,
+        bias: Tensor1<f32>,
+        activation: Activation,
+    ) -> Self {
+        assert_eq!(filters.kh(), geo.kh, "filter height mismatch");
+        assert_eq!(filters.kw(), geo.kw, "filter width mismatch");
+        assert_eq!(filters.c(), geo.input.c, "filter channel mismatch");
+        assert_eq!(bias.len(), filters.k(), "bias length mismatch");
+        Conv2d {
+            geo,
+            filters,
+            bias,
+            activation,
+        }
+    }
+
+    /// The layer's window/stride geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geo
+    }
+
+    /// The filter bank.
+    pub fn filters(&self) -> &Tensor4<f32> {
+        &self.filters
+    }
+
+    /// Mutable filter bank (used by the optimiser).
+    pub fn filters_mut(&mut self) -> &mut Tensor4<f32> {
+        &mut self.filters
+    }
+
+    /// The biases.
+    pub fn bias(&self) -> &Tensor1<f32> {
+        &self.bias
+    }
+
+    /// Mutable biases (used by the optimiser).
+    pub fn bias_mut(&mut self) -> &mut Tensor1<f32> {
+        &mut self.bias
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of output feature maps (`K`).
+    pub fn out_maps(&self) -> usize {
+        self.filters.k()
+    }
+
+    /// Output volume shape.
+    pub fn output_shape(&self) -> Shape3 {
+        self.geo.conv_output(self.filters.k())
+    }
+
+    /// Zeroed gradient container matching this layer.
+    pub fn zero_grads(&self) -> ConvGrads {
+        ConvGrads {
+            filters: Tensor4::zeros(
+                self.filters.k(),
+                self.filters.kh(),
+                self.filters.kw(),
+                self.filters.c(),
+            ),
+            bias: Tensor1::zeros(self.bias.len()),
+        }
+    }
+
+    /// Forward pass: Eq. 1 plus activation.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.geo.input, "input shape mismatch");
+        let k = self.filters.k();
+        let mut out = Tensor3::zeros(self.output_shape());
+        let mut window = vec![0.0f32; self.geo.window_volume()];
+        let ow = self.geo.out_w();
+        for (pos, (y0, x0)) in WindowPositions::new(self.geo).enumerate() {
+            extract_window(input, &self.geo, y0, x0, &mut window);
+            let (oy, ox) = (pos / ow, pos % ow);
+            for fk in 0..k {
+                let filt = self.filters.filter(fk);
+                let mut acc = self.bias.get(fk);
+                for (w, x) in filt.iter().zip(window.iter()) {
+                    acc += w * x;
+                }
+                out.set(oy, ox, fk, self.activation.apply(acc));
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// `input` and `output` are the tensors seen/produced by the forward
+    /// pass; `grad_out` is `∂L/∂output`. Parameter gradients are
+    /// *accumulated* into `grads` (so minibatches sum naturally); the return
+    /// value is `∂L/∂input`.
+    pub fn backward(
+        &self,
+        input: &Tensor3<f32>,
+        output: &Tensor3<f32>,
+        grad_out: &Tensor3<f32>,
+        grads: &mut ConvGrads,
+    ) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.geo.input);
+        assert_eq!(output.shape(), self.output_shape());
+        assert_eq!(grad_out.shape(), self.output_shape());
+        let k = self.filters.k();
+        let c = self.geo.input.c;
+        let mut grad_in = Tensor3::zeros(input.shape());
+        let ow = self.geo.out_w();
+        for (pos, (y0, x0)) in WindowPositions::new(self.geo).enumerate() {
+            let (oy, ox) = (pos / ow, pos % ow);
+            for fk in 0..k {
+                let dpre = grad_out.get(oy, ox, fk)
+                    * self
+                        .activation
+                        .derivative_from_output(output.get(oy, ox, fk));
+                if dpre == 0.0 {
+                    continue;
+                }
+                *grads.bias.get_mut(fk) += dpre;
+                for dy in 0..self.geo.kh {
+                    let yy = y0 + dy as isize;
+                    if yy < 0 || yy >= input.shape().h as isize {
+                        continue;
+                    }
+                    for dx in 0..self.geo.kw {
+                        let xx = x0 + dx as isize;
+                        if xx < 0 || xx >= input.shape().w as isize {
+                            continue;
+                        }
+                        for ch in 0..c {
+                            let xval = input.get(yy as usize, xx as usize, ch);
+                            *grads.filters.get_mut(fk, dy, dx, ch) += dpre * xval;
+                            *grad_in.get_mut(yy as usize, xx as usize, ch) +=
+                                dpre * self.filters.get(fk, dy, dx, ch);
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Apply an SGD step: `p -= lr * g` (momentum handled by the caller).
+    pub fn apply_grads(&mut self, grads: &ConvGrads, lr: f32) {
+        for (p, g) in self
+            .filters
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grads.filters.as_slice())
+        {
+            *p -= lr * g;
+        }
+        for (p, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grads.bias.as_slice())
+        {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_tensor::Shape3;
+
+    fn identity_layer() -> Conv2d {
+        // 1x1 conv with unit weight: identity on a single channel
+        let geo = ConvGeometry::new(Shape3::new(3, 3, 1), 1, 1, 1, 0);
+        let mut f = Tensor4::zeros(1, 1, 1, 1);
+        f.set(0, 0, 0, 0, 1.0);
+        Conv2d::new(geo, f, Tensor1::zeros(1), Activation::Identity)
+    }
+
+    #[test]
+    fn identity_conv_passes_input() {
+        let l = identity_layer();
+        let x = Tensor3::from_fn(Shape3::new(3, 3, 1), |y, x, _| (y * 3 + x) as f32);
+        assert_eq!(l.forward(&x), x);
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 2x2 all-ones kernel over a 3x3 ramp: each output = sum of 2x2 block
+        let geo = ConvGeometry::new(Shape3::new(3, 3, 1), 2, 2, 1, 0);
+        let f = Tensor4::from_fn(1, 2, 2, 1, |_, _, _, _| 1.0);
+        let l = Conv2d::new(geo, f, Tensor1::zeros(1), Activation::Identity);
+        let x = Tensor3::from_fn(Shape3::new(3, 3, 1), |y, xx, _| (y * 3 + xx) as f32);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), Shape3::new(2, 2, 1));
+        // block sums: (0+1+3+4, 1+2+4+5, 3+4+6+7, 4+5+7+8)
+        assert_eq!(y.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn bias_and_activation_applied() {
+        let geo = ConvGeometry::new(Shape3::new(2, 2, 1), 2, 2, 1, 0);
+        let f = Tensor4::from_fn(1, 2, 2, 1, |_, _, _, _| 1.0);
+        let l = Conv2d::new(geo, f, Tensor1::from_vec(vec![-100.0]), Activation::Relu);
+        let x = Tensor3::full(Shape3::new(2, 2, 1), 1.0);
+        // pre-activation = 4 - 100 = -96 -> relu -> 0
+        assert_eq!(l.forward(&x).as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn multichannel_combines_channels() {
+        // 1x1 conv over 2 channels with weights (2, 3): out = 2*a + 3*b
+        let geo = ConvGeometry::new(Shape3::new(1, 1, 2), 1, 1, 1, 0);
+        let mut f = Tensor4::zeros(1, 1, 1, 2);
+        f.set(0, 0, 0, 0, 2.0);
+        f.set(0, 0, 0, 1, 3.0);
+        let l = Conv2d::new(geo, f, Tensor1::zeros(1), Activation::Identity);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![5.0, 7.0]);
+        assert_eq!(l.forward(&x).as_slice(), &[31.0]);
+    }
+
+    /// Finite-difference gradient check on a small random layer.
+    #[test]
+    fn gradient_check() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 2), 3, 3, 1, 1);
+        let f = dfcnn_tensor::init::conv_filters(&mut rng, 2, 3, 3, 2);
+        let b = Tensor1::from_vec(vec![0.1, -0.2]);
+        let l = Conv2d::new(geo, f, b, Activation::Tanh);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(4, 4, 2), -1.0, 1.0);
+
+        // loss = sum(output); grad_out = ones
+        let y = l.forward(&x);
+        let gout = Tensor3::full(y.shape(), 1.0);
+        let mut grads = l.zero_grads();
+        let gin = l.backward(&x, &y, &gout, &mut grads);
+
+        let h = 1e-3f32;
+        // check a sample of weight gradients
+        for &(fk, dy, dx, ch) in &[(0, 0, 0, 0), (1, 2, 1, 1), (0, 1, 2, 0)] {
+            let mut lp = l.clone();
+            *lp.filters_mut().get_mut(fk, dy, dx, ch) += h;
+            let mut lm = l.clone();
+            *lm.filters_mut().get_mut(fk, dy, dx, ch) -= h;
+            let num = (lp.forward(&x).sum() - lm.forward(&x).sum()) / (2.0 * h);
+            let ana = grads.filters.get(fk, dy, dx, ch);
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "weight grad mismatch at {fk},{dy},{dx},{ch}: num={num} ana={ana}"
+            );
+        }
+        // check a sample of input gradients
+        for &(yy, xx, ch) in &[(0, 0, 0), (2, 3, 1), (3, 1, 0)] {
+            let mut xp = x.clone();
+            xp.set(yy, xx, ch, x.get(yy, xx, ch) + h);
+            let mut xm = x.clone();
+            xm.set(yy, xx, ch, x.get(yy, xx, ch) - h);
+            let num = (l.forward(&xp).sum() - l.forward(&xm).sum()) / (2.0 * h);
+            let ana = gin.get(yy, xx, ch);
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input grad mismatch at {yy},{xx},{ch}: num={num} ana={ana}"
+            );
+        }
+        // bias gradient: d(sum y)/d b_k = sum of act' over positions
+        for fk in 0..2 {
+            let mut lp = l.clone();
+            *lp.bias_mut().get_mut(fk) += h;
+            let num = (lp.forward(&x).sum() - l.forward(&x).sum()) / h;
+            let ana = grads.bias.get(fk);
+            assert!((num - ana).abs() < 2e-2, "bias grad mismatch at {fk}");
+        }
+    }
+
+    #[test]
+    fn apply_grads_moves_params() {
+        let l0 = identity_layer();
+        let mut l = l0.clone();
+        let mut g = l.zero_grads();
+        g.filters.set(0, 0, 0, 0, 2.0);
+        g.bias.set(0, 1.0);
+        l.apply_grads(&g, 0.5);
+        assert_eq!(l.filters().get(0, 0, 0, 0), 0.0); // 1 - 0.5*2
+        assert_eq!(l.bias().get(0), -0.5);
+        assert_eq!(l0.filters().get(0, 0, 0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter channel mismatch")]
+    fn channel_mismatch_panics() {
+        let geo = ConvGeometry::new(Shape3::new(3, 3, 2), 2, 2, 1, 0);
+        let f = Tensor4::zeros(1, 2, 2, 1);
+        Conv2d::new(geo, f, Tensor1::zeros(1), Activation::Identity);
+    }
+}

@@ -1,0 +1,69 @@
+//! The reshape seam between the features-extraction and classification
+//! stages.
+//!
+//! With channel-fastest storage a flatten is a pure relabelling: the data
+//! does not move, exactly as in the accelerator where the conv→FC boundary
+//! is just the same AXI stream reinterpreted (§IV-B: each incoming value is
+//! "a different input channel ... in a 1×1 FM").
+
+use dfcnn_tensor::{Shape3, Tensor3};
+
+/// Reshape `H × W × C` into `1 × 1 × (H·W·C)` preserving stream order.
+#[derive(Clone, Debug)]
+pub struct Flatten {
+    input: Shape3,
+}
+
+impl Flatten {
+    /// Create a flatten layer for the given input shape.
+    pub fn new(input: Shape3) -> Self {
+        Flatten { input }
+    }
+
+    /// Configured input shape.
+    pub fn input_shape(&self) -> Shape3 {
+        self.input
+    }
+
+    /// Output shape: `1 × 1 × N`.
+    pub fn output_shape(&self) -> Shape3 {
+        Shape3::new(1, 1, self.input.len())
+    }
+
+    /// Forward pass (zero-copy apart from the buffer clone).
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.input, "input shape mismatch");
+        Tensor3::from_vec(self.output_shape(), input.as_slice().to_vec())
+    }
+
+    /// Backward pass: reshape the gradient back.
+    pub fn backward(&self, grad_out: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(grad_out.shape(), self.output_shape());
+        Tensor3::from_vec(self.input, grad_out.as_slice().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_preserves_stream_order() {
+        let x = Tensor3::from_fn(Shape3::new(2, 3, 2), |y, xx, c| {
+            (y * 100 + xx * 10 + c) as f32
+        });
+        let f = Flatten::new(x.shape());
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), Shape3::new(1, 1, 12));
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_inverts_forward() {
+        let x = Tensor3::from_fn(Shape3::new(2, 2, 3), |y, xx, c| (y + xx + c) as f32);
+        let f = Flatten::new(x.shape());
+        let y = f.forward(&x);
+        let back = f.backward(&y);
+        assert_eq!(back, x);
+    }
+}

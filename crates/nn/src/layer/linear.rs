@@ -1,0 +1,245 @@
+//! Fully-connected (linear/perceptron) layer — reference implementation of
+//! paper Eq. 2: `o_j = Σ_i w_{i,j} · x_i + b_j`.
+//!
+//! Weights are stored as a `J × 1 × 1 × I` filter bank ([`Tensor4`]) so the
+//! equivalence with a 1×1 convolution (§IV-B) is structural, not just
+//! conceptual — `dfcnn-core` compiles both layer kinds through the same
+//! machinery, and a property test asserts `Linear ≡ Conv2d(1×1)`.
+
+use crate::act::Activation;
+use dfcnn_tensor::{Shape3, Tensor1, Tensor3, Tensor4};
+
+/// A fully-connected layer with `I` inputs and `J` outputs.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    weights: Tensor4<f32>, // J x 1 x 1 x I
+    bias: Tensor1<f32>,
+    activation: Activation,
+}
+
+/// Accumulated parameter gradients for a [`Linear`].
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the weight matrix (same layout as the weights).
+    pub weights: Tensor4<f32>,
+    /// Gradient w.r.t. the biases.
+    pub bias: Tensor1<f32>,
+}
+
+impl Linear {
+    /// Create a layer from a `J × 1 × 1 × I` weight bank and `J` biases.
+    pub fn new(weights: Tensor4<f32>, bias: Tensor1<f32>, activation: Activation) -> Self {
+        assert_eq!(weights.kh(), 1, "linear weights must be 1x1 filters");
+        assert_eq!(weights.kw(), 1, "linear weights must be 1x1 filters");
+        assert_eq!(bias.len(), weights.k(), "bias length mismatch");
+        Linear {
+            weights,
+            bias,
+            activation,
+        }
+    }
+
+    /// Number of inputs (`I`).
+    pub fn inputs(&self) -> usize {
+        self.weights.c()
+    }
+
+    /// Number of outputs (`J`).
+    pub fn outputs(&self) -> usize {
+        self.weights.k()
+    }
+
+    /// The weight bank.
+    pub fn weights(&self) -> &Tensor4<f32> {
+        &self.weights
+    }
+
+    /// Mutable weight bank.
+    pub fn weights_mut(&mut self) -> &mut Tensor4<f32> {
+        &mut self.weights
+    }
+
+    /// The biases.
+    pub fn bias(&self) -> &Tensor1<f32> {
+        &self.bias
+    }
+
+    /// Mutable biases.
+    pub fn bias_mut(&mut self) -> &mut Tensor1<f32> {
+        &mut self.bias
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Output shape: `1 × 1 × J`.
+    pub fn output_shape(&self) -> Shape3 {
+        Shape3::new(1, 1, self.outputs())
+    }
+
+    /// Zeroed gradient container matching this layer.
+    pub fn zero_grads(&self) -> LinearGrads {
+        LinearGrads {
+            weights: Tensor4::zeros(self.weights.k(), 1, 1, self.weights.c()),
+            bias: Tensor1::zeros(self.bias.len()),
+        }
+    }
+
+    /// Forward pass on a `1 × 1 × I` volume.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(
+            input.shape(),
+            Shape3::new(1, 1, self.inputs()),
+            "input shape mismatch"
+        );
+        let x = input.as_slice();
+        let mut out = Tensor3::zeros(self.output_shape());
+        for j in 0..self.outputs() {
+            let w = self.weights.filter(j);
+            let mut acc = self.bias.get(j);
+            for (wi, xi) in w.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            out.set(0, 0, j, self.activation.apply(acc));
+        }
+        out
+    }
+
+    /// Backward pass; accumulates parameter gradients, returns `∂L/∂input`.
+    pub fn backward(
+        &self,
+        input: &Tensor3<f32>,
+        output: &Tensor3<f32>,
+        grad_out: &Tensor3<f32>,
+        grads: &mut LinearGrads,
+    ) -> Tensor3<f32> {
+        let x = input.as_slice();
+        let mut grad_in = Tensor3::zeros(input.shape());
+        for j in 0..self.outputs() {
+            let dpre =
+                grad_out.get(0, 0, j) * self.activation.derivative_from_output(output.get(0, 0, j));
+            if dpre == 0.0 {
+                continue;
+            }
+            *grads.bias.get_mut(j) += dpre;
+            let w = self.weights.filter(j);
+            for i in 0..self.inputs() {
+                *grads.weights.get_mut(j, 0, 0, i) += dpre * x[i];
+                grad_in.as_mut_slice()[i] += dpre * w[i];
+            }
+        }
+        grad_in
+    }
+
+    /// Apply an SGD step.
+    pub fn apply_grads(&mut self, grads: &LinearGrads, lr: f32) {
+        for (p, g) in self
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grads.weights.as_slice())
+        {
+            *p -= lr * g;
+        }
+        for (p, g) in self
+            .bias
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grads.bias.as_slice())
+        {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Conv2d;
+    use dfcnn_tensor::ConvGeometry;
+
+    fn small() -> Linear {
+        // 3 inputs -> 2 outputs, w[j][i] = j*10 + i, b = [1, -1]
+        let w = Tensor4::from_fn(2, 1, 1, 3, |j, _, _, i| (j * 10 + i) as f32);
+        Linear::new(w, Tensor1::from_vec(vec![1.0, -1.0]), Activation::Identity)
+    }
+
+    #[test]
+    fn forward_matches_eq2() {
+        let l = small();
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![1.0, 2.0, 3.0]);
+        let y = l.forward(&x);
+        // o0 = 0*1 + 1*2 + 2*3 + 1 = 9; o1 = 10*1 + 11*2 + 12*3 - 1 = 67
+        assert_eq!(y.as_slice(), &[9.0, 67.0]);
+    }
+
+    #[test]
+    fn linear_equals_1x1_conv() {
+        // the paper's §IV-B equivalence, checked numerically
+        let l = small();
+        let geo = ConvGeometry::new(Shape3::new(1, 1, 3), 1, 1, 1, 0);
+        let conv = Conv2d::new(geo, l.weights().clone(), l.bias().clone(), l.activation());
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![0.5, -1.5, 2.0]);
+        assert_eq!(l.forward(&x), conv.forward(&x));
+    }
+
+    #[test]
+    fn gradient_check() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let w = dfcnn_tensor::init::linear_weights(&mut rng, 6, 4);
+        let l = Linear::new(
+            w,
+            Tensor1::from_vec(vec![0.1, 0.2, -0.1, 0.0]),
+            Activation::Tanh,
+        );
+        let x = Tensor3::from_fn(Shape3::new(1, 1, 6), |_, _, c| (c as f32 - 2.5) * 0.3);
+
+        let y = l.forward(&x);
+        let gout = Tensor3::full(y.shape(), 1.0);
+        let mut grads = l.zero_grads();
+        let gin = l.backward(&x, &y, &gout, &mut grads);
+
+        let h = 1e-3f32;
+        for &(j, i) in &[(0, 0), (3, 5), (1, 2)] {
+            let mut lp = l.clone();
+            *lp.weights_mut().get_mut(j, 0, 0, i) += h;
+            let mut lm = l.clone();
+            *lm.weights_mut().get_mut(j, 0, 0, i) -= h;
+            let num = (lp.forward(&x).sum() - lm.forward(&x).sum()) / (2.0 * h);
+            assert!(
+                (num - grads.weights.get(j, 0, 0, i)).abs() < 1e-2,
+                "weight grad mismatch at ({j},{i})"
+            );
+        }
+        for i in [0, 3, 5] {
+            let mut xp = x.clone();
+            xp.set(0, 0, i, x.get(0, 0, i) + h);
+            let mut xm = x.clone();
+            xm.set(0, 0, i, x.get(0, 0, i) - h);
+            let num = (l.forward(&xp).sum() - l.forward(&xm).sum()) / (2.0 * h);
+            assert!(
+                (num - gin.get(0, 0, i)).abs() < 1e-2,
+                "input grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_grads_updates() {
+        let mut l = small();
+        let mut g = l.zero_grads();
+        g.weights.set(1, 0, 0, 2, 4.0);
+        l.apply_grads(&g, 0.25);
+        assert_eq!(l.weights().get(1, 0, 0, 2), 11.0); // 12 - 1
+    }
+
+    #[test]
+    #[should_panic(expected = "1x1")]
+    fn non_1x1_weights_rejected() {
+        let w = Tensor4::zeros(2, 2, 1, 3);
+        Linear::new(w, Tensor1::zeros(2), Activation::Identity);
+    }
+}

@@ -1,0 +1,106 @@
+//! The CNN layer zoo of §II-A, as a closed enum.
+//!
+//! A network is a chain of these layers (Fig. 1): convolution and
+//! sub-sampling in the *features extraction* stage, linear (perceptron)
+//! layers plus the LogSoftMax normalisation operator in the
+//! *classification* stage. `Flatten` is the (data-free) seam between the
+//! two stages: with channel-fastest storage it is a pure reshape, exactly
+//! like the accelerator where the conv/FC boundary is just a stream.
+
+mod conv;
+mod flatten;
+mod linear;
+mod pool;
+mod softmax;
+
+pub use conv::{Conv2d, ConvGrads};
+pub use flatten::Flatten;
+pub use linear::{Linear, LinearGrads};
+pub use pool::{Pool2d, PoolKind};
+pub use softmax::LogSoftmax;
+
+use dfcnn_tensor::{Shape3, Tensor3};
+
+/// A single network layer.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// Convolutional layer (paper Eq. 1).
+    Conv(Conv2d),
+    /// Sub-sampling / pooling layer.
+    Pool(Pool2d),
+    /// Reshape `H × W × C` to `1 × 1 × (H·W·C)` in stream order.
+    Flatten(Flatten),
+    /// Fully-connected (perceptron) layer (paper Eq. 2).
+    Linear(Linear),
+    /// LogSoftMax normalisation operator (paper Eq. 3).
+    LogSoftmax(LogSoftmax),
+}
+
+impl Layer {
+    /// Run the layer forward.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        match self {
+            Layer::Conv(l) => l.forward(input),
+            Layer::Pool(l) => l.forward(input),
+            Layer::Flatten(l) => l.forward(input),
+            Layer::Linear(l) => l.forward(input),
+            Layer::LogSoftmax(l) => l.forward(input),
+        }
+    }
+
+    /// Shape of the layer's output given its configured input shape.
+    pub fn output_shape(&self) -> Shape3 {
+        match self {
+            Layer::Conv(l) => l.output_shape(),
+            Layer::Pool(l) => l.output_shape(),
+            Layer::Flatten(l) => l.output_shape(),
+            Layer::Linear(l) => l.output_shape(),
+            Layer::LogSoftmax(l) => l.output_shape(),
+        }
+    }
+
+    /// Shape of the input the layer was configured for.
+    pub fn input_shape(&self) -> Shape3 {
+        match self {
+            Layer::Conv(l) => l.geometry().input,
+            Layer::Pool(l) => l.geometry().input,
+            Layer::Flatten(l) => l.input_shape(),
+            Layer::Linear(l) => Shape3::new(1, 1, l.inputs()),
+            Layer::LogSoftmax(l) => Shape3::new(1, 1, l.classes()),
+        }
+    }
+
+    /// Whether this layer carries trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(self, Layer::Conv(_) | Layer::Linear(_))
+    }
+
+    /// Human-readable kind, used in block diagrams and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv(_) => "conv",
+            Layer::Pool(p) => match p.kind() {
+                PoolKind::Max => "maxpool",
+                PoolKind::Mean => "meanpool",
+            },
+            Layer::Flatten(_) => "flatten",
+            Layer::Linear(_) => "linear",
+            Layer::LogSoftmax(_) => "logsoftmax",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_tensor::Shape3;
+
+    #[test]
+    fn kind_names() {
+        let flat = Layer::Flatten(Flatten::new(Shape3::new(2, 2, 3)));
+        assert_eq!(flat.kind_name(), "flatten");
+        assert!(!flat.has_params());
+        assert_eq!(flat.input_shape(), Shape3::new(2, 2, 3));
+        assert_eq!(flat.output_shape(), Shape3::new(1, 1, 12));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sub-sampling (pooling) layer — reference implementation.
+//!
+//! Per §II-A the layer "swipes a filter on the volume in order to cluster
+//! locally connected data ... applied on each channel separately" using
+//! either *max-pooling* or *mean-pooling*. Both paper test cases use a 2×2
+//! window with stride 2.
+
+use dfcnn_tensor::iter::WindowPositions;
+use dfcnn_tensor::{ConvGeometry, Shape3, Tensor3};
+use serde::{Deserialize, Serialize};
+
+/// Pooling function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Replace each window with its maximum.
+    Max,
+    /// Replace each window with its mean.
+    Mean,
+}
+
+/// A sub-sampling layer.
+#[derive(Clone, Debug)]
+pub struct Pool2d {
+    geo: ConvGeometry,
+    kind: PoolKind,
+}
+
+impl Pool2d {
+    /// Create a pooling layer. Pooling never pads in the paper's designs,
+    /// so `geo.pad` must be zero.
+    pub fn new(geo: ConvGeometry, kind: PoolKind) -> Self {
+        assert_eq!(geo.pad, 0, "pooling layers do not use zero padding");
+        Pool2d { geo, kind }
+    }
+
+    /// The window/stride geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geo
+    }
+
+    /// The pooling function.
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// Output volume shape (channel count preserved).
+    pub fn output_shape(&self) -> Shape3 {
+        self.geo.pool_output()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.geo.input, "input shape mismatch");
+        let c = self.geo.input.c;
+        let mut out = Tensor3::zeros(self.output_shape());
+        let ow = self.geo.out_w();
+        let win = (self.geo.kh * self.geo.kw) as f32;
+        for (pos, (y0, x0)) in WindowPositions::new(self.geo).enumerate() {
+            let (oy, ox) = (pos / ow, pos % ow);
+            for ch in 0..c {
+                let mut acc = match self.kind {
+                    PoolKind::Max => f32::NEG_INFINITY,
+                    PoolKind::Mean => 0.0,
+                };
+                for dy in 0..self.geo.kh {
+                    for dx in 0..self.geo.kw {
+                        let v = input.get((y0 as usize) + dy, (x0 as usize) + dx, ch);
+                        acc = match self.kind {
+                            PoolKind::Max => acc.max(v),
+                            PoolKind::Mean => acc + v,
+                        };
+                    }
+                }
+                if self.kind == PoolKind::Mean {
+                    acc /= win;
+                }
+                out.set(oy, ox, ch, acc);
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes `grad_out` to the max location (max-pooling)
+    /// or spreads it uniformly (mean-pooling). Ties in max-pooling send the
+    /// gradient to the first maximal element in window scan order, matching
+    /// the forward implementation's comparison order.
+    pub fn backward(&self, input: &Tensor3<f32>, grad_out: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.geo.input);
+        assert_eq!(grad_out.shape(), self.output_shape());
+        let c = self.geo.input.c;
+        let mut grad_in = Tensor3::zeros(input.shape());
+        let ow = self.geo.out_w();
+        let win = (self.geo.kh * self.geo.kw) as f32;
+        for (pos, (y0, x0)) in WindowPositions::new(self.geo).enumerate() {
+            let (oy, ox) = (pos / ow, pos % ow);
+            for ch in 0..c {
+                let g = grad_out.get(oy, ox, ch);
+                match self.kind {
+                    PoolKind::Mean => {
+                        for dy in 0..self.geo.kh {
+                            for dx in 0..self.geo.kw {
+                                *grad_in.get_mut((y0 as usize) + dy, (x0 as usize) + dx, ch) +=
+                                    g / win;
+                            }
+                        }
+                    }
+                    PoolKind::Max => {
+                        let (mut by, mut bx) = (y0 as usize, x0 as usize);
+                        let mut best = f32::NEG_INFINITY;
+                        for dy in 0..self.geo.kh {
+                            for dx in 0..self.geo.kw {
+                                let v = input.get((y0 as usize) + dy, (x0 as usize) + dx, ch);
+                                if v > best {
+                                    best = v;
+                                    by = (y0 as usize) + dy;
+                                    bx = (x0 as usize) + dx;
+                                }
+                            }
+                        }
+                        *grad_in.get_mut(by, bx, ch) += g;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo_2x2s2(h: usize, w: usize, c: usize) -> ConvGeometry {
+        ConvGeometry::new(Shape3::new(h, w, c), 2, 2, 2, 0)
+    }
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = Tensor3::from_vec(
+            Shape3::new(2, 4, 1),
+            vec![1.0, 5.0, 3.0, 2.0, 4.0, 0.0, -1.0, 7.0],
+        );
+        let p = Pool2d::new(geo_2x2s2(2, 4, 1), PoolKind::Max);
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), Shape3::new(1, 2, 1));
+        assert_eq!(y.as_slice(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn meanpool_averages() {
+        let x = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![1.0, 2.0, 3.0, 6.0]);
+        let p = Pool2d::new(geo_2x2s2(2, 2, 1), PoolKind::Mean);
+        assert_eq!(p.forward(&x).as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn channels_pooled_independently() {
+        // 2 channels, max over a single window
+        let x = Tensor3::from_fn(Shape3::new(2, 2, 2), |y, xx, c| {
+            (y * 2 + xx) as f32 * if c == 0 { 1.0 } else { -1.0 }
+        });
+        let p = Pool2d::new(geo_2x2s2(2, 2, 2), PoolKind::Max);
+        let y = p.forward(&x);
+        assert_eq!(y.get(0, 0, 0), 3.0);
+        assert_eq!(y.get(0, 0, 1), 0.0); // max of {0,-1,-2,-3}
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![1.0, 9.0, 3.0, 4.0]);
+        let p = Pool2d::new(geo_2x2s2(2, 2, 1), PoolKind::Max);
+        let g = Tensor3::full(Shape3::new(1, 1, 1), 2.5);
+        let gi = p.backward(&x, &g);
+        assert_eq!(gi.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn meanpool_backward_spreads_uniformly() {
+        let x = Tensor3::zeros(Shape3::new(2, 2, 1));
+        let p = Pool2d::new(geo_2x2s2(2, 2, 1), PoolKind::Mean);
+        let g = Tensor3::full(Shape3::new(1, 1, 1), 4.0);
+        let gi = p.backward(&x, &g);
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_tie_goes_to_first_in_scan_order() {
+        let x = Tensor3::from_vec(Shape3::new(2, 2, 1), vec![5.0, 5.0, 5.0, 5.0]);
+        let p = Pool2d::new(geo_2x2s2(2, 2, 1), PoolKind::Max);
+        let g = Tensor3::full(Shape3::new(1, 1, 1), 1.0);
+        let gi = p.backward(&x, &g);
+        assert_eq!(gi.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not use zero padding")]
+    fn padded_pooling_rejected() {
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 1), 2, 2, 2, 1);
+        Pool2d::new(geo, PoolKind::Max);
+    }
+}

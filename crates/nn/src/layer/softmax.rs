@@ -1,0 +1,136 @@
+//! LogSoftMax normalisation operator — paper Eq. 3.
+//!
+//! "This operator enforces the K values of the output to lie in range
+//! [0, 1] and to sum up to 1" (§II-A) — i.e. the paper's σ is a softmax; we
+//! implement the numerically-stable log-domain version (the paper names the
+//! operator *LogSoftMax*) and expose `exp` of it for probability readout.
+
+use dfcnn_tensor::{Shape3, Tensor3};
+
+/// LogSoftMax over a `1 × 1 × K` volume.
+#[derive(Clone, Debug)]
+pub struct LogSoftmax {
+    classes: usize,
+}
+
+impl LogSoftmax {
+    /// Create the operator for `K` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "LogSoftmax needs at least one class");
+        LogSoftmax { classes }
+    }
+
+    /// Number of classes (`K`).
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Output shape: `1 × 1 × K`.
+    pub fn output_shape(&self) -> Shape3 {
+        Shape3::new(1, 1, self.classes)
+    }
+
+    /// Forward pass: `log σ_j = x_j - max - log Σ e^{x_k - max}`.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(
+            input.shape(),
+            Shape3::new(1, 1, self.classes),
+            "input shape mismatch"
+        );
+        let x = input.as_slice();
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let logsum = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+        Tensor3::from_vec(input.shape(), x.iter().map(|v| v - max - logsum).collect())
+    }
+
+    /// Backward pass. With `y = logsoftmax(x)`:
+    /// `∂L/∂x_j = g_j - softmax_j · Σ_k g_k`.
+    pub fn backward(&self, output: &Tensor3<f32>, grad_out: &Tensor3<f32>) -> Tensor3<f32> {
+        let y = output.as_slice();
+        let g = grad_out.as_slice();
+        let gsum: f32 = g.iter().sum();
+        Tensor3::from_vec(
+            output.shape(),
+            y.iter()
+                .zip(g.iter())
+                .map(|(yj, gj)| gj - yj.exp() * gsum)
+                .collect(),
+        )
+    }
+
+    /// Probabilities (`exp` of the log-softmax) — the percentages the paper
+    /// says the normalisation operator reports.
+    pub fn probabilities(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        self.forward(input).map(|v| v.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one_and_lie_in_unit_interval() {
+        let s = LogSoftmax::new(4);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![0.5, -1.0, 2.0, 0.0]);
+        let p = s.probabilities(&x);
+        let sum: f32 = p.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn stable_under_large_inputs() {
+        let s = LogSoftmax::new(3);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![1000.0, 1000.0, 999.0]);
+        let y = s.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let p: f32 = y.as_slice().iter().map(|v| v.exp()).sum();
+        assert!((p - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_preserved() {
+        let s = LogSoftmax::new(3);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![0.1, 2.0, -0.5]);
+        let y = s.forward(&x);
+        assert_eq!(y.flatten().argmax(), 1);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let s = LogSoftmax::new(4);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![0.3, -0.7, 1.1, 0.0]);
+        let y = s.forward(&x);
+        // loss = Σ g_j * y_j with fixed arbitrary g
+        let g = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![1.0, -2.0, 0.5, 0.25]);
+        let gin = s.backward(&y, &g);
+        let h = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.set(0, 0, i, x.get(0, 0, i) + h);
+            let mut xm = x.clone();
+            xm.set(0, 0, i, x.get(0, 0, i) - h);
+            let lp: f32 = s
+                .forward(&xp)
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = s
+                .forward(&xm)
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let num = (lp - lm) / (2.0 * h);
+            assert!(
+                (num - gin.get(0, 0, i)).abs() < 1e-2,
+                "grad mismatch at {i}: num={num} ana={}",
+                gin.get(0, 0, i)
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # dfcnn-nn
+//!
+//! Software reference implementation of the CNNs the paper accelerates:
+//! layers (§II-A), inference, and the *offline training* step that produces
+//! the weights the HLS cores hardcode (§IV-A).
+//!
+//! Everything in this crate is the **baseline**: the dataflow accelerator in
+//! `dfcnn-core` must produce (numerically) the same outputs, and every
+//! experiment's functional correctness is checked against this crate.
+//!
+//! Design notes:
+//!
+//! - All activations flow as [`dfcnn_tensor::Tensor3`] volumes. A
+//!   fully-connected layer consumes a `1 × 1 × N` volume — mirroring the
+//!   paper's observation (§IV-B) that an FC layer *is* a 1×1 convolution
+//!   with every value "a different input channel ... in a 1×1 FM".
+//! - Layers are an enum ([`layer::Layer`]), not trait objects, so networks
+//!   are cheaply clonable and the dataflow compiler in `dfcnn-core` can
+//!   pattern-match on them.
+//! - Training is plain SGD with momentum ([`train`]), sufficient to fit the
+//!   paper's two small topologies on the synthetic datasets.
+
+pub mod act;
+pub mod layer;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod topology;
+pub mod train;
+
+pub use act::Activation;
+pub use layer::{Conv2d, Layer, Linear, LogSoftmax, Pool2d, PoolKind};
+pub use network::Network;
+pub use topology::{LayerSpec, NetworkSpec};

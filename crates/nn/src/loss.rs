@@ -1,0 +1,107 @@
+//! Losses for the offline training step.
+//!
+//! The paper's classification stage ends with a LogSoftMax operator; the
+//! natural training loss is therefore negative log-likelihood over the
+//! log-probabilities. `grad` returns the gradient w.r.t. the *network
+//! output* (the log-softmax values), which [`crate::Network::backward`]
+//! then propagates.
+
+use dfcnn_tensor::Tensor3;
+
+/// Negative log-likelihood over log-probabilities (the output of a
+/// LogSoftMax final layer).
+pub struct Nll;
+
+impl Nll {
+    /// Loss value: `-log p(target)`.
+    pub fn value(log_probs: &Tensor3<f32>, target: usize) -> f32 {
+        assert!(target < log_probs.shape().c, "target class out of range");
+        -log_probs.get(0, 0, target)
+    }
+
+    /// Gradient of the loss w.r.t. the log-probabilities: `-1` at the
+    /// target class, `0` elsewhere.
+    pub fn grad(log_probs: &Tensor3<f32>, target: usize) -> Tensor3<f32> {
+        assert!(target < log_probs.shape().c, "target class out of range");
+        let mut g = Tensor3::zeros(log_probs.shape());
+        g.set(0, 0, target, -1.0);
+        g
+    }
+}
+
+/// Mean squared error (used by ablation tests on regression-style heads).
+pub struct Mse;
+
+impl Mse {
+    /// Loss value: `mean((y - t)^2)`.
+    pub fn value(output: &Tensor3<f32>, target: &Tensor3<f32>) -> f32 {
+        assert_eq!(output.shape(), target.shape());
+        let n = output.len() as f32;
+        output
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f32>()
+            / n
+    }
+
+    /// Gradient: `2 (y - t) / n`.
+    pub fn grad(output: &Tensor3<f32>, target: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(output.shape(), target.shape());
+        let n = output.len() as f32;
+        let data = output
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(y, t)| 2.0 * (y - t) / n)
+            .collect();
+        Tensor3::from_vec(output.shape(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_tensor::Shape3;
+
+    #[test]
+    fn nll_picks_target_logprob() {
+        let lp = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![-0.1, -2.0, -3.0]);
+        assert_eq!(Nll::value(&lp, 1), 2.0);
+        let g = Nll::grad(&lp, 1);
+        assert_eq!(g.as_slice(), &[0.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nll_target_bounds_checked() {
+        let lp = Tensor3::zeros(Shape3::new(1, 1, 2));
+        Nll::value(&lp, 2);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let y = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![1.0, 3.0]);
+        let t = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![0.0, 1.0]);
+        assert_eq!(Mse::value(&y, &t), (1.0 + 4.0) / 2.0);
+        let g = Mse::grad(&y, &t);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_gradient_check() {
+        let y = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![0.2, -0.4, 1.0]);
+        let t = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![0.0, 0.0, 0.5]);
+        let g = Mse::grad(&y, &t);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut yp = y.clone();
+            yp.set(0, 0, i, y.get(0, 0, i) + h);
+            let mut ym = y.clone();
+            ym.set(0, 0, i, y.get(0, 0, i) - h);
+            let num = (Mse::value(&yp, &t) - Mse::value(&ym, &t)) / (2.0 * h);
+            assert!((num - g.get(0, 0, i)).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Classification metrics for evaluating the trained reference networks and
+//! the accelerator's functional outputs.
+
+use dfcnn_tensor::Tensor3;
+
+/// Confusion matrix over `k` classes.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>, // row = true class, col = predicted
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `k` classes.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
+    }
+
+    /// Record one prediction.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k, "class out of range");
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// Count for (true class, predicted class).
+    pub fn get(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; 0 if empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.k).map(|i| self.get(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (`diag / row sum`), `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.k).map(|j| self.get(class, j)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.get(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.k
+    }
+}
+
+/// Accuracy of a predictor over a labelled set.
+pub fn accuracy_of(
+    predict: impl Fn(&Tensor3<f32>) -> usize,
+    samples: &[(Tensor3<f32>, usize)],
+) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .filter(|(x, label)| predict(x) == *label)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_tensor::Shape3;
+
+    #[test]
+    fn confusion_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(1, 2);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(cm.get(1, 2), 1);
+    }
+
+    #[test]
+    fn recall_handles_unseen_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert_eq!(cm.recall(1), None);
+    }
+
+    #[test]
+    fn empty_matrix_accuracy_zero() {
+        assert_eq!(ConfusionMatrix::new(4).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_of_closure() {
+        let mk = |v: f32| Tensor3::full(Shape3::new(1, 1, 1), v);
+        let samples = vec![(mk(0.0), 0), (mk(1.0), 1), (mk(2.0), 0)];
+        // predictor: class 1 iff value > 0.5
+        let acc = accuracy_of(|x| if x.get(0, 0, 0) > 0.5 { 1 } else { 0 }, &samples);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

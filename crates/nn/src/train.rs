@@ -1,0 +1,260 @@
+//! The offline training step that produces the weights the accelerator
+//! hardcodes (§IV-A: weights are "defined at design time and therefore
+//! hardcoded in on-chip memory").
+//!
+//! Plain minibatch SGD with momentum and NLL loss — entirely adequate for
+//! the paper's two small topologies on the synthetic datasets, and fully
+//! deterministic given a seeded RNG and a fixed sample order.
+
+use crate::loss::Nll;
+use crate::network::{LayerGrads, Network};
+use dfcnn_tensor::Tensor3;
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            batch_size: 16,
+            epochs: 5,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean NLL loss over the epoch.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Minibatch SGD trainer with momentum.
+pub struct Trainer {
+    config: TrainConfig,
+    velocity: Option<Vec<LayerGrads>>,
+}
+
+impl Trainer {
+    /// Create a trainer.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer {
+            config,
+            velocity: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train `net` in place on `(input, label)` samples; returns per-epoch
+    /// statistics. Samples are visited in the given order (shuffle upstream
+    /// with a seeded RNG if desired — we keep this deterministic).
+    pub fn fit(&mut self, net: &mut Network, samples: &[(Tensor3<f32>, usize)]) -> Vec<EpochStats> {
+        assert!(!samples.is_empty(), "cannot train on an empty set");
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut correct = 0usize;
+            for chunk in samples.chunks(self.config.batch_size) {
+                let mut grads = net.zero_grads();
+                for (x, label) in chunk {
+                    let trace = net.forward_trace(x);
+                    let out = trace.last().unwrap();
+                    loss_sum += Nll::value(out, *label) as f64;
+                    if out.flatten().argmax() == *label {
+                        correct += 1;
+                    }
+                    let gl = Nll::grad(out, *label);
+                    net.backward(&trace, &gl, &mut grads);
+                }
+                self.step(net, &mut grads, chunk.len());
+            }
+            stats.push(EpochStats {
+                epoch,
+                mean_loss: (loss_sum / samples.len() as f64) as f32,
+                accuracy: correct as f64 / samples.len() as f64,
+            });
+        }
+        stats
+    }
+
+    /// One optimiser step given summed minibatch gradients.
+    fn step(&mut self, net: &mut Network, grads: &mut [LayerGrads], batch: usize) {
+        let scale = 1.0 / batch as f32;
+        scale_grads(grads, scale);
+        if self.config.momentum > 0.0 {
+            let vel = self.velocity.get_or_insert_with(|| net.zero_grads());
+            blend_velocity(vel, grads, self.config.momentum);
+            // copy velocity into grads so apply_grads sees the blended step
+            clone_into(vel, grads);
+        }
+        net.apply_grads(grads, self.config.lr);
+    }
+}
+
+fn scale_grads(grads: &mut [LayerGrads], scale: f32) {
+    for g in grads {
+        match g {
+            LayerGrads::Conv(cg) => {
+                cg.filters
+                    .as_mut_slice()
+                    .iter_mut()
+                    .for_each(|v| *v *= scale);
+                cg.bias.as_mut_slice().iter_mut().for_each(|v| *v *= scale);
+            }
+            LayerGrads::Linear(lg) => {
+                lg.weights
+                    .as_mut_slice()
+                    .iter_mut()
+                    .for_each(|v| *v *= scale);
+                lg.bias.as_mut_slice().iter_mut().for_each(|v| *v *= scale);
+            }
+            LayerGrads::None => {}
+        }
+    }
+}
+
+/// `vel = momentum * vel + grad`
+fn blend_velocity(vel: &mut [LayerGrads], grads: &[LayerGrads], momentum: f32) {
+    for (v, g) in vel.iter_mut().zip(grads.iter()) {
+        match (v, g) {
+            (LayerGrads::Conv(vc), LayerGrads::Conv(gc)) => {
+                for (a, b) in vc
+                    .filters
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(gc.filters.as_slice())
+                {
+                    *a = momentum * *a + b;
+                }
+                for (a, b) in vc.bias.as_mut_slice().iter_mut().zip(gc.bias.as_slice()) {
+                    *a = momentum * *a + b;
+                }
+            }
+            (LayerGrads::Linear(vl), LayerGrads::Linear(gl)) => {
+                for (a, b) in vl
+                    .weights
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(gl.weights.as_slice())
+                {
+                    *a = momentum * *a + b;
+                }
+                for (a, b) in vl.bias.as_mut_slice().iter_mut().zip(gl.bias.as_slice()) {
+                    *a = momentum * *a + b;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn clone_into(src: &[LayerGrads], dst: &mut [LayerGrads]) {
+    for (s, d) in src.iter().zip(dst.iter_mut()) {
+        *d = s.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::Activation;
+    use crate::layer::{Layer, Linear, LogSoftmax};
+    use dfcnn_tensor::{Shape3, Tensor1};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Linearly-separable two-class toy problem on 4 inputs.
+    fn toy_samples() -> Vec<(Tensor3<f32>, usize)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut samples = Vec::new();
+        for i in 0..64 {
+            let label = i % 2;
+            let base = if label == 0 { 1.0 } else { -1.0 };
+            let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 4), -0.2, 0.2)
+                .map(|v| v + base);
+            samples.push((x, label));
+        }
+        samples
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = dfcnn_tensor::init::linear_weights(&mut rng, 4, 2);
+        Network::new()
+            .with(Layer::Linear(Linear::new(
+                w,
+                Tensor1::zeros(2),
+                Activation::Identity,
+            )))
+            .with(Layer::LogSoftmax(LogSoftmax::new(2)))
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_full_accuracy() {
+        let mut net = toy_net(3);
+        let samples = toy_samples();
+        let mut trainer = Trainer::new(TrainConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            batch_size: 8,
+            epochs: 10,
+        });
+        let stats = trainer.fit(&mut net, &samples);
+        assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
+        assert_eq!(stats.last().unwrap().accuracy, 1.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let samples = toy_samples();
+        let run = || {
+            let mut net = toy_net(3);
+            let mut tr = Trainer::new(TrainConfig::default());
+            tr.fit(&mut net, &samples);
+            net.scores(&samples[0].0).into_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn momentum_zero_is_plain_sgd() {
+        let samples = toy_samples();
+        let mut net = toy_net(5);
+        let mut tr = Trainer::new(TrainConfig {
+            lr: 0.05,
+            momentum: 0.0,
+            batch_size: 64,
+            epochs: 1,
+        });
+        let s = tr.fit(&mut net, &samples);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].mean_loss.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_training_set_rejected() {
+        let mut net = toy_net(1);
+        Trainer::new(TrainConfig::default()).fit(&mut net, &[]);
+    }
+}

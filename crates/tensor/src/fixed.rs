@@ -1,0 +1,221 @@
+//! Q-format fixed-point scalar.
+//!
+//! The paper implements both test cases in single-precision floating point
+//! but notes (§IV-B) that the 11-cycle floating-point accumulation latency
+//! "does not arise when using integer values, and will be subject to further
+//! study". [`Fixed`] is that further study's substrate: a signed 32-bit
+//! value with a compile-time fractional bit count, providing saturating
+//! arithmetic as a hardware fixed-point datapath would.
+
+use crate::Element;
+use serde::{Deserialize, Serialize};
+
+/// Signed fixed-point number with `FRAC` fractional bits in an `i32`
+/// container (Q`31-FRAC`.`FRAC` format).
+///
+/// Multiplication widens to `i64` before rescaling, like a DSP48 slice does;
+/// all operations saturate instead of wrapping, matching common FPGA
+/// datapath practice.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Fixed<const FRAC: u32 = 16>(i32);
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// Smallest representable value.
+    pub const MIN: Self = Fixed(i32::MIN);
+    /// Largest representable value.
+    pub const MAX: Self = Fixed(i32::MAX);
+    /// The scale factor `2^FRAC`.
+    pub const SCALE: f64 = (1u64 << FRAC) as f64;
+
+    /// Construct from the raw fixed-point bit pattern.
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Self {
+        Fixed(raw)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Convert from `f64`, saturating at the representable range.
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * Self::SCALE).round();
+        if scaled >= i32::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Self::MIN
+        } else {
+            Fixed(scaled as i32)
+        }
+    }
+
+    /// Convert to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE
+    }
+
+    /// Quantisation step (the value of one LSB).
+    #[inline]
+    pub fn epsilon() -> f64 {
+        1.0 / Self::SCALE
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Fixed(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication with full-width intermediate, as a DSP
+    /// slice computes it (widen, multiply, shift back, saturate).
+    #[inline]
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC;
+        if wide > i32::MAX as i64 {
+            Self::MAX
+        } else if wide < i32::MIN as i64 {
+            Self::MIN
+        } else {
+            Fixed(wide as i32)
+        }
+    }
+}
+
+impl<const FRAC: u32> core::ops::Add for Fixed<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Sub for Fixed<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Mul for Fixed<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> core::ops::Neg for Fixed<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Fixed(self.0.saturating_neg())
+    }
+}
+
+impl<const FRAC: u32> Element for Fixed<FRAC> {
+    #[inline]
+    fn zero() -> Self {
+        Fixed(0)
+    }
+    #[inline]
+    fn one() -> Self {
+        Fixed(1i32 << FRAC)
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        Self::from_f64(v as f64)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+}
+
+impl<const FRAC: u32> core::fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// The default fixed-point format used by the fixed-point design study:
+/// Q15.16, a common choice for CNN inference on Virtex-7-class DSP slices.
+pub type Q16 = Fixed<16>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for v in [-2.5f64, -1.0, 0.0, 0.5, 1.0, 3.25] {
+            assert_eq!(Q16::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn one_is_scale() {
+        assert_eq!(<Q16 as Element>::one().raw(), 1 << 16);
+        assert_eq!(<Q16 as Element>::one().to_f64(), 1.0);
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = Q16::from_f64(1.5);
+        let b = Q16::from_f64(2.0);
+        assert_eq!((a + b).to_f64(), 3.5);
+        assert_eq!((a - b).to_f64(), -0.5);
+        assert_eq!((a * b).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn mul_truncates_toward_neg_infinity_like_hw() {
+        // (1/65536) * (1/65536) underflows to zero in Q15.16
+        let eps = Q16::from_raw(1);
+        assert_eq!((eps * eps).raw(), 0);
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let big = Q16::from_f64(30000.0);
+        assert_eq!(big + big, Q16::MAX);
+        assert_eq!(big * big, Q16::MAX);
+        let small = Q16::from_f64(-30000.0);
+        assert_eq!(small + small, Q16::MIN);
+        assert_eq!(Q16::from_f64(1e12), Q16::MAX);
+        assert_eq!(Q16::from_f64(-1e12), Q16::MIN);
+    }
+
+    #[test]
+    fn quantisation_error_bounded_by_half_lsb() {
+        for i in 0..100 {
+            let v = (i as f64) * 0.0137 - 0.7;
+            let q = Q16::from_f64(v).to_f64();
+            assert!((q - v).abs() <= Q16::epsilon() / 2.0 + 1e-12, "v={v} q={q}");
+        }
+    }
+
+    #[test]
+    fn element_impl_via_f32() {
+        let x = <Q16 as Element>::from_f32(0.25);
+        assert_eq!(x.to_f32(), 0.25);
+        assert_eq!(<Q16 as Element>::zero().to_f32(), 0.0);
+    }
+
+    #[test]
+    fn neg_saturates_min() {
+        assert_eq!((-Q16::MIN).raw(), i32::MAX);
+        assert_eq!((-Q16::from_f64(1.0)).to_f64(), -1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic weight initialisers for the reference trainer.
+//!
+//! The paper ships offline-trained weights hardcoded into the HLS cores
+//! (§IV-A: "whose values are currently defined at design time and therefore
+//! hardcoded in on-chip memory"). We reproduce the *offline training* step in
+//! `dfcnn-nn`; these initialisers seed it deterministically so every
+//! experiment in the repository is reproducible bit-for-bit.
+
+use crate::{Tensor1, Tensor3, Tensor4};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Xavier/Glorot uniform bound for a layer with the given fan-in/fan-out.
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0f32 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// Xavier-uniform initialised filter bank for a convolutional layer.
+///
+/// Fan-in is `kh * kw * c`, fan-out `kh * kw * k`, the standard counts for
+/// a conv layer.
+pub fn conv_filters(rng: &mut impl Rng, k: usize, kh: usize, kw: usize, c: usize) -> Tensor4<f32> {
+    let bound = xavier_bound(kh * kw * c, kh * kw * k);
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Tensor4::from_fn(k, kh, kw, c, |_, _, _, _| dist.sample(rng))
+}
+
+/// Xavier-uniform initialised weight matrix for a fully-connected layer,
+/// stored as a `outputs × 1 × 1 × inputs` filter bank so the FC layer can be
+/// expressed as the 1×1 convolution the paper describes (§IV-B).
+pub fn linear_weights(rng: &mut impl Rng, inputs: usize, outputs: usize) -> Tensor4<f32> {
+    let bound = xavier_bound(inputs, outputs);
+    let dist = Uniform::new_inclusive(-bound, bound);
+    Tensor4::from_fn(outputs, 1, 1, inputs, |_, _, _, _| dist.sample(rng))
+}
+
+/// Zero-initialised bias vector (one per output feature map / neuron).
+pub fn biases(n: usize) -> Tensor1<f32> {
+    Tensor1::zeros(n)
+}
+
+/// Uniform random volume in `[lo, hi]` — used by tests and synthetic inputs.
+pub fn random_volume(rng: &mut impl Rng, shape: crate::Shape3, lo: f32, hi: f32) -> Tensor3<f32> {
+    let dist = Uniform::new_inclusive(lo, hi);
+    Tensor3::from_fn(shape, |_, _, _| dist.sample(rng))
+}
+
+/// Uniform random vector in `[lo, hi]`.
+pub fn random_vector(rng: &mut impl Rng, n: usize, lo: f32, hi: f32) -> Tensor1<f32> {
+    let dist = Uniform::new_inclusive(lo, hi);
+    Tensor1::from_fn(n, |_| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape3;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_bound_formula() {
+        assert!((xavier_bound(100, 200) - (6.0f32 / 300.0).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn conv_filters_within_bound_and_deterministic() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(42);
+        let mut r2 = ChaCha8Rng::seed_from_u64(42);
+        let a = conv_filters(&mut r1, 6, 5, 5, 1);
+        let b = conv_filters(&mut r2, 6, 5, 5, 1);
+        assert_eq!(a, b);
+        let bound = xavier_bound(25, 150);
+        assert!(a.as_slice().iter().all(|&w| w.abs() <= bound));
+        // not all zero
+        assert!(a.as_slice().iter().any(|&w| w != 0.0));
+    }
+
+    #[test]
+    fn linear_weights_shape_is_1x1_conv() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let w = linear_weights(&mut rng, 64, 10);
+        assert_eq!((w.k(), w.kh(), w.kw(), w.c()), (10, 1, 1, 64));
+    }
+
+    #[test]
+    fn biases_start_at_zero() {
+        assert!(biases(16).as_slice().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn random_volume_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = random_volume(&mut rng, Shape3::new(4, 4, 2), -1.0, 1.0);
+        assert!(v.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(2);
+        let a = random_vector(&mut r1, 32, 0.0, 1.0);
+        let b = random_vector(&mut r2, 32, 0.0, 1.0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,139 @@
+//! # dfcnn-tensor
+//!
+//! Dense tensor substrate for the `dfcnn` workspace: the Rust reproduction of
+//! *"A Pipelined and Scalable Dataflow Implementation of Convolutional Neural
+//! Networks on FPGA"* (Bacis et al., IPDPSW 2017).
+//!
+//! The paper's accelerator streams CNN *volumes* — `H × W × C` feature-map
+//! stacks — over AXI4-Stream ports, interleaving the `C` feature maps on each
+//! port in channel-major order. This crate therefore stores [`Tensor3`]
+//! volumes in **row-major, channel-fastest** layout (`(y, x, c)` with `c`
+//! contiguous), so that a plain slice iteration over the backing storage *is*
+//! the paper's streaming order. Everything downstream (the SST memory system,
+//! the DMA model, the reference CNN) relies on this property.
+//!
+//! Contents:
+//!
+//! - [`shape`]: volume shapes and the convolution/pooling output-size algebra.
+//! - [`tensor3`]: owned `H × W × C` volumes ([`Tensor3`]).
+//! - [`tensor4`]: filter banks `K × KH × KW × C` ([`Tensor4`]) as used by
+//!   convolutional layers (paper Eq. 1).
+//! - [`tensor1`]: flat vectors ([`Tensor1`]) for fully-connected layers
+//!   (paper Eq. 2) and biases.
+//! - [`fixed`]: a Q-format fixed-point scalar, supporting the paper's §IV-B
+//!   remark that integer arithmetic sidesteps the floating-point accumulation
+//!   latency (a "future work" data-type study we implement).
+//! - [`init`]: deterministic weight initialisers for the reference trainer.
+//! - [`iter`]: sliding-window and stream-order iterators shared by the
+//!   reference CNN and the dataflow simulator.
+
+pub mod fixed;
+pub mod init;
+pub mod iter;
+pub mod shape;
+pub mod tensor1;
+pub mod tensor3;
+pub mod tensor4;
+
+pub use fixed::Fixed;
+pub use shape::{ConvGeometry, Shape3};
+pub use tensor1::Tensor1;
+pub use tensor3::Tensor3;
+pub use tensor4::Tensor4;
+
+/// Scalar element types usable by the tensors and the dataflow machinery.
+///
+/// The paper evaluates with single-precision floats ("Both the networks are
+/// implemented with single floating point precision", §V-B) but discusses
+/// integer arithmetic as a way to avoid the accumulation-latency issue
+/// (§IV-B). We abstract the handful of operations both need.
+pub trait Element:
+    Copy
+    + Clone
+    + Default
+    + PartialEq
+    + PartialOrd
+    + core::fmt::Debug
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f32` (used when freezing trained weights into
+    /// a fixed-point design).
+    fn from_f32(v: f32) -> Self;
+    /// Lossy conversion to `f32` (used for verification and metrics).
+    fn to_f32(self) -> f32;
+    /// `max(self, other)` with NaN-free semantics for the supported types.
+    fn maximum(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Element for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+}
+
+impl Element for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f32(v: f32) -> Self {
+        v as f64
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_f32_identities() {
+        assert_eq!(<f32 as Element>::zero(), 0.0);
+        assert_eq!(<f32 as Element>::one(), 1.0);
+        assert_eq!(<f32 as Element>::from_f32(2.5), 2.5);
+        assert_eq!(2.5f32.to_f32(), 2.5);
+    }
+
+    #[test]
+    fn element_maximum() {
+        assert_eq!(Element::maximum(3.0f32, 4.0), 4.0);
+        assert_eq!(Element::maximum(4.0f32, 3.0), 4.0);
+        assert_eq!(Element::maximum(-1.0f64, -2.0), -1.0);
+    }
+}

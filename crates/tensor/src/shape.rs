@@ -1,0 +1,280 @@
+//! Volume shapes and the output-size algebra of convolution and pooling.
+//!
+//! The paper (§II-A, Eq. 1) defines the input of a convolutional layer as a
+//! 3D volume with height `H`, width `W` and depth `C` (channels / feature
+//! maps), convolved by filters of size `KH × KW × C` with optional stride `S`
+//! and zero padding `P`. The same window/stride geometry drives the
+//! sub-sampling (pooling) layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a `H × W × C` volume, stored row-major with `C` fastest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape3 {
+    /// Height (`H` in the paper).
+    pub h: usize,
+    /// Width (`W`).
+    pub w: usize,
+    /// Channels / feature maps (`C`).
+    pub c: usize,
+}
+
+impl Shape3 {
+    /// Create a new shape. All extents must be non-zero.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0, "Shape3 extents must be non-zero");
+        Shape3 { h, w, c }
+    }
+
+    /// Total number of scalar elements in the volume.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// A shape is never empty (enforced at construction) but the method is
+    /// provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of element `(y, x, c)` in channel-fastest layout.
+    ///
+    /// This is exactly the position of the value in the paper's AXI stream
+    /// when the whole volume is interleaved over a single port.
+    #[inline]
+    pub fn index(&self, y: usize, x: usize, c: usize) -> usize {
+        debug_assert!(y < self.h && x < self.w && c < self.c);
+        (y * self.w + x) * self.c + c
+    }
+
+    /// Inverse of [`Shape3::index`]: recover `(y, x, c)` from a stream offset.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.len());
+        let c = idx % self.c;
+        let px = idx / self.c;
+        (px / self.w, px % self.w, c)
+    }
+}
+
+impl core::fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// The window/stride/padding geometry of a convolutional or sub-sampling
+/// layer, with the derived output extents.
+///
+/// Both layer kinds "swipe a filter on the volume" (§II-A); the only
+/// difference downstream is the per-window operation (MAC vs max/mean) and
+/// whether channels are combined (conv) or kept separate (pooling).
+///
+/// ```
+/// use dfcnn_tensor::{ConvGeometry, Shape3};
+/// // paper test case 2, conv1: 32x32 RGB through a 5x5 window
+/// let geo = ConvGeometry::new(Shape3::new(32, 32, 3), 5, 5, 1, 0);
+/// assert_eq!(geo.conv_output(12), Shape3::new(28, 28, 12));
+/// // the SST full-buffering minimum: 4 rows + 5 pixels, 3 channels each
+/// assert_eq!(geo.full_buffer_elems(), (4 * 32 + 5) * 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Input volume shape.
+    pub input: Shape3,
+    /// Window height (`KH`).
+    pub kh: usize,
+    /// Window width (`KW`).
+    pub kw: usize,
+    /// Stride (`S`), identical in x and y as in the paper's designs.
+    pub stride: usize,
+    /// Zero padding (`P`) added on every border.
+    pub pad: usize,
+}
+
+impl ConvGeometry {
+    /// Build a geometry, validating that at least one window fits.
+    pub fn new(input: Shape3, kh: usize, kw: usize, stride: usize, pad: usize) -> Self {
+        assert!(kh > 0 && kw > 0, "window extents must be non-zero");
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(
+            input.h + 2 * pad >= kh && input.w + 2 * pad >= kw,
+            "window {}x{} does not fit input {} with pad {}",
+            kh,
+            kw,
+            input,
+            pad
+        );
+        ConvGeometry {
+            input,
+            kh,
+            kw,
+            stride,
+            pad,
+        }
+    }
+
+    /// Number of window positions vertically: `floor((H + 2P - KH)/S) + 1`.
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        (self.input.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Number of window positions horizontally: `floor((W + 2P - KW)/S) + 1`.
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        (self.input.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Output shape for a convolution producing `k` feature maps.
+    pub fn conv_output(&self, k: usize) -> Shape3 {
+        Shape3::new(self.out_h(), self.out_w(), k)
+    }
+
+    /// Output shape for a pooling layer (channel count preserved).
+    pub fn pool_output(&self) -> Shape3 {
+        Shape3::new(self.out_h(), self.out_w(), self.input.c)
+    }
+
+    /// Number of scalar values inside one window across all input channels.
+    #[inline]
+    pub fn window_volume(&self) -> usize {
+        self.kh * self.kw * self.input.c
+    }
+
+    /// Total number of window positions.
+    #[inline]
+    pub fn positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Minimum on-chip buffering (in scalars) for *full buffering* of the
+    /// sliding window, per the SST construction of [17, 18]: `(KH - 1)` full
+    /// image rows plus `KW` extra pixels, times the channel interleave depth.
+    ///
+    /// This is the quantity the paper's *memory system* is designed to hit
+    /// ("the minimum possible to achieve full buffering", §II-B). Padding is
+    /// materialised by the filter chain, so it does not add storage.
+    #[inline]
+    pub fn full_buffer_elems(&self) -> usize {
+        ((self.kh - 1) * self.input.w + self.kw) * self.input.c
+    }
+}
+
+impl core::fmt::Display for ConvGeometry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} -> {}x{} win {}x{} stride {} pad {}",
+            self.input,
+            self.out_h(),
+            self.out_w(),
+            self.kh,
+            self.kw,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let s = Shape3::new(4, 5, 3);
+        let mut seen = vec![false; s.len()];
+        for y in 0..4 {
+            for x in 0..5 {
+                for c in 0..3 {
+                    let i = s.index(y, x, c);
+                    assert!(!seen[i], "index collision at ({y},{x},{c})");
+                    seen[i] = true;
+                    assert_eq!(s.coords(i), (y, x, c));
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn index_is_channel_fastest() {
+        let s = Shape3::new(2, 2, 4);
+        // consecutive channels of the same pixel are adjacent in the stream
+        assert_eq!(s.index(0, 0, 1), s.index(0, 0, 0) + 1);
+        // next pixel starts after all channels
+        assert_eq!(s.index(0, 1, 0), s.index(0, 0, 0) + 4);
+        // next row after a full row of pixels
+        assert_eq!(s.index(1, 0, 0), 2 * 4);
+    }
+
+    #[test]
+    fn usps_testcase1_geometry() {
+        // Paper §V-B1: 16x16 grayscale, 5x5 conv -> 12x12, 2x2 pool stride 2
+        // -> 6x6, 5x5 conv -> 2x2.
+        let g1 = ConvGeometry::new(Shape3::new(16, 16, 1), 5, 5, 1, 0);
+        assert_eq!(g1.conv_output(6), Shape3::new(12, 12, 6));
+        let g2 = ConvGeometry::new(Shape3::new(12, 12, 6), 2, 2, 2, 0);
+        assert_eq!(g2.pool_output(), Shape3::new(6, 6, 6));
+        let g3 = ConvGeometry::new(Shape3::new(6, 6, 6), 5, 5, 1, 0);
+        assert_eq!(g3.conv_output(16), Shape3::new(2, 2, 16));
+    }
+
+    #[test]
+    fn cifar_testcase2_geometry() {
+        // Paper §V-B2: 32x32 RGB, conv 5x5 -> 28x28x12, pool -> 14x14x12,
+        // conv 5x5 -> 10x10x36, pool -> 5x5x36.
+        let g1 = ConvGeometry::new(Shape3::new(32, 32, 3), 5, 5, 1, 0);
+        assert_eq!(g1.conv_output(12), Shape3::new(28, 28, 12));
+        let g2 = ConvGeometry::new(Shape3::new(28, 28, 12), 2, 2, 2, 0);
+        assert_eq!(g2.pool_output(), Shape3::new(14, 14, 12));
+        let g3 = ConvGeometry::new(Shape3::new(14, 14, 12), 5, 5, 1, 0);
+        assert_eq!(g3.conv_output(36), Shape3::new(10, 10, 36));
+        let g4 = ConvGeometry::new(Shape3::new(10, 10, 36), 2, 2, 2, 0);
+        assert_eq!(g4.pool_output(), Shape3::new(5, 5, 36));
+    }
+
+    #[test]
+    fn padding_expands_output() {
+        let g = ConvGeometry::new(Shape3::new(8, 8, 2), 3, 3, 1, 1);
+        assert_eq!(g.out_h(), 8);
+        assert_eq!(g.out_w(), 8);
+    }
+
+    #[test]
+    fn stride_shrinks_output() {
+        let g = ConvGeometry::new(Shape3::new(9, 9, 1), 3, 3, 2, 0);
+        assert_eq!(g.out_h(), 4);
+        assert_eq!(g.out_w(), 4);
+    }
+
+    #[test]
+    fn full_buffer_matches_sst_rule() {
+        // 5x5 window over a 32-wide, 3-channel image: 4 rows + 5 pixels,
+        // each pixel carrying 3 interleaved values.
+        let g = ConvGeometry::new(Shape3::new(32, 32, 3), 5, 5, 1, 0);
+        assert_eq!(g.full_buffer_elems(), (4 * 32 + 5) * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn window_larger_than_input_panics() {
+        ConvGeometry::new(Shape3::new(4, 4, 1), 5, 5, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_shape_panics() {
+        Shape3::new(0, 4, 1);
+    }
+
+    #[test]
+    fn window_volume_and_positions() {
+        let g = ConvGeometry::new(Shape3::new(6, 6, 6), 5, 5, 1, 0);
+        assert_eq!(g.window_volume(), 150);
+        assert_eq!(g.positions(), 4);
+    }
+}

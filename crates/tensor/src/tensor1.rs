@@ -1,0 +1,179 @@
+//! Flat vectors for fully-connected layers and biases.
+
+use crate::Element;
+
+/// A dense 1D tensor. In the paper's FC formulation (§IV-B) every element is
+/// "a different input channel ... in a 1×1 FM", so [`Tensor1`] is both the
+/// natural host-side container and the stream payload of the FC cores.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor1<T = f32> {
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor1<T> {
+    /// Zero-filled vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Tensor1 {
+            data: vec![T::zero(); n],
+        }
+    }
+
+    /// Wrap an existing buffer.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Tensor1 { data }
+    }
+
+    /// Build from a generator invoked as `f(i)`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> T) -> Self {
+        Tensor1 {
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+
+    /// Set element `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.data[i] = v;
+    }
+
+    /// Backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Index of the maximum element (ties broken towards the lower index).
+    /// Used to turn classifier scores into a predicted class.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for i in 1..self.data.len() {
+            if self.data[i] > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Tensor1<T> {
+        Tensor1 {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Convert every element to `f32`.
+    pub fn to_f32(&self) -> Tensor1<f32> {
+        Tensor1 {
+            data: self.data.iter().map(|v| v.to_f32()).collect(),
+        }
+    }
+
+    /// Maximum absolute difference against another vector of equal length.
+    pub fn max_abs_diff(&self, other: &Tensor1<T>) -> f32 {
+        assert_eq!(self.len(), other.len(), "length mismatch in comparison");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl Tensor1<f32> {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Dot product with another vector of equal length.
+    pub fn dot(&self, other: &Tensor1<f32>) -> f32 {
+        assert_eq!(self.len(), other.len(), "length mismatch in dot product");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor1::<f32>::zeros(4);
+        assert_eq!(t.len(), 4);
+        t.set(2, 5.0);
+        assert_eq!(t.get(2), 5.0);
+        *t.get_mut(3) = 1.0;
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        let t = Tensor1::from_vec(vec![1.0f32, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_finds_last_max() {
+        let t = Tensor1::from_vec(vec![-2.0f32, -1.0, 0.5]);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor1::from_vec(vec![1.0f32, 2.0, 3.0]);
+        let b = Tensor1::from_vec(vec![4.0f32, 5.0, 6.0]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn from_fn_indices() {
+        let t = Tensor1::from_fn(3, |i| i as f32 * 2.0);
+        assert_eq!(t.as_slice(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        Tensor1::<f32>::zeros(0).argmax();
+    }
+}

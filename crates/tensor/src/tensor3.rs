@@ -1,0 +1,258 @@
+//! Owned `H × W × C` volumes in row-major, channel-fastest layout.
+
+use crate::shape::Shape3;
+use crate::Element;
+
+/// A dense 3D volume as streamed by the paper's accelerator.
+///
+/// The backing storage order is the *stream order*: iterating the slice
+/// returned by [`Tensor3::as_slice`] yields exactly the sequence of values
+/// an AXI port would carry when the whole volume is interleaved over it
+/// (pixels row-major, channels innermost).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3<T = f32> {
+    shape: Shape3,
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor3<T> {
+    /// Zero-filled volume.
+    pub fn zeros(shape: Shape3) -> Self {
+        Tensor3 {
+            shape,
+            data: vec![T::zero(); shape.len()],
+        }
+    }
+
+    /// Volume filled with a constant.
+    pub fn full(shape: Shape3, v: T) -> Self {
+        Tensor3 {
+            shape,
+            data: vec![v; shape.len()],
+        }
+    }
+
+    /// Wrap an existing buffer already in stream order.
+    ///
+    /// # Panics
+    /// If `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape3, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor3 { shape, data }
+    }
+
+    /// Build from a generator invoked as `f(y, x, c)`.
+    pub fn from_fn(shape: Shape3, mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for y in 0..shape.h {
+            for x in 0..shape.w {
+                for c in 0..shape.c {
+                    data.push(f(y, x, c));
+                }
+            }
+        }
+        Tensor3 { shape, data }
+    }
+
+    /// Volume shape.
+    #[inline]
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Total scalar count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false` for a constructed tensor; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(y, x, c)`.
+    #[inline]
+    pub fn get(&self, y: usize, x: usize, c: usize) -> T {
+        self.data[self.shape.index(y, x, c)]
+    }
+
+    /// Element at `(y, x, c)` treating out-of-bounds coordinates as zero
+    /// padding (the paper's `P` hyper-parameter). Coordinates are signed so
+    /// callers can index `y - pad` directly.
+    #[inline]
+    pub fn get_padded(&self, y: isize, x: isize, c: usize) -> T {
+        if y < 0 || x < 0 || y >= self.shape.h as isize || x >= self.shape.w as isize {
+            T::zero()
+        } else {
+            self.get(y as usize, x as usize, c)
+        }
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn get_mut(&mut self, y: usize, x: usize, c: usize) -> &mut T {
+        &mut self.data[self.shape.index(y, x, c)]
+    }
+
+    /// Set element at `(y, x, c)`.
+    #[inline]
+    pub fn set(&mut self, y: usize, x: usize, c: usize, v: T) {
+        let i = self.shape.index(y, x, c);
+        self.data[i] = v;
+    }
+
+    /// The backing storage in stream order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage in stream order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the backing storage (stream order).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Extract one channel plane as a `H × W × 1` volume.
+    pub fn channel(&self, c: usize) -> Tensor3<T> {
+        assert!(c < self.shape.c, "channel {c} out of range {}", self.shape);
+        Tensor3::from_fn(Shape3::new(self.shape.h, self.shape.w, 1), |y, x, _| {
+            self.get(y, x, c)
+        })
+    }
+
+    /// Flatten into a [`crate::Tensor1`] preserving stream order — this is
+    /// exactly what happens at the conv/FC boundary in the paper's designs:
+    /// the FC layer treats each incoming value as a distinct input channel
+    /// of a `1 × 1` feature map (§IV-B).
+    pub fn flatten(&self) -> crate::Tensor1<T> {
+        crate::Tensor1::from_vec(self.data.clone())
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Tensor3<T> {
+        Tensor3 {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Convert every element to `f32` (for verification and reporting).
+    pub fn to_f32(&self) -> Tensor3<f32> {
+        Tensor3 {
+            shape: self.shape,
+            data: self.data.iter().map(|v| v.to_f32()).collect(),
+        }
+    }
+
+    /// Maximum absolute difference against another volume of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor3<T>) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f32() - b.to_f32()).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl Tensor3<f32> {
+    /// Sum of all elements (f32 fast path used by tests and metrics).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: Shape3) -> Tensor3<f32> {
+        let mut i = 0.0f32;
+        Tensor3::from_fn(shape, |_, _, _| {
+            i += 1.0;
+            i
+        })
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor3::<f32>::zeros(Shape3::new(2, 3, 4));
+        assert_eq!(z.len(), 24);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor3::full(Shape3::new(2, 2, 1), 7.0f32);
+        assert!(f.as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn from_fn_matches_stream_order() {
+        let t = seq(Shape3::new(2, 2, 2));
+        // stream order: (0,0,0),(0,0,1),(0,1,0),(0,1,1),(1,0,0)...
+        assert_eq!(t.as_slice(), &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        assert_eq!(t.get(0, 1, 1), 4.0);
+        assert_eq!(t.get(1, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn padded_access() {
+        let t = seq(Shape3::new(2, 2, 1));
+        assert_eq!(t.get_padded(-1, 0, 0), 0.0);
+        assert_eq!(t.get_padded(0, -1, 0), 0.0);
+        assert_eq!(t.get_padded(2, 0, 0), 0.0);
+        assert_eq!(t.get_padded(1, 1, 0), t.get(1, 1, 0));
+    }
+
+    #[test]
+    fn channel_extraction() {
+        let t = seq(Shape3::new(2, 2, 3));
+        let c1 = t.channel(1);
+        assert_eq!(c1.shape(), Shape3::new(2, 2, 1));
+        for y in 0..2 {
+            for x in 0..2 {
+                assert_eq!(c1.get(y, x, 0), t.get(y, x, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_stream_order() {
+        let t = seq(Shape3::new(2, 2, 2));
+        let f = t.flatten();
+        assert_eq!(f.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = seq(Shape3::new(2, 2, 1));
+        let mut b = a.clone();
+        b.set(1, 1, 0, b.get(1, 1, 0) + 0.5);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_checked() {
+        Tensor3::<f32>::from_vec(Shape3::new(2, 2, 2), vec![0.0; 7]);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = seq(Shape3::new(1, 2, 2));
+        let m = t.map(|v| v * 2.0);
+        assert_eq!(m.as_slice(), &[2., 4., 6., 8.]);
+    }
+}

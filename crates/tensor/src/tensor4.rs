@@ -1,0 +1,213 @@
+//! Filter banks: `K` filters of `KH × KW × C` weights (paper Eq. 1).
+
+use crate::shape::Shape3;
+use crate::Element;
+
+/// A bank of `k` convolution filters, each `kh × kw × c`.
+///
+/// Layout is filter-major, then row-major with channel fastest inside each
+/// filter — i.e. filter `k`'s weights appear in the same stream order as the
+/// windows the SST memory system delivers, so the compute core can multiply
+/// window and weight buffers element-by-element exactly as Algorithm 1 does
+/// (`buf ← buf · weights`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor4<T = f32> {
+    k: usize,
+    kh: usize,
+    kw: usize,
+    c: usize,
+    data: Vec<T>,
+}
+
+impl<T: Element> Tensor4<T> {
+    /// Zero-filled filter bank.
+    pub fn zeros(k: usize, kh: usize, kw: usize, c: usize) -> Self {
+        assert!(
+            k > 0 && kh > 0 && kw > 0 && c > 0,
+            "extents must be non-zero"
+        );
+        Tensor4 {
+            k,
+            kh,
+            kw,
+            c,
+            data: vec![T::zero(); k * kh * kw * c],
+        }
+    }
+
+    /// Build from a generator invoked as `f(k, y, x, c)`.
+    pub fn from_fn(
+        k: usize,
+        kh: usize,
+        kw: usize,
+        c: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> T,
+    ) -> Self {
+        let mut data = Vec::with_capacity(k * kh * kw * c);
+        for fk in 0..k {
+            for y in 0..kh {
+                for x in 0..kw {
+                    for ch in 0..c {
+                        data.push(f(fk, y, x, ch));
+                    }
+                }
+            }
+        }
+        Tensor4 { k, kh, kw, c, data }
+    }
+
+    /// Wrap an existing buffer in filter-major / channel-fastest order.
+    pub fn from_vec(k: usize, kh: usize, kw: usize, c: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            k * kh * kw * c,
+            "buffer length {} does not match {}x{}x{}x{}",
+            data.len(),
+            k,
+            kh,
+            kw,
+            c
+        );
+        Tensor4 { k, kh, kw, c, data }
+    }
+
+    /// Number of filters (`K`, output feature maps).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+    /// Window height (`KH`).
+    #[inline]
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+    /// Window width (`KW`).
+    #[inline]
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+    /// Input channels covered by each filter (`C`).
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Total number of weights.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the bank holds no weights (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, k: usize, y: usize, x: usize, c: usize) -> usize {
+        debug_assert!(k < self.k && y < self.kh && x < self.kw && c < self.c);
+        ((k * self.kh + y) * self.kw + x) * self.c + c
+    }
+
+    /// Weight of filter `k` at window position `(y, x)` channel `c`.
+    #[inline]
+    pub fn get(&self, k: usize, y: usize, x: usize, c: usize) -> T {
+        self.data[self.index(k, y, x, c)]
+    }
+
+    /// Set a weight.
+    #[inline]
+    pub fn set(&mut self, k: usize, y: usize, x: usize, c: usize, v: T) {
+        let i = self.index(k, y, x, c);
+        self.data[i] = v;
+    }
+
+    /// Mutable weight access.
+    #[inline]
+    pub fn get_mut(&mut self, k: usize, y: usize, x: usize, c: usize) -> &mut T {
+        let i = self.index(k, y, x, c);
+        &mut self.data[i]
+    }
+
+    /// The weights of one filter as a contiguous slice in window stream
+    /// order (`kh * kw * c` scalars). This is what the compute core keeps
+    /// "hardcoded in on-chip memory" (§IV-A).
+    #[inline]
+    pub fn filter(&self, k: usize) -> &[T] {
+        let stride = self.kh * self.kw * self.c;
+        &self.data[k * stride..(k + 1) * stride]
+    }
+
+    /// The shape of a single filter as a [`Shape3`].
+    pub fn filter_shape(&self) -> Shape3 {
+        Shape3::new(self.kh, self.kw, self.c)
+    }
+
+    /// Whole backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Convert every weight to `f32`.
+    pub fn to_f32(&self) -> Tensor4<f32> {
+        Tensor4 {
+            k: self.k,
+            kh: self.kh,
+            kw: self.kw,
+            c: self.c,
+            data: self.data.iter().map(|v| v.to_f32()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_slice_matches_gets() {
+        let t = Tensor4::from_fn(2, 3, 3, 2, |k, y, x, c| {
+            (k * 1000 + y * 100 + x * 10 + c) as f32
+        });
+        let f1 = t.filter(1);
+        assert_eq!(f1.len(), 18);
+        let mut i = 0;
+        for y in 0..3 {
+            for x in 0..3 {
+                for c in 0..2 {
+                    assert_eq!(f1[i], t.get(1, y, x, c));
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = Tensor4::<f32>::zeros(2, 2, 2, 2);
+        t.set(1, 1, 0, 1, 9.0);
+        assert_eq!(t.get(1, 1, 0, 1), 9.0);
+        assert_eq!(t.get(0, 1, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn filter_shape_is_window_shape() {
+        let t = Tensor4::<f32>::zeros(6, 5, 5, 1);
+        assert_eq!(t.filter_shape(), Shape3::new(5, 5, 1));
+        assert_eq!(t.len(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        Tensor4::<f32>::from_vec(1, 2, 2, 1, vec![0.0; 5]);
+    }
+}

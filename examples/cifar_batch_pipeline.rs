@@ -1,0 +1,59 @@
+//! The paper's headline effect on its larger network: stream CIFAR-10
+//! batches of growing size through the test case 2 design and watch the
+//! mean time per image converge to the bottleneck stage interval once the
+//! batch exceeds the layer count (Fig. 6, right series).
+//!
+//! ```text
+//! cargo run --release --example cifar_batch_pipeline
+//! ```
+
+use dfcnn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let spec = NetworkSpec::test_case_2();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let network = spec.build(&mut rng); // timing is weight-independent
+
+    let design = NetworkDesign::new(
+        &network,
+        PortConfig::paper_test_case_2(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    println!("{}\n", design.render_block_diagram());
+
+    let (bname, bcyc) = design.estimated_bottleneck();
+    println!(
+        "analytical bottleneck: {bname} at {bcyc} cycles/image = {:.1} µs @ 100 MHz",
+        bcyc as f64 / 100.0
+    );
+    println!(
+        "paper layer count: {} -> expect convergence once batch > {}\n",
+        design.paper_depth(),
+        design.paper_depth()
+    );
+
+    let mut gen = SyntheticCifar::new(3);
+    let pool: Vec<_> = gen.generate(12).into_iter().map(|(x, _)| x).collect();
+
+    println!("{:>8} {:>16} {:>14}", "batch", "mean µs/image", "images/s");
+    let mut converged = f64::NAN;
+    for batch in [1usize, 2, 3, 4, 6, 8, 12, 16, 24, 32] {
+        let images: Vec<_> = (0..batch).map(|i| pool[i % pool.len()].clone()).collect();
+        let (result, _) = design.instantiate(&images).run();
+        let m = result.measurement(design.config().clock_hz);
+        let us = m.mean_time_per_image_us();
+        println!("{batch:>8} {us:>16.3} {:>14.0}", m.images_per_second());
+        converged = us;
+    }
+    println!(
+        "\nconverged to {:.1} µs/image — {:.1}% above the analytical bottleneck \
+         ({} at {:.1} µs), the residual being pipeline fill/drain",
+        converged,
+        100.0 * (converged * 100.0 - bcyc as f64) / bcyc as f64,
+        bname,
+        bcyc as f64 / 100.0
+    );
+}

@@ -1,0 +1,117 @@
+//! Multi-FPGA pipeline partitioning — §VI future work realised.
+//!
+//! The AlexNet-flavoured network is too big for one xc7vx485t in f32, but
+//! the dataflow design cuts cleanly at any inter-core stream: this example
+//! partitions it across identical VC707 boards joined by Aurora-style
+//! serial links, prints the placement, and shows how the link bandwidth
+//! interacts with the pipeline bottleneck.
+//!
+//! ```text
+//! cargo run --release --example multi_fpga
+//! ```
+
+use dfcnn::core::multi::{partition, LinkConfig};
+use dfcnn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let spec = NetworkSpec::alexnet_tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let network = spec.build(&mut rng);
+    let design = NetworkDesign::new(
+        &network,
+        PortConfig::single_port(spec.paper_depth()),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    let device = Device::xc7vx485t();
+    let cost = CostModel::default();
+
+    let single = design.resources(&cost);
+    let (binding, frac) = device.binding_constraint(&single);
+    println!(
+        "{}: needs {} DSPs ({:.0}% of one {}) — binding {} — single chip: {}\n",
+        spec.name,
+        single.dsp,
+        100.0 * single.dsp as f64 / device.capacity.dsp as f64,
+        device.name,
+        binding,
+        if device.fits(&single) {
+            "fits"
+        } else {
+            "does NOT fit"
+        }
+    );
+    let _ = frac;
+
+    println!("partitioning across VC707 boards over an Aurora-style link:\n");
+    let plan = partition(&design, &cost, &device, &LinkConfig::aurora_like())
+        .expect("alexnet-tiny must partition in f32");
+    print!("{}", plan.render());
+    println!(
+        "\n=> {} boards; steady-state throughput {:.0} images/s; link flight \
+         latency adds {} cycles to single-image latency",
+        plan.device_count(),
+        design.config().clock_hz as f64 / plan.bottleneck.1 as f64,
+        plan.added_latency_cycles
+    );
+
+    println!("\nsensitivity to the inter-board link:");
+    println!(
+        "{:>14} {:>14} {:>16}",
+        "link MB/s", "bottleneck", "images/s"
+    );
+    for mbs in [1000.0, 400.0, 100.0, 25.0] {
+        let link = LinkConfig {
+            bandwidth_bytes_per_s: mbs * 1e6,
+            latency_cycles: 200,
+        };
+        let p = partition(&design, &cost, &device, &link).unwrap();
+        println!(
+            "{mbs:>14.0} {:>14} {:>16.0}",
+            p.bottleneck.0,
+            design.config().clock_hz as f64 / p.bottleneck.1 as f64
+        );
+    }
+    println!(
+        "\nthe cut survives down to modest link speeds because the paper's \
+         dataflow keeps inter-layer traffic at one feature-map stream — \
+         full buffering means no weight or intermediate-volume traffic \
+         crosses the boundary."
+    );
+
+    // cycle-accurate confirmation: simulate the partitioned chain with
+    // link actors at every board boundary and compare against one chip
+    println!("\ncycle-level check on the paper's own test case 2 with a forced cut:");
+    let tc2 = {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        NetworkSpec::test_case_2().build(&mut rng)
+    };
+    let d2 = NetworkDesign::new(
+        &tc2,
+        PortConfig::paper_test_case_2(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let images: Vec<_> = (0..4)
+        .map(|_| dfcnn::tensor::init::random_volume(&mut rng, d2.network().input_shape(), 0.0, 1.0))
+        .collect();
+    // cut after pool1 (core index 1), Aurora timing
+    let link = dfcnn::core::multi::LinkConfig::aurora_like();
+    let wpc = link.words_per_cycle(d2.config().clock_hz);
+    let (two_board, _) = d2
+        .instantiate_with_links(&images, &[(1, (wpc, link.latency_cycles))])
+        .run();
+    let (one_board, _) = d2.instantiate(&images).run();
+    assert_eq!(two_board.outputs, one_board.outputs);
+    let delta = two_board.cycles as i64 - one_board.cycles as i64;
+    println!(
+        "  1 board: {} cycles; 2 boards over Aurora: {} cycles ({delta:+} — the \
+         link adds flight latency but its wire buffer also decouples the \
+         stages, which on this conv1-bound pipeline nets out slightly \
+         ahead) — identical classifier outputs",
+        one_board.cycles, two_board.cycles,
+    );
+}

@@ -1,0 +1,109 @@
+//! Quickstart: train the paper's USPS network, freeze it into the Fig. 4
+//! accelerator design, simulate a batch cycle-accurately, and verify the
+//! hardware's classifications against the software reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dfcnn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // --- 1. offline training (the weights end up "hardcoded" in the cores)
+    println!("training the USPS network (paper test case 1) ...");
+    let spec = NetworkSpec::test_case_1();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut network = spec.build(&mut rng);
+
+    let mut gen = SyntheticUsps::new(1);
+    let mut data = Dataset::new(gen.generate(250));
+    data.shuffle(2);
+    let split = data.split(0.8);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 0.05,
+        momentum: 0.9,
+        batch_size: 16,
+        epochs: 6,
+    });
+    let stats = trainer.fit(&mut network, split.train.samples());
+    let last = stats.last().unwrap();
+    println!(
+        "  {} epochs, final train loss {:.3}, train accuracy {:.1}%",
+        stats.len(),
+        last.mean_loss,
+        last.accuracy * 100.0
+    );
+
+    // --- 2. freeze into the paper's dataflow design
+    let design = NetworkDesign::new(
+        &network,
+        PortConfig::paper_test_case_1(),
+        DesignConfig::default(),
+    )
+    .expect("paper port config must be valid");
+    println!("\naccelerator design:\n  {}", design.render_block_diagram());
+
+    let cost = CostModel::default();
+    let device = Device::xc7vx485t();
+    let used = design.resources(&cost);
+    let u = device.utilisation(&used);
+    println!(
+        "  resources on {}: FF {:.1}%, LUT {:.1}%, BRAM {:.1}%, DSP {:.1}% (fits: {})",
+        device.name,
+        u[0] * 100.0,
+        u[1] * 100.0,
+        u[2] * 100.0,
+        u[3] * 100.0,
+        device.fits(&used)
+    );
+
+    // --- 3. stream the held-out test set through the cycle simulator
+    let test = split.test.samples();
+    let images: Vec<_> = test.iter().map(|(x, _)| x.clone()).collect();
+    let labels: Vec<_> = test.iter().map(|(_, l)| *l).collect();
+    println!(
+        "\nsimulating a batch of {} images at 100 MHz ...",
+        images.len()
+    );
+    let (result, _) = design.instantiate(&images).run();
+    let m = result.measurement(design.config().clock_hz);
+    println!(
+        "  total {} cycles; mean {:.2} µs/image; {:.0} images/s",
+        result.cycles,
+        m.mean_time_per_image_us(),
+        m.images_per_second()
+    );
+
+    // --- 4. verify: the hardware must classify like the reference
+    let report = verify::compare_outputs(&design, &images, &result.outputs);
+    println!(
+        "  verification: max |hw - ref| = {:.2e}, {} prediction mismatches / {}",
+        report.max_abs_diff,
+        report.mismatches.len(),
+        report.checked
+    );
+    assert!(report.passes(1e-3), "hardware diverged from the reference");
+
+    let correct = result
+        .outputs
+        .iter()
+        .zip(labels.iter())
+        .filter(|(scores, &label)| {
+            let pred = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            pred == label
+        })
+        .count();
+    println!(
+        "  hardware test accuracy: {}/{} = {:.1}%",
+        correct,
+        labels.len(),
+        100.0 * correct as f64 / labels.len() as f64
+    );
+}

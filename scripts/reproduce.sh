@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure and ablation of the paper reproduction.
+# Results are printed and also written as JSON under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+
+BINS=(
+  table1
+  table2
+  fig6
+  blockdesign
+  ablation_accum
+  ablation_ports
+  ablation_bandwidth
+  ablation_pipeline
+  ablation_fifo
+  scaling
+  pipeline_trace
+  calibration
+)
+for b in "${BINS[@]}"; do
+  echo
+  echo "================================================================"
+  echo "== $b"
+  echo "================================================================"
+  cargo run -p dfcnn-bench --release --quiet --bin "$b"
+done
+
+echo
+echo "all experiments regenerated; JSON records in results/"

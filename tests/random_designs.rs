@@ -1,0 +1,164 @@
+//! Whole-design randomised testing: random topologies, random port
+//! configurations, random inputs — the cycle simulator, the threaded
+//! engine and the host-side hardware kernel must agree on every one, and
+//! the software reference must stay within float tolerance.
+//!
+//! This is the strongest correctness statement in the repository: the
+//! dataflow machinery (window engines, adapters, II throttling, FIFO
+//! backpressure, emission scheduling) is *semantically invisible* — it
+//! changes timing, never values.
+
+use dfcnn::core::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+use dfcnn::core::verify;
+use dfcnn::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random small-but-real topology: conv [pool] conv? flatten linear.
+fn random_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        6usize..11,          // input h = w
+        1usize..4,           // input channels
+        1usize..5,           // conv1 maps
+        2usize..4,           // conv1 window
+        proptest::bool::ANY, // pool present
+        proptest::bool::ANY, // second conv present
+        2usize..6,           // classes
+        proptest::bool::ANY, // relu vs tanh
+    )
+        .prop_map(|(hw, c, k1, win1, with_pool, with_conv2, classes, relu)| {
+            let act = if relu {
+                Activation::Relu
+            } else {
+                Activation::Tanh
+            };
+            let mut layers = vec![LayerSpec::Conv {
+                kh: win1,
+                kw: win1,
+                out_maps: k1,
+                stride: 1,
+                pad: 0,
+                activation: act,
+            }];
+            let mut cur = hw - win1 + 1;
+            if with_pool && cur >= 2 {
+                layers.push(LayerSpec::Pool {
+                    kh: 2,
+                    kw: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                });
+                cur /= 2;
+            }
+            if with_conv2 && cur >= 2 {
+                layers.push(LayerSpec::Conv {
+                    kh: 2,
+                    kw: 2,
+                    out_maps: 2 * k1,
+                    stride: 1,
+                    pad: 0,
+                    activation: act,
+                });
+            }
+            layers.push(LayerSpec::Flatten);
+            layers.push(LayerSpec::Linear {
+                outputs: classes,
+                activation: Activation::Identity,
+            });
+            layers.push(LayerSpec::LogSoftmax);
+            NetworkSpec {
+                name: "random".into(),
+                input: Shape3::new(hw, hw, c),
+                layers,
+            }
+        })
+}
+
+/// Pick a random valid port configuration for a built network: each conv
+/// or pool layer gets random divisors of its FM counts; FC stays single.
+fn random_ports(spec: &NetworkSpec, seed: u64) -> PortConfig {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let shapes = spec.shapes();
+    let mut layers = Vec::new();
+    for (i, l) in spec.layers.iter().enumerate() {
+        let in_c = shapes[i].c;
+        let out_c = shapes[i + 1].c;
+        let pick = |n: usize, rng: &mut ChaCha8Rng| {
+            let divs: Vec<usize> = (1..=n.min(6)).filter(|p| n.is_multiple_of(*p)).collect();
+            divs[rng.gen_range(0..divs.len())]
+        };
+        match l {
+            LayerSpec::Conv { .. } | LayerSpec::Pool { .. } => layers.push(LayerPorts {
+                in_ports: pick(in_c, &mut rng),
+                out_ports: pick(out_c, &mut rng),
+            }),
+            LayerSpec::Linear { .. } => layers.push(LayerPorts::SINGLE),
+            _ => {}
+        }
+    }
+    PortConfig { layers }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_design_simulates_exactly(spec in random_spec(), seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let network = spec.build(&mut rng);
+        let ports = random_ports(&spec, seed ^ 0xABCD);
+        let design = NetworkDesign::new(&network, ports, DesignConfig::default())
+            .expect("random divisor config must validate");
+
+        let images: Vec<_> = (0..2)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+            .collect();
+
+        // 1. simulator is bit-exact vs the shared hardware kernel
+        let (sim, _) = design.instantiate(&images).run();
+        for (img, out) in images.iter().zip(sim.outputs.iter()) {
+            let hw = design.hw_forward(img);
+            prop_assert_eq!(out.as_slice(), hw.as_slice(), "sim != hw kernel");
+        }
+
+        // 2. threaded engine is bit-exact vs the simulator
+        let exec = dfcnn::core::exec::ThreadedEngine::new(&design).run(&images);
+        for (s, e) in sim.outputs.iter().zip(exec.outputs.iter()) {
+            prop_assert_eq!(s.as_slice(), e.as_slice(), "sim != threaded engine");
+        }
+
+        // 3. the reference stays within float tolerance
+        let report = verify::compare_outputs(&design, &images, &sim.outputs);
+        prop_assert!(report.max_abs_diff < 1e-3, "reference diff {}", report.max_abs_diff);
+
+        // 4. completions are ordered and measurement is sane
+        prop_assert!(sim.completions.windows(2).all(|w| w[0] < w[1]));
+        let m = sim.measurement(design.config().clock_hz);
+        prop_assert!(m.mean_time_per_image_us() > 0.0);
+    }
+
+    #[test]
+    fn batching_never_slows_mean_time(spec in random_spec(), seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let network = spec.build(&mut rng);
+        let paper_layers = spec.paper_depth();
+        let design = NetworkDesign::new(
+            &network,
+            PortConfig::single_port(paper_layers),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let img = dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0);
+        let mean = |n: usize| {
+            let batch: Vec<_> = (0..n).map(|_| img.clone()).collect();
+            let (r, _) = design.instantiate(&batch).run();
+            r.measurement(design.config().clock_hz).mean_time_per_image()
+        };
+        let t1 = mean(1);
+        let t4 = mean(4);
+        // the high-level pipeline guarantee: batching never hurts
+        prop_assert!(t4 <= t1 * 1.001, "t1={t1} t4={t4}");
+    }
+}
