@@ -1,0 +1,121 @@
+//! Wall-clock comparison of the cycle simulator's two schedulers — the
+//! event-driven fast path (default) against the dense reference sweep
+//! (`SimConfig::reference_mode`) — on the Fig. 6 batch (50 images), across
+//! the §V-C DMA bandwidth axis.
+//!
+//! Both runs produce identical `SimResult`s (asserted inside
+//! [`dfcnn_bench::scheduler_comparison`]); the only difference is host
+//! time. The dense sweep ticks every actor and scans every channel on
+//! every simulated cycle, so its cost is `cycles × actors` regardless of
+//! how much real work happens. The event-driven scheduler ticks only
+//! actors with work and skips quiet cycles outright, so its cost tracks
+//! the *activity* of the design:
+//!
+//! * At the paper's 400 MB/s the pipeline is nearly saturated — almost
+//!   every cycle carries a push, pop or initiation somewhere, so there is
+//!   little for any scheduler to skip and the two are comparable (the
+//!   floor is the bit-exact compute itself, which both pay identically).
+//! * As DMA bandwidth drops (the §V-C sensitivity axis), stages spend most
+//!   cycles idle waiting on the stream. Simulated cycles balloon while
+//!   real work stays constant: the dense sweep slows proportionally, the
+//!   event-driven scheduler sleeps through the gaps on timed DMA wakes and
+//!   barely moves. This is the regime the fast path exists for.
+//!
+//! ```text
+//! cargo run -p dfcnn-bench --release --bin sched
+//! ```
+
+use dfcnn_bench::{
+    quick_test_case_1, quick_test_case_2, scheduler_comparison, write_json, TestCase,
+};
+use dfcnn_core::graph::{DesignConfig, NetworkDesign};
+use dfcnn_fpga::dma::DmaConfig;
+use serde::Serialize;
+
+/// Fig. 6 measures converged per-image time on a 50-image batch.
+const FIG6_BATCH: usize = 50;
+
+/// Bandwidths at or below this are "throttled" rows: stages genuinely
+/// idle, and the event-driven scheduler must win by >= 5x there.
+const THROTTLED_MB_S: f64 = 2.5;
+
+#[derive(Serialize)]
+struct Row {
+    case: String,
+    bandwidth_mb_s: f64,
+    batch: usize,
+    cycles: u64,
+    event_wall_s: f64,
+    reference_wall_s: f64,
+    speedup: f64,
+}
+
+fn with_bandwidth(tc: &TestCase, mb_s: f64) -> TestCase {
+    let cfg = DesignConfig {
+        dma: DmaConfig {
+            bandwidth_bytes_per_s: mb_s * 1e6,
+            ..DmaConfig::paper()
+        },
+        ..DesignConfig::default()
+    };
+    TestCase {
+        name: tc.name,
+        spec: tc.spec.clone(),
+        network: tc.network.clone(),
+        design: NetworkDesign::new(&tc.network, tc.design.ports().clone(), cfg).unwrap(),
+        test_accuracy: tc.test_accuracy,
+        images: tc.images.clone(),
+    }
+}
+
+fn main() {
+    println!("== scheduler comparison: event-driven vs dense reference sweep ==");
+    println!("   Fig. 6 batch ({FIG6_BATCH} images), swept over DMA bandwidth (paper: 400 MB/s)\n");
+    let sweeps = [400.0, 100.0, 25.0, 10.0, 2.5];
+    let mut all = Vec::new();
+    let mut throttled_worst = f64::INFINITY;
+    for tc in [quick_test_case_1(), quick_test_case_2()] {
+        println!("{}:", tc.name);
+        println!(
+            "{:>8} {:>12} {:>12} {:>13} {:>9}",
+            "MB/s", "sim cycles", "event s", "reference s", "speedup"
+        );
+        for &bw in &sweeps {
+            let case = with_bandwidth(&tc, bw);
+            let c = scheduler_comparison(&case, FIG6_BATCH);
+            println!(
+                "{:>8.1} {:>12} {:>12.4} {:>13.4} {:>8.1}x",
+                bw, c.cycles, c.event_wall_s, c.reference_wall_s, c.speedup
+            );
+            if bw <= THROTTLED_MB_S {
+                throttled_worst = throttled_worst.min(c.speedup);
+            }
+            all.push(Row {
+                case: tc.name.to_string(),
+                bandwidth_mb_s: bw,
+                batch: c.batch,
+                cycles: c.cycles,
+                event_wall_s: c.event_wall_s,
+                reference_wall_s: c.reference_wall_s,
+                speedup: c.speedup,
+            });
+        }
+        println!();
+    }
+    println!(
+        "At 400 MB/s the design is pipeline-saturated (the paper's point: near-100%\n\
+         utilisation), so both schedulers pay the same bit-exact compute and the\n\
+         speedup is modest. Once the DMA stream throttles, per-stage idle cycles\n\
+         dominate and the event-driven scheduler skips them wholesale."
+    );
+    println!(
+        "\nworst-case speedup on the throttled Fig. 6 rows (<= {THROTTLED_MB_S:.1} MB/s): \
+         {throttled_worst:.1}x (target: >= 5x)"
+    );
+    assert!(
+        throttled_worst >= 5.0,
+        "event-driven scheduler must be at least 5x faster than the dense sweep \
+         on the bandwidth-throttled Fig. 6 batch; measured {throttled_worst:.1}x"
+    );
+    write_json("sched", &all);
+}

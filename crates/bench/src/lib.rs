@@ -183,6 +183,44 @@ pub fn mean_time_per_image_us(tc: &TestCase, batch: usize) -> f64 {
         .mean_time_per_image_us()
 }
 
+/// Wall-clock comparison of the two simulator schedulers on one batch.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SchedComparison {
+    /// Batch size simulated.
+    pub batch: usize,
+    /// Simulated cycles (identical between schedulers by construction).
+    pub cycles: u64,
+    /// Wall-clock seconds of the event-driven scheduler.
+    pub event_wall_s: f64,
+    /// Wall-clock seconds of the dense reference sweep.
+    pub reference_wall_s: f64,
+    /// `reference_wall_s / event_wall_s`.
+    pub speedup: f64,
+}
+
+/// Run one batch under both the event-driven scheduler and the dense
+/// reference sweep, assert the results are identical, and report the
+/// wall-clock times.
+pub fn scheduler_comparison(tc: &TestCase, batch: usize) -> SchedComparison {
+    let images: Vec<_> = (0..batch)
+        .map(|i| tc.images[i % tc.images.len()].clone())
+        .collect();
+    let t0 = std::time::Instant::now();
+    let (event, _) = tc.design.instantiate(&images).run();
+    let event_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (reference, _) = tc.design.instantiate(&images).reference_mode().run();
+    let reference_wall_s = t1.elapsed().as_secs_f64();
+    assert_eq!(event, reference, "schedulers diverged — conformance bug");
+    SchedComparison {
+        batch,
+        cycles: event.cycles,
+        event_wall_s,
+        reference_wall_s,
+        speedup: reference_wall_s / event_wall_s,
+    }
+}
+
 /// A Fig. 6 sweep: `(batch, mean µs/image)` pairs.
 pub fn fig6_sweep(tc: &TestCase, batches: &[usize]) -> Vec<(usize, f64)> {
     batches

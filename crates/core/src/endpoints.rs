@@ -8,7 +8,7 @@
 //! Images of a batch are streamed back-to-back, which is what creates the
 //! high-level pipelining effect of Fig. 6.
 
-use crate::sim::Actor;
+use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
 use dfcnn_fpga::dma::DmaChannel;
@@ -27,6 +27,13 @@ pub struct Source {
     out_ports: Vec<ChannelId>,
     dma: DmaChannel,
     cursor: usize,
+    /// Cycle of the last DMA-throttled (credit/setup) failed attempt, used
+    /// by the event-driven engine to replay the attempts that dense
+    /// ticking would have made on the skipped cycles. While the source
+    /// sleeps on this, `can_push` cannot turn false (only the source
+    /// pushes that channel), so every skipped cycle *would* have attempted
+    /// — exactly the sequence `accrue_failed_attempts` replays.
+    dma_anchor: Option<u64>,
 }
 
 impl Source {
@@ -57,6 +64,7 @@ impl Source {
             out_ports,
             dma,
             cursor: 0,
+            dma_anchor: None,
         };
         s.dma.start_transfer();
         s
@@ -84,7 +92,15 @@ impl Actor for Source {
         }
         let target = self.port_for(self.cursor % self.image_len);
         // consume DMA credit only when the stream can actually advance
-        if chans.can_push(target) && self.dma.tick() {
+        if !chans.can_push(target) {
+            return;
+        }
+        if let Some(t0) = self.dma_anchor.take() {
+            // replay the failed attempts of the skipped cycles (a no-op
+            // under dense ticking, where the gap is always zero)
+            self.dma.accrue_failed_attempts(cycle - t0 - 1);
+        }
+        if self.dma.tick() {
             chans.push(target, self.data[self.cursor]);
             self.cursor += 1;
             trace.record(cycle, &self.name, EventKind::Emit);
@@ -92,6 +108,8 @@ impl Actor for Source {
                 // next image: charge the per-transfer setup overhead
                 self.dma.start_transfer();
             }
+        } else {
+            self.dma_anchor = Some(cycle);
         }
     }
 
@@ -101,6 +119,29 @@ impl Actor for Source {
 
     fn initiations(&self) -> u64 {
         self.cursor as u64
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: vec![],
+            outputs: self.out_ports.clone(),
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        if self.cursor >= self.data.len() {
+            return Quiescence::Wait(None); // batch fully streamed
+        }
+        let target = self.port_for(self.cursor % self.image_len);
+        if !chans.can_push(target) {
+            return Quiescence::Wait(None); // backpressured: pop wakes us
+        }
+        if self.dma_anchor == Some(now) {
+            // throttled purely by DMA credit/setup: sleep exactly until
+            // the first cycle a dense attempt sequence would succeed
+            return Quiescence::Wait(Some(now + self.dma.cycles_until_ready()));
+        }
+        Quiescence::Active
     }
 }
 
@@ -123,6 +164,10 @@ pub struct Sink {
     state: std::rc::Rc<std::cell::RefCell<SinkState>>,
     current: Vec<f32>,
     dma: DmaChannel,
+    /// Same skipped-cycle DMA replay anchor as [`Source::dma_anchor`];
+    /// sound because only the sink pops its input, so a visible value
+    /// stays visible across the sleep.
+    dma_anchor: Option<u64>,
 }
 
 impl Sink {
@@ -143,6 +188,7 @@ impl Sink {
             state,
             current: Vec::with_capacity(per_image),
             dma,
+            dma_anchor: None,
         }
     }
 }
@@ -155,7 +201,13 @@ impl Actor for Sink {
     fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
         let next_j = self.current.len();
         let port = self.in_ports[next_j % self.in_ports.len()];
-        if chans.peek(port).is_some() && self.dma.tick() {
+        if chans.peek(port).is_none() {
+            return;
+        }
+        if let Some(t0) = self.dma_anchor.take() {
+            self.dma.accrue_failed_attempts(cycle - t0 - 1);
+        }
+        if self.dma.tick() {
             let v = chans.pop(port).unwrap();
             self.current.push(v);
             if self.current.len() == self.per_image {
@@ -165,6 +217,8 @@ impl Actor for Sink {
                 trace.record(cycle, &self.name, EventKind::ImageDone);
                 self.current = Vec::with_capacity(self.per_image);
             }
+        } else {
+            self.dma_anchor = Some(cycle);
         }
     }
 
@@ -174,6 +228,24 @@ impl Actor for Sink {
 
     fn initiations(&self) -> u64 {
         self.state.borrow().completions.len() as u64
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_ports.clone(),
+            outputs: vec![],
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        let port = self.in_ports[self.current.len() % self.in_ports.len()];
+        if chans.peek(port).is_none() {
+            return Quiescence::Wait(None); // starved: push wakes us
+        }
+        if self.dma_anchor == Some(now) {
+            return Quiescence::Wait(Some(now + self.dma.cycles_until_ready()));
+        }
+        Quiescence::Active
     }
 }
 

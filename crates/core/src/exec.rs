@@ -4,7 +4,7 @@
 //! pipeline. At steady state, all the different layers of the network will
 //! be concurrently active and computing." This engine realises that
 //! concurrency on the host CPU: **one OS thread per generated core**,
-//! connected by bounded crossbeam channels carrying whole feature-map
+//! connected by bounded rendezvous channels carrying whole feature-map
 //! volumes (the token granularity is an image rather than a value — the
 //! same dataflow graph, coarser tokens).
 //!
@@ -20,9 +20,9 @@
 //!    `dfcnn-bench`).
 
 use crate::graph::NetworkDesign;
-use crossbeam_channel::{bounded, Receiver, Sender};
 use dfcnn_nn::layer::Layer;
 use dfcnn_tensor::Tensor3;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::{Duration, Instant};
 
 /// Result of streaming a batch through the threaded engine.
@@ -127,10 +127,10 @@ impl ThreadedEngine {
         let start = Instant::now();
         let (outputs, completion_times) = std::thread::scope(|scope| {
             // channel chain: feeder -> stage0 -> ... -> stageN -> collector
-            let (feed_tx, mut rx): (Sender<Tensor3<f32>>, Receiver<Tensor3<f32>>) =
-                bounded(self.channel_depth);
+            let (feed_tx, mut rx): (SyncSender<Tensor3<f32>>, Receiver<Tensor3<f32>>) =
+                sync_channel(self.channel_depth);
             for stage in &self.stages {
-                let (tx, next_rx) = bounded(self.channel_depth);
+                let (tx, next_rx) = sync_channel(self.channel_depth);
                 let stage_rx = rx;
                 scope.spawn(move || {
                     for img in stage_rx.iter() {

@@ -52,23 +52,27 @@ pub fn conv_window(
     );
     let groups = in_fm / in_ports;
     let tree = TreeAdder::new(group_len);
-    let (prods, tree_scratch) = scratch.split_at_mut(group_len);
+    let (prods, _) = scratch.split_at_mut(group_len);
     for k in 0..k_count {
         let mut acc = bias.get(k);
+        // weights of filter k at (dy, dx, f) sit at (dy * kw + dx) * in_fm + f
+        let fk = filters.filter(k);
         for g in 0..groups {
             // buf <- IN_PORTS windows, multiplied by the weights
             let mut i = 0;
             for p in 0..in_ports {
                 let f = g * in_ports + p;
                 for dy in 0..kh {
+                    let f_row = dy * kw * in_fm + f;
+                    let w_row = (f * kh + dy) * kw;
                     for dx in 0..kw {
-                        prods[i] = filters.get(k, dy, dx, f) * window[(f * kh + dy) * kw + dx];
+                        prods[i] = fk[f_row + dx * in_fm] * window[w_row + dx];
                         i += 1;
                     }
                 }
             }
-            // outputs += reduce(buf)
-            acc += tree.sum_with_scratch(prods, tree_scratch);
+            // outputs += reduce(buf) — in place; prods is refilled next group
+            acc += tree.sum_in_place(prods);
         }
         out[k] = activation.apply(acc);
     }

@@ -1,8 +1,8 @@
 //! The convolutional layer core (§IV-A, Algorithm 1) as a cycle actor.
 
 use crate::kernel::conv_window;
-use crate::layer::OutputQueue;
-use crate::sim::Actor;
+use crate::layer::{core_quiescence, OutputQueue};
+use crate::sim::{Actor, Quiescence, Wiring};
 use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
@@ -114,7 +114,7 @@ impl Actor for ConvCore {
         // 3. initiation
         if cycle >= self.next_initiation
             && self.engine.window_ready()
-            && self.out_q.stalled_backlog(cycle) <= self.out_per_port
+            && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
             conv_window(
@@ -139,6 +139,25 @@ impl Actor for ConvCore {
 
     fn initiations(&self) -> u64 {
         self.inits
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_q.channels().to_vec(),
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        core_quiescence(
+            now,
+            chans,
+            &self.out_q,
+            &self.in_chs,
+            &self.engine,
+            self.next_initiation,
+            self.out_per_port,
+        )
     }
 }
 

@@ -14,7 +14,7 @@
 //! the outputs sequentially on its single output port.
 
 use crate::kernel::fc_forward;
-use crate::sim::Actor;
+use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
 use dfcnn_hls::accum::InterleavedAccumulator;
@@ -167,6 +167,36 @@ impl Actor for FcCore {
 
     fn initiations(&self) -> u64 {
         self.inits
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: vec![self.in_ch],
+            outputs: vec![self.out_ch],
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        match self.phase {
+            Phase::Accumulate(_) => {
+                if chans.peek(self.in_ch).is_none() {
+                    Quiescence::Wait(None) // starved: push wakes us
+                } else if self.next_accept > now + 1 {
+                    Quiescence::Wait(Some(self.next_accept)) // II timer
+                } else {
+                    Quiescence::Active
+                }
+            }
+            Phase::Drain { ready, .. } => {
+                if !chans.can_push(self.out_ch) {
+                    Quiescence::Wait(None) // backpressured: pop wakes us
+                } else if ready > now + 1 {
+                    Quiescence::Wait(Some(ready)) // drain latency
+                } else {
+                    Quiescence::Active
+                }
+            }
+        }
     }
 }
 

@@ -14,6 +14,8 @@ pub use conv_core::ConvCore;
 pub use fc_core::FcCore;
 pub use pool_core::PoolCore;
 
+use crate::sim::Quiescence;
+use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
 
 /// Per-output-port emission queue with pipeline-latency timestamps.
@@ -72,7 +74,9 @@ impl OutputQueue {
     /// i.e. stalled by downstream backpressure rather than still in the
     /// pipeline. This is the signal that should throttle initiations: a
     /// pipelined core keeps many results in flight, but stops issuing when
-    /// its output FIFO stops draining.
+    /// its output FIFO stops draining. Reference form of
+    /// [`OutputQueue::backlog_exceeds`], kept for the equivalence test.
+    #[cfg(test)]
     pub(crate) fn stalled_backlog(&self, cycle: u64) -> usize {
         self.queues
             .iter()
@@ -81,10 +85,89 @@ impl OutputQueue {
             .unwrap_or(0)
     }
 
+    /// Whether [`OutputQueue::stalled_backlog`] exceeds `limit`, with an
+    /// early exit — the hot-path form used by initiation gating and the
+    /// quiescence checks.
+    pub(crate) fn backlog_exceeds(&self, cycle: u64, limit: usize) -> bool {
+        self.queues.iter().any(|q| {
+            let mut stalled = 0usize;
+            for &(ready, _) in q.iter() {
+                if ready <= cycle {
+                    stalled += 1;
+                    if stalled > limit {
+                        return true;
+                    }
+                }
+            }
+            false
+        })
+    }
+
     /// Whether any value is still queued.
     pub(crate) fn is_empty(&self) -> bool {
         self.queues.iter().all(|q| q.is_empty())
     }
+
+    /// The output channels, in port order.
+    pub(crate) fn channels(&self) -> &[ChannelId] {
+        &self.chs
+    }
+
+    /// `(ready_cycle, channel)` of each non-empty port's head value.
+    pub(crate) fn heads(&self) -> impl Iterator<Item = (u64, ChannelId)> + '_ {
+        self.queues
+            .iter()
+            .zip(self.chs.iter())
+            .filter_map(|(q, &ch)| q.front().map(|&(ready, _)| (ready, ch)))
+    }
+}
+
+/// The shared quiescence contract of the windowed cores ([`ConvCore`],
+/// [`PoolCore`]), evaluated against the post-tick state at cycle `now`.
+///
+/// The core can do something at `now + 1` — and must stay active — iff one
+/// of its three tick phases would fire: an emission head is ready and its
+/// FIFO has space, an input port can accept a value that is (or becomes)
+/// visible, or an initiation is due. Otherwise it sleeps: blocked emissions
+/// are woken by downstream pops, starved inputs by upstream pushes, and
+/// purely time-gated work (pipeline latency, the II timer) by the earliest
+/// known ready cycle. Early wake-ups re-evaluate harmlessly.
+pub(crate) fn core_quiescence(
+    now: u64,
+    chans: &ChannelSet,
+    out_q: &OutputQueue,
+    in_chs: &[ChannelId],
+    engine: &WindowEngine,
+    next_initiation: u64,
+    out_per_port: usize,
+) -> Quiescence {
+    let mut wake: Option<u64> = None;
+    let merge = |wake: &mut Option<u64>, t: u64| {
+        *wake = Some(wake.map_or(t, |w| w.min(t)));
+    };
+    for (ready, ch) in out_q.heads() {
+        if chans.can_push(ch) {
+            if ready <= now + 1 {
+                return Quiescence::Active;
+            }
+            merge(&mut wake, ready);
+        }
+        // no space: the consumer's pop wakes us
+    }
+    for (p, &ch) in in_chs.iter().enumerate() {
+        if engine.can_accept(p) && chans.peek(ch).is_some() {
+            return Quiescence::Active;
+        }
+        // can accept but starved: the producer's push wakes us;
+        // cannot accept: only our own initiation frees space, below
+    }
+    if engine.window_ready() && !out_q.backlog_exceeds(now + 1, out_per_port) {
+        if now + 1 >= next_initiation {
+            return Quiescence::Active;
+        }
+        merge(&mut wake, next_initiation);
+    }
+    Quiescence::Wait(wake)
 }
 
 #[cfg(test)]
@@ -109,6 +192,24 @@ mod tests {
         assert_eq!(chans.pop(p0), Some(3.0));
         assert_eq!(chans.pop(p1), Some(2.0));
         assert_eq!(chans.pop(p1), Some(4.0));
+    }
+
+    #[test]
+    fn backlog_exceeds_matches_stalled_backlog() {
+        let mut chans = ChannelSet::new();
+        let p0 = chans.alloc(8);
+        let p1 = chans.alloc(8);
+        let mut q = OutputQueue::new(vec![p0, p1]);
+        q.schedule(5, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        for cycle in [0u64, 5, 6, 100] {
+            for limit in 0..4 {
+                assert_eq!(
+                    q.backlog_exceeds(cycle, limit),
+                    q.stalled_backlog(cycle) > limit,
+                    "cycle {cycle} limit {limit}"
+                );
+            }
+        }
     }
 
     #[test]

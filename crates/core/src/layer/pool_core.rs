@@ -14,8 +14,8 @@
 //! different port count.
 
 use crate::kernel::pool_window;
-use crate::layer::OutputQueue;
-use crate::sim::Actor;
+use crate::layer::{core_quiescence, OutputQueue};
+use crate::sim::{Actor, Quiescence, Wiring};
 use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
@@ -111,7 +111,7 @@ impl Actor for PoolCore {
         }
         if cycle >= self.next_initiation
             && self.engine.window_ready()
-            && self.out_q.stalled_backlog(cycle) <= self.out_per_port
+            && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
             // pool each channel independently
@@ -134,6 +134,25 @@ impl Actor for PoolCore {
 
     fn initiations(&self) -> u64 {
         self.inits
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_q.channels().to_vec(),
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        core_quiescence(
+            now,
+            chans,
+            &self.out_q,
+            &self.in_chs,
+            &self.engine,
+            self.next_initiation,
+            self.out_per_port,
+        )
     }
 }
 

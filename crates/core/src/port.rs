@@ -20,7 +20,7 @@
 //! preserves per-FIFO ordering while matching the bandwidth of the
 //! narrower side, exactly like the hardware.
 
-use crate::sim::Actor;
+use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
 
@@ -112,6 +112,26 @@ impl Actor for PortAdapter {
 
     fn initiations(&self) -> u64 {
         self.moved
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_chs.clone(),
+        }
+    }
+
+    fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+        // the adapter moves values in strict global order, so next cycle's
+        // tick does something iff the *next* value in sequence can move
+        let f = (self.seq % self.fm as u64) as usize;
+        let src = self.in_chs[fm_port(f, self.in_chs.len())];
+        let dst = self.out_chs[fm_port(f, self.out_chs.len())];
+        if chans.peek(src).is_some() && chans.can_push(dst) {
+            Quiescence::Active
+        } else {
+            Quiescence::Wait(None)
+        }
     }
 }
 

@@ -1,21 +1,78 @@
 //! The cycle-level execution engine.
 //!
 //! Every hardware entity (DMA source, port adapters, layer cores, score
-//! sink) is an [`Actor`] ticked once per simulated 100 MHz cycle against a
-//! shared [`ChannelSet`]. Channels are two-phase (see [`crate::stream`]),
-//! so intra-cycle evaluation order does not matter and each FIFO hop costs
-//! one cycle, like registered hardware.
+//! sink) is an [`Actor`] ticked against a shared [`ChannelSet`]. Channels
+//! are two-phase (see [`crate::stream`]), so intra-cycle evaluation order
+//! does not matter and each FIFO hop costs one cycle, like registered
+//! hardware.
 //!
 //! The engine is what regenerates **Fig. 6**: stream a batch of images in
 //! through the DMA model, record the cycle at which each image's scores
 //! leave the sink, and divide. It also doubles as the functional oracle:
 //! all values are computed with the [`crate::kernel`] hardware-order
 //! numerics.
+//!
+//! # Two schedulers, one semantics
+//!
+//! The engine has two interchangeable schedulers selected by
+//! [`SimConfig::reference_mode`]:
+//!
+//! - The **reference sweep** ticks every actor on every cycle in actor
+//!   order — the obviously-correct dense loop, kept as the conformance
+//!   oracle.
+//! - The **event-driven scheduler** (the default) lets actors declare
+//!   *quiescence*: after each tick an actor reports whether it could do
+//!   anything next cycle ([`Quiescence::Active`]) or is blocked until a
+//!   channel changes occupancy and/or a known future cycle arrives
+//!   ([`Quiescence::Wait`]). Sleeping actors are skipped, and when nothing
+//!   is runnable at all the engine jumps straight to the earliest timed
+//!   wake-up. Channel wake-ups are driven directly from pushes and pops
+//!   through the [`ChannelSet`]'s waiter lists, which are populated from
+//!   the actors' [`Wiring`] declarations.
+//!
+//! The two schedulers produce **identical** [`SimResult`]s (completions,
+//! outputs, cycle counts, actor and FIFO statistics) and identical traces;
+//! `tests/engine_conformance.rs` pins this on the paper designs and on
+//! randomized ones. The contract that makes this hold: an actor returning
+//! [`Quiescence::Wait`] must be a provable no-op on every skipped cycle —
+//! a tick that would neither move a value nor change observable state.
+//! Spurious wake-ups are always safe (the actor just no-ops), so actors
+//! only need their sleep conditions to be *sound*, not tight.
 
-use crate::stream::{ChannelSet, FifoStats};
+use crate::stream::{ChannelId, ChannelSet, FifoStats};
 use crate::trace::{Event, EventKind, Trace};
 
-/// A hardware entity stepped once per cycle.
+/// Cycles without channel activity after which a run is declared
+/// deadlocked — generous: deeper than any pipeline in the designs.
+const STALL_LIMIT: u64 = 100_000;
+
+/// Static channel connectivity of an actor, used by the event-driven
+/// scheduler to wake it when a channel it reads gains a value or a channel
+/// it writes gains space. An actor with the default empty wiring receives
+/// no channel wake-ups — which is only sound together with the default
+/// always-[`Quiescence::Active`] contract.
+#[derive(Clone, Debug, Default)]
+pub struct Wiring {
+    /// Channels the actor pops/peeks from.
+    pub inputs: Vec<ChannelId>,
+    /// Channels the actor pushes into.
+    pub outputs: Vec<ChannelId>,
+}
+
+/// An actor's post-tick scheduling contract for the event-driven engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quiescence {
+    /// The actor may make progress next cycle: tick it every cycle until
+    /// it reports otherwise. This is the default and always correct.
+    Active,
+    /// The actor is a guaranteed no-op until one of its wired channels
+    /// changes occupancy — or, if a cycle is given, until that cycle
+    /// arrives (a pipeline head becoming ready, an II timer elapsing, a
+    /// DMA credit refilling). Whichever comes first wins.
+    Wait(Option<u64>),
+}
+
+/// A hardware entity stepped by the engine.
 pub trait Actor {
     /// Stable display name (used in traces and occupancy reports).
     fn name(&self) -> &str;
@@ -32,10 +89,32 @@ pub trait Actor {
     /// Number of initiations performed (compute cores) or values moved
     /// (adapters/endpoints) — the utilisation statistic.
     fn initiations(&self) -> u64;
+
+    /// The channels this actor touches. Default: none (correct only with
+    /// the default always-active [`Actor::quiescence`]).
+    fn wiring(&self) -> Wiring {
+        Wiring::default()
+    }
+
+    /// Post-tick scheduling hint for the event-driven engine, evaluated
+    /// against the *post-tick* channel state at cycle `now`. The default
+    /// keeps the actor ticking every cycle, which is always sound.
+    fn quiescence(&self, _now: u64, _chans: &ChannelSet) -> Quiescence {
+        Quiescence::Active
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Use the dense every-actor-every-cycle reference sweep instead of
+    /// the event-driven scheduler. Slower, but trivially correct — the
+    /// conformance oracle.
+    pub reference_mode: bool,
 }
 
 /// Per-actor utilisation after a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ActorStats {
     /// Actor name.
     pub name: String,
@@ -44,7 +123,7 @@ pub struct ActorStats {
 }
 
 /// Result of simulating one batch.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Cycle at which each image's last output value was collected.
     pub completions: Vec<u64>,
@@ -75,6 +154,7 @@ pub struct Simulator {
     /// Shared handle the sink writes into.
     sink_state: std::rc::Rc<std::cell::RefCell<crate::endpoints::SinkState>>,
     trace: Trace,
+    config: SimConfig,
 }
 
 impl Simulator {
@@ -92,6 +172,7 @@ impl Simulator {
             expected_images,
             sink_state,
             trace: Trace::disabled(),
+            config: SimConfig::default(),
         }
     }
 
@@ -101,53 +182,58 @@ impl Simulator {
         self
     }
 
+    /// Replace the engine configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Select the dense reference sweep (the conformance oracle).
+    pub fn reference_mode(mut self) -> Self {
+        self.config.reference_mode = true;
+        self
+    }
+
     /// Run to completion and return the measurements.
     ///
     /// # Panics
     /// If the design deadlocks (no channel activity, no busy progress, and
     /// the expected image count not yet collected) — with a diagnostic of
-    /// which actors were still busy.
-    pub fn run(mut self) -> (SimResult, Trace) {
-        let mut cycle: u64 = 0;
-        let mut last_activity_cycle: u64 = 0;
-        let mut last_activity = 0u64;
-        // generous stall bound: deeper than any pipeline in the designs
-        const STALL_LIMIT: u64 = 100_000;
-        loop {
-            for a in self.actors.iter_mut() {
-                a.tick(cycle, &mut self.channels, &mut self.trace);
-            }
-            self.channels.commit_all();
-            cycle += 1;
-
-            let done = self.sink_state.borrow().completions.len() >= self.expected_images;
-            if done {
-                break;
-            }
-            let act = self.channels.activity();
-            if act != last_activity {
-                last_activity = act;
-                last_activity_cycle = cycle;
-            } else if cycle - last_activity_cycle > STALL_LIMIT {
-                let busy: Vec<&str> = self
-                    .actors
-                    .iter()
-                    .filter(|a| a.busy())
-                    .map(|a| a.name())
-                    .collect();
-                panic!(
-                    "dataflow deadlock at cycle {cycle}: {} of {} images collected, \
-                     no channel activity for {STALL_LIMIT} cycles; busy actors: {busy:?}",
-                    self.sink_state.borrow().completions.len(),
-                    self.expected_images
-                );
-            }
+    /// which actors were still busy. Both schedulers panic at the same
+    /// cycle with the same message.
+    pub fn run(self) -> (SimResult, Trace) {
+        if self.config.reference_mode {
+            self.run_reference()
+        } else {
+            self.run_event()
         }
+    }
+
+    fn done(&self) -> bool {
+        self.sink_state.borrow().completions.len() >= self.expected_images
+    }
+
+    fn deadlock_panic(&self, cycle: u64) -> ! {
+        let busy: Vec<&str> = self
+            .actors
+            .iter()
+            .filter(|a| a.busy())
+            .map(|a| a.name())
+            .collect();
+        panic!(
+            "dataflow deadlock at cycle {cycle}: {} of {} images collected, \
+             no channel activity for {STALL_LIMIT} cycles; busy actors: {busy:?}",
+            self.sink_state.borrow().completions.len(),
+            self.expected_images
+        );
+    }
+
+    fn finish(mut self, cycles: u64) -> (SimResult, Trace) {
         let sink = self.sink_state.borrow();
         let result = SimResult {
             completions: sink.completions.clone(),
             outputs: sink.outputs.clone(),
-            cycles: cycle,
+            cycles,
             actor_stats: self
                 .actors
                 .iter()
@@ -158,13 +244,177 @@ impl Simulator {
                 .collect(),
             fifo_stats: self.channels.all_stats(),
         };
+        drop(sink);
         let mut trace = std::mem::replace(&mut self.trace, Trace::disabled());
         trace.push(Event {
-            cycle,
+            cycle: cycles,
             actor: "engine".to_string(),
             kind: EventKind::Done,
         });
         (result, trace)
+    }
+
+    /// The dense sweep: every actor, every cycle, in actor order.
+    fn run_reference(mut self) -> (SimResult, Trace) {
+        let mut cycle: u64 = 0;
+        let mut last_activity_cycle: u64 = 0;
+        let mut last_activity = 0u64;
+        loop {
+            for a in self.actors.iter_mut() {
+                a.tick(cycle, &mut self.channels, &mut self.trace);
+            }
+            self.channels.commit_all();
+            cycle += 1;
+
+            if self.done() {
+                break;
+            }
+            let act = self.channels.activity();
+            if act != last_activity {
+                last_activity = act;
+                last_activity_cycle = cycle;
+            } else if cycle - last_activity_cycle > STALL_LIMIT {
+                self.deadlock_panic(cycle);
+            }
+        }
+        self.finish(cycle)
+    }
+
+    /// The event-driven scheduler.
+    ///
+    /// Bookkeeping per actor: a `wake_now` flag (must tick this cycle) and
+    /// a `wake_next` flag (must tick next cycle), both maintained directly
+    /// by [`ChannelSet`] pushes/pops through the waiter lists and stored
+    /// as 64-actor bitmask words; an `active` flag (ticks every cycle
+    /// until it reports [`Quiescence::Wait`]); plus a timed wake-up wheel
+    /// for latency hints. The scan runs in ascending actor index like the
+    /// reference sweep, so trace event order and intra-cycle pop
+    /// visibility match it exactly: a pop at cycle `c` by actor `j` frees
+    /// space that same cycle for any writer `w > j` (it ticks after `j` in
+    /// the dense sweep too), while a writer `w < j` only observes the
+    /// space at `c + 1`. Pushes become visible to readers after the
+    /// commit, hence always wake at `c + 1`.
+    ///
+    /// Set `DFCNN_SCHED_STATS=1` to print scheduler efficiency counters
+    /// (non-skipped cycles and actual ticks vs the dense sweep's
+    /// `cycles × actors`) to stderr after the run.
+    fn run_event(mut self) -> (SimResult, Trace) {
+        let n = self.actors.len();
+        for (i, a) in self.actors.iter().enumerate() {
+            let w = a.wiring();
+            for ch in w.inputs {
+                self.channels.register_reader(ch, i);
+            }
+            for ch in w.outputs {
+                self.channels.register_writer(ch, i);
+            }
+        }
+        self.channels.enable_wake_tracking(n);
+        for i in 0..n {
+            self.channels.set_wake_now(i);
+        }
+
+        // runnable-every-cycle actors, same bit layout as the wake words
+        let mut active = vec![0u64; self.channels.wake_words()];
+        let mut timed: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+
+        let mut cycle: u64 = 0;
+        let mut last_activity_cycle: u64 = 0;
+        let mut last_activity = 0u64;
+        let mut ticks = 0u64;
+        let mut busy_cycles = 0u64;
+        loop {
+            busy_cycles += 1;
+            // timed wake-ups due now (spurious ones are harmless no-ops)
+            while let Some((&t, _)) = timed.iter().next() {
+                if t > cycle {
+                    break;
+                }
+                for i in timed.remove(&t).unwrap() {
+                    self.channels.set_wake_now(i);
+                }
+            }
+
+            // Word-wise scan in ascending actor index. Same-cycle wakes
+            // only ever target actors *after* the one being ticked (pops
+            // wake writers `w > cur`), so re-reading the word after each
+            // tick — masked by the already-processed bits — picks up
+            // forward wakes without ever revisiting an actor, and earlier
+            // words can never gain bits once passed.
+            for (w, aw) in active.iter_mut().enumerate() {
+                let mut processed: u64 = 0;
+                loop {
+                    let bits = (self.channels.wake_now_word(w) | *aw) & !processed;
+                    if bits == 0 {
+                        break;
+                    }
+                    let bit = bits.trailing_zeros();
+                    processed |= 1u64 << bit;
+                    self.channels.clear_wake_now(w, bit);
+                    let i = (w << 6) | bit as usize;
+                    ticks += 1;
+                    self.channels.begin_tick(i);
+                    self.actors[i].tick(cycle, &mut self.channels, &mut self.trace);
+                    match self.actors[i].quiescence(cycle, &self.channels) {
+                        Quiescence::Active => *aw |= 1u64 << bit,
+                        Quiescence::Wait(hint) => {
+                            *aw &= !(1u64 << bit);
+                            if let Some(t) = hint {
+                                if t <= cycle + 1 {
+                                    self.channels.set_wake_next(i);
+                                } else {
+                                    timed.entry(t).or_default().push(i);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            self.channels.commit_dirty();
+            let post = cycle + 1;
+
+            if self.done() {
+                cycle = post;
+                break;
+            }
+            // stall detection — same arithmetic as the reference sweep
+            let act = self.channels.activity();
+            if act != last_activity {
+                last_activity = act;
+                last_activity_cycle = post;
+            } else if post - last_activity_cycle > STALL_LIMIT {
+                self.deadlock_panic(post);
+            }
+
+            let has_next = active.iter().any(|&a| a != 0) || self.channels.wake_next_any();
+            if has_next {
+                cycle = post;
+            } else if let Some((&t, _)) = timed.iter().next() {
+                // cycle-skip: every skipped cycle is a guaranteed no-op for
+                // every actor, so jump straight to the earliest wake-up —
+                // unless the reference sweep would have hit the stall limit
+                // first, in which case deadlock at the cycle it would.
+                if t - last_activity_cycle > STALL_LIMIT {
+                    self.deadlock_panic(last_activity_cycle + STALL_LIMIT + 1);
+                }
+                cycle = t;
+            } else {
+                // nothing will ever run again; the reference sweep would
+                // spin quietly to the stall limit and panic there
+                self.deadlock_panic(last_activity_cycle + STALL_LIMIT + 1);
+            }
+            self.channels.advance_wakes();
+        }
+        if std::env::var_os("DFCNN_SCHED_STATS").is_some() {
+            eprintln!(
+                "[event] cycles={cycle} busy_cycles={busy_cycles} ticks={ticks} \
+                 dense_ticks={}",
+                cycle * n as u64
+            );
+        }
+        self.finish(cycle)
     }
 }
 
@@ -197,6 +447,21 @@ mod tests {
         }
         fn initiations(&self) -> u64 {
             self.next
+        }
+        fn wiring(&self) -> Wiring {
+            Wiring {
+                inputs: vec![],
+                outputs: vec![self.ch],
+            }
+        }
+        fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+            if self.next >= self.count {
+                Quiescence::Wait(None) // drained: never ticks again
+            } else if chans.can_push(self.ch) {
+                Quiescence::Active
+            } else {
+                Quiescence::Wait(None) // backpressured: wake on pop
+            }
         }
     }
 
@@ -232,6 +497,29 @@ mod tests {
         fn initiations(&self) -> u64 {
             self.inits
         }
+        fn wiring(&self) -> Wiring {
+            Wiring {
+                inputs: vec![self.inp],
+                outputs: vec![self.out],
+            }
+        }
+        fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+            if let Some(&(ready, _)) = self.pipe.front() {
+                if ready <= now + 1 && chans.can_push(self.out) {
+                    return Quiescence::Active; // emits next cycle
+                }
+            }
+            if self.pipe.len() < 4 && chans.peek(self.inp).is_some() {
+                return Quiescence::Active; // accepts next cycle
+            }
+            match self.pipe.front() {
+                // head still in the pipeline: timed wake (channel wake-ups
+                // stay live, so an early push/pop re-activates sooner)
+                Some(&(ready, _)) if ready > now + 1 => Quiescence::Wait(Some(ready)),
+                // head ready but output full, or idle: channel wake only
+                _ => Quiescence::Wait(None),
+            }
+        }
     }
 
     /// Collects `per_image` values per "image" into the sink state.
@@ -261,9 +549,22 @@ mod tests {
         fn initiations(&self) -> u64 {
             0
         }
+        fn wiring(&self) -> Wiring {
+            Wiring {
+                inputs: vec![self.inp],
+                outputs: vec![],
+            }
+        }
+        fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+            if chans.peek(self.inp).is_some() {
+                Quiescence::Active
+            } else {
+                Quiescence::Wait(None)
+            }
+        }
     }
 
-    fn pipeline(count: u64, per_image: usize, delay: u64) -> (SimResult, Trace) {
+    fn build(count: u64, per_image: usize, delay: u64) -> Simulator {
         let mut chans = ChannelSet::new();
         let a = chans.alloc(4);
         let b = chans.alloc(4);
@@ -288,7 +589,11 @@ mod tests {
                 current: Vec::new(),
             }),
         ];
-        Simulator::new(actors, chans, count as usize / per_image, state).run()
+        Simulator::new(actors, chans, count as usize / per_image, state)
+    }
+
+    fn pipeline(count: u64, per_image: usize, delay: u64) -> (SimResult, Trace) {
+        build(count, per_image, delay).run()
     }
 
     #[test]
@@ -330,5 +635,32 @@ mod tests {
         let (res, _) = pipeline(8, 2, 0);
         let m = res.measurement(100_000_000);
         assert_eq!(m.batch, 4);
+    }
+
+    #[test]
+    fn event_mode_matches_reference_exactly() {
+        for (count, per_image, delay) in [(8, 2, 0), (8, 2, 5), (20, 2, 3), (12, 3, 17), (4, 4, 40)]
+        {
+            let (ev, _) = build(count, per_image, delay).run();
+            let (rf, _) = build(count, per_image, delay).reference_mode().run();
+            assert_eq!(ev, rf, "count={count} per_image={per_image} delay={delay}");
+        }
+    }
+
+    #[test]
+    fn event_mode_traces_match_reference() {
+        let (ev_res, ev_trace) = build(12, 3, 9).with_trace().run();
+        let (rf_res, rf_trace) = build(12, 3, 9).with_trace().reference_mode().run();
+        assert_eq!(ev_res, rf_res);
+        assert_eq!(ev_trace.events(), rf_trace.events());
+    }
+
+    #[test]
+    fn long_pipeline_delay_exercises_cycle_skip() {
+        // delay 40 with a 4-deep pipe forces long quiet stretches where
+        // only the timed wheel can advance the clock
+        let (ev, _) = build(8, 2, 40).run();
+        let (rf, _) = build(8, 2, 40).reference_mode().run();
+        assert_eq!(ev, rf);
     }
 }

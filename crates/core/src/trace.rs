@@ -32,7 +32,7 @@ pub struct Event {
 }
 
 /// An event log; a disabled trace discards everything at negligible cost.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     enabled: bool,
     events: Vec<Event>,

@@ -108,6 +108,53 @@ pub fn verify_simulated(design: &NetworkDesign, images: &[Tensor3<f32>]) -> Veri
     compare_outputs(design, images, &result.outputs)
 }
 
+/// Run a batch under both the event-driven scheduler and the dense
+/// reference sweep and assert they are indistinguishable: identical
+/// [`crate::sim::SimResult`]s (completion cycles, bit-identical outputs,
+/// total cycles, actor and FIFO statistics) and identical traces. Returns
+/// the event-driven result.
+///
+/// # Panics
+/// With a diagnostic naming the first differing field if the schedulers
+/// disagree — the conformance contract of `SimConfig::reference_mode`.
+pub fn check_engine_conformance(
+    design: &NetworkDesign,
+    images: &[Tensor3<f32>],
+) -> crate::sim::SimResult {
+    let (event, event_trace) = design.instantiate(images).with_trace().run();
+    let (reference, reference_trace) = design
+        .instantiate(images)
+        .with_trace()
+        .reference_mode()
+        .run();
+    assert_eq!(
+        event.completions, reference.completions,
+        "completion cycles diverge between schedulers"
+    );
+    assert_eq!(
+        event.outputs, reference.outputs,
+        "collected outputs diverge between schedulers"
+    );
+    assert_eq!(
+        event.cycles, reference.cycles,
+        "total cycle counts diverge between schedulers"
+    );
+    assert_eq!(
+        event.actor_stats, reference.actor_stats,
+        "actor statistics diverge between schedulers"
+    );
+    assert_eq!(
+        event.fifo_stats, reference.fifo_stats,
+        "FIFO statistics diverge between schedulers"
+    );
+    assert_eq!(
+        event_trace.events(),
+        reference_trace.events(),
+        "trace events diverge between schedulers"
+    );
+    event
+}
+
 fn argmax(v: &[f32]) -> usize {
     let mut best = 0;
     for i in 1..v.len() {

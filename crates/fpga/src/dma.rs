@@ -105,6 +105,48 @@ impl DmaChannel {
     pub fn words_moved(&self) -> u64 {
         self.words_moved
     }
+
+    /// Replay `steps` *failed* [`DmaChannel::tick`] calls in one go.
+    ///
+    /// The event-driven scheduler skips cycles on which an endpoint would
+    /// have attempted a beat and been refused (setup countdown or not
+    /// enough credit). To stay bit-identical with the dense per-cycle
+    /// sweep, the skipped attempts are replayed here with exactly the same
+    /// arithmetic — the same `min`/`+` sequence on `credit`, in the same
+    /// order — before the next real attempt. Calling this for a cycle on
+    /// which `tick` would have *succeeded* is a contract violation (the
+    /// caller must bound the skip with [`DmaChannel::cycles_until_ready`]).
+    pub fn accrue_failed_attempts(&mut self, steps: u64) {
+        for _ in 0..steps {
+            if self.setup_remaining > 0 {
+                self.setup_remaining -= 1;
+            } else {
+                self.credit = self.credit.min(1.0) + self.config.beats_per_cycle();
+                debug_assert!(
+                    self.credit < 1.0,
+                    "accrued past a cycle on which the DMA was ready"
+                );
+            }
+        }
+    }
+
+    /// How many future [`DmaChannel::tick`] calls (one per cycle, starting
+    /// next cycle) until one returns `true` — the sleep bound for an
+    /// endpoint throttled only by the DMA. Simulated on a copy of the
+    /// state; does not advance the channel.
+    pub fn cycles_until_ready(&self) -> u64 {
+        let bpc = self.config.beats_per_cycle();
+        assert!(bpc > 0.0, "DMA bandwidth must be positive");
+        let mut credit = self.credit;
+        let mut count = self.setup_remaining;
+        loop {
+            count += 1;
+            credit = credit.min(1.0) + bpc;
+            if credit >= 1.0 {
+                return count;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +198,54 @@ mod tests {
             vec![false, false, false, false, false, true, true, true]
         );
         assert_eq!(ch.words_moved(), 3);
+    }
+
+    #[test]
+    fn accrue_matches_dense_failed_ticks() {
+        // replaying k failed attempts must leave the exact state a dense
+        // per-cycle loop of k failing tick() calls would
+        let c = DmaConfig {
+            bandwidth_bytes_per_s: 120e6, // 0.3 beats/cycle
+            setup_cycles: 3,
+            ..DmaConfig::paper()
+        };
+        let mut dense = DmaChannel::new(c);
+        let mut skipped = DmaChannel::new(c);
+        dense.start_transfer();
+        skipped.start_transfer();
+        let k = dense.cycles_until_ready() - 1; // all but the succeeding call
+        for _ in 0..k {
+            assert!(!dense.tick(), "first k attempts must fail");
+        }
+        skipped.accrue_failed_attempts(k);
+        assert_eq!(dense.credit.to_bits(), skipped.credit.to_bits());
+        assert_eq!(dense.setup_remaining, skipped.setup_remaining);
+        assert!(dense.tick() && skipped.tick(), "attempt k+1 succeeds");
+        assert_eq!(dense.credit.to_bits(), skipped.credit.to_bits());
+    }
+
+    #[test]
+    fn cycles_until_ready_predicts_first_success() {
+        for bw in [400e6, 300e6, 120e6, 40e6] {
+            for setup in [0u64, 4] {
+                let c = DmaConfig {
+                    bandwidth_bytes_per_s: bw,
+                    setup_cycles: setup,
+                    ..DmaConfig::paper()
+                };
+                let mut ch = DmaChannel::new(c);
+                ch.start_transfer();
+                // drift into a mid-stream state
+                for _ in 0..7 {
+                    ch.tick();
+                }
+                let k = ch.cycles_until_ready();
+                for i in 1..k {
+                    assert!(!ch.tick(), "attempt {i} of {k} must fail (bw={bw})");
+                }
+                assert!(ch.tick(), "attempt {k} must succeed (bw={bw})");
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,29 @@ impl TreeAdder {
         }
         scratch[0]
     }
+
+    /// Tree-order sum that reduces `values` in place (hot-loop variant:
+    /// no allocation *and* no copy). Destroys the buffer's contents.
+    /// Identical rounding to [`TreeAdder::sum`]: each level writes slot
+    /// `i` from slots `2i` and `2i + 1`, so reads always stay at or ahead
+    /// of writes.
+    pub fn sum_in_place(&self, values: &mut [f32]) -> f32 {
+        assert_eq!(values.len(), self.n, "tree adder arity mismatch");
+        let mut len = self.n;
+        while len > 1 {
+            let half = len / 2;
+            for i in 0..half {
+                values[i] = values[2 * i] + values[2 * i + 1];
+            }
+            if len % 2 == 1 {
+                values[half] = values[len - 1];
+                len = half + 1;
+            } else {
+                len = half;
+            }
+        }
+        values[0]
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +193,21 @@ mod tests {
         let t = TreeAdder::new(25);
         let mut scratch = vec![0.0f32; 25];
         assert_eq!(t.sum(&vals), t.sum_with_scratch(&vals, &mut scratch));
+    }
+
+    #[test]
+    fn in_place_variant_matches_alloc_variant() {
+        for n in 1..40 {
+            let vals: Vec<f32> = (0..n).map(|i| (i as f32) * 0.7 - 3.0).collect();
+            let t = TreeAdder::new(n);
+            let mut buf = vals.clone();
+            assert_eq!(t.sum_in_place(&mut buf), t.sum(&vals), "n={n}");
+        }
+        // and on the rounding-sensitive pattern
+        let vals = [1e8f32, 1.0, -1e8, 1.0];
+        let t = TreeAdder::new(4);
+        let mut buf = vals;
+        assert_eq!(t.sum_in_place(&mut buf), t.sum(&vals));
     }
 
     #[test]

@@ -16,10 +16,22 @@ use serde::{Deserialize, Serialize};
 /// Multiplication widens to `i64` before rescaling, like a DSP48 slice does;
 /// all operations saturate instead of wrapping, matching common FPGA
 /// datapath practice.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fixed<const FRAC: u32 = 16>(i32);
+
+// Serialised as the raw bit pattern (a bare integer, like serde's derived
+// newtype representation). Written by hand because the type is generic.
+impl<const FRAC: u32> Serialize for Fixed<FRAC> {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl<const FRAC: u32> Deserialize for Fixed<FRAC> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        i32::from_value(v).map(Fixed)
+    }
+}
 
 impl<const FRAC: u32> Fixed<FRAC> {
     /// Smallest representable value.

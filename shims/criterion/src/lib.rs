@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `Bencher::iter`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros. Runs a short warm-up, then times
+//! `sample_size` samples and prints min/mean/max per benchmark —
+//! intentionally simple, with no statistics engine or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark("", id, 50, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.name, id, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    /// Iterations to run inside [`Bencher::iter`] this sample.
+    iters: u64,
+    /// Measured time for the sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(group: &str, id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    // calibration: find an iteration count that runs ≳2 ms per sample
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {label:<40} min {} mean {} max {} ({} samples x {} iters)",
+        fmt_time(per_iter[0]),
+        fmt_time(mean),
+        fmt_time(*per_iter.last().unwrap()),
+        samples,
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s ")
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ..)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ..)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut runs = 0u32;
+        g.bench_function("counting", |b| {
+            runs += 1;
+            b.iter(|| black_box(3u64).pow(7))
+        });
+        g.finish();
+        assert!(runs >= 2, "calibration plus samples must call the closure");
+    }
+}

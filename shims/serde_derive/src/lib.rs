@@ -1,0 +1,366 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace serde shim.
+//!
+//! Parses the item's token stream directly (no syn/quote in this
+//! environment) and emits `to_value`/`from_value` impls against the
+//! shim's `Value` tree, matching real serde's externally-tagged JSON
+//! layout. Supports non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants) without `#[serde(...)]` attributes —
+//! exactly the shapes this repository declares. Generic types implement
+//! the traits by hand (see `dfcnn-tensor`'s `Fixed`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Skip outer attributes (`#[...]`, incl. doc comments) and visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn ident(toks: &[TokenTree], i: usize, what: &str) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip a type (or discriminant) up to a top-level comma, tracking angle
+/// brackets so commas inside generics don't terminate early.
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(ident(&toks, i, "field name"));
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:`, found {other:?}"),
+        }
+        i = skip_to_comma(&toks, i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_to_comma(&toks, i);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident(&toks, i, "variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an optional discriminant and the trailing comma
+        i = skip_to_comma(&toks, i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Kind) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = ident(&toks, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident(&toks, i, "type name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde shim derive: `{name}` is generic; implement \
+                 Serialize/Deserialize by hand (see dfcnn-tensor's Fixed)"
+            );
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    (name, kind)
+}
+
+fn field_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", pairs.join(", "))
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders = field_binders(*n);
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Value::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 serde::Value::Map(vec![{}]))]),",
+                                fields.join(", "),
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = parse_item(input);
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     serde::Value::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     _ => Err(serde::Error(\"`{name}` expects a sequence of {n}\".to_string())),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __inner {{\n\
+                                     serde::Value::Seq(__items) if __items.len() == {n} => \
+                                         Ok({name}::{vn}({})),\n\
+                                     _ => Err(serde::Error(\"variant `{vn}` expects a sequence of {n}\"\
+                                         .to_string())),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(__inner.field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => Err(serde::Error(format!(\n\
+                             \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__k, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => Err(serde::Error(format!(\n\
+                                 \"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(serde::Error(\"invalid enum representation for `{name}`\"\
+                         .to_string())),\n\
+                 }}",
+                unit_arms.join("\n"),
+                map_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,119 @@
+//! Engine-conformance harness: the event-driven scheduler must be
+//! indistinguishable from the dense reference sweep.
+//!
+//! `SimConfig::reference_mode` keeps the original cycle-by-cycle sweep
+//! alive as a conformance oracle; this test pins the contract on the paper's
+//! two test cases and on randomised designs:
+//!
+//! * identical [`dfcnn::core::sim::SimResult`]s — bit-identical outputs,
+//!   identical per-image completion cycles, identical total cycle counts,
+//!   identical actor and FIFO statistics (checked field-by-field inside
+//!   [`check_engine_conformance`]),
+//! * identical trace event streams, and
+//! * both bit-identical to the threaded `exec` engine's outputs, closing
+//!   the triangle between the three execution paths.
+
+mod common;
+
+use common::{random_ports, random_spec};
+use dfcnn::core::exec::ThreadedEngine;
+use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
+use dfcnn::core::verify::check_engine_conformance;
+use dfcnn::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Full three-way conformance on one design and batch.
+fn assert_conformance(design: &NetworkDesign, images: &[Tensor3<f32>]) {
+    // event-driven == dense reference: exact SimResult + trace equality
+    let event = check_engine_conformance(design, images);
+    assert_eq!(event.outputs.len(), images.len());
+    assert_eq!(event.completions.len(), images.len());
+    assert!(
+        event.completions.windows(2).all(|w| w[0] < w[1]),
+        "completions must be strictly ordered"
+    );
+    // both == threaded engine, bit for bit
+    let exec = ThreadedEngine::new(design).run(images);
+    for (i, (s, e)) in event.outputs.iter().zip(exec.outputs.iter()).enumerate() {
+        assert_eq!(
+            s.as_slice(),
+            e.as_slice(),
+            "image {i}: simulator != threaded engine"
+        );
+    }
+}
+
+fn usps_images(n: usize, seed: u64) -> Vec<Tensor3<f32>> {
+    let mut gen = SyntheticUsps::new(seed);
+    gen.generate(n).into_iter().map(|(x, _)| x).collect()
+}
+
+fn cifar_images(n: usize, seed: u64) -> Vec<Tensor3<f32>> {
+    let mut gen = SyntheticCifar::new(seed);
+    gen.generate(n).into_iter().map(|(x, _)| x).collect()
+}
+
+/// Paper Test Case 1 (USPS network, conv1+pool1 fully parallel) under the
+/// paper's port configuration.
+#[test]
+fn test_case_1_engines_conform() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_1(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    assert_conformance(&design, &usps_images(3, 42));
+}
+
+/// Paper Test Case 2 (CIFAR-10 network, all single-port).
+#[test]
+fn test_case_2_engines_conform() {
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let net = NetworkSpec::test_case_2().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_2(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    assert_conformance(&design, &cifar_images(2, 44));
+}
+
+/// TC1 again with a batch deep enough to reach pipelined steady state, so
+/// the conformance check covers fill, steady streaming and drain phases.
+#[test]
+fn test_case_1_conforms_at_steady_state() {
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_1(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    assert_conformance(&design, &usps_images(8, 46));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    /// Randomised designs: topology, port widths and inputs all random —
+    /// the schedulers must stay indistinguishable on every one.
+    #[test]
+    fn random_designs_engines_conform(spec in random_spec(), seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let network = spec.build(&mut rng);
+        let ports = random_ports(&spec, seed ^ 0x5EED);
+        let design = NetworkDesign::new(&network, ports, DesignConfig::default())
+            .expect("random divisor config must validate");
+        let images: Vec<_> = (0..2)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+            .collect();
+        assert_conformance(&design, &images);
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden-file test for the trace CSV dump: the rendered CSV of a small
+//! fixed design must stay byte-identical across runs, schedulers and code
+//! changes. The trace is the repo's waveform substitute — downstream
+//! plotting (`pipeline_trace`) and any diffing workflow rely on the dump
+//! being stable, so an unintentional change to event ordering, cycle
+//! numbering or formatting shows up here as a one-line diff.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! cargo test --test golden_trace -- --ignored bless_golden_trace
+//! ```
+
+use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
+use dfcnn::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/small_design_trace.csv"
+);
+
+/// The fixed fixture: a minimal conv → flatten → linear network, one
+/// deterministic image, single-port everywhere.
+fn fixture() -> (NetworkDesign, Vec<Tensor3<f32>>) {
+    let spec = NetworkSpec {
+        name: "golden-small".into(),
+        input: Shape3::new(6, 6, 1),
+        layers: vec![
+            LayerSpec::Conv {
+                kh: 3,
+                kw: 3,
+                out_maps: 2,
+                stride: 1,
+                pad: 0,
+                activation: Activation::Tanh,
+            },
+            LayerSpec::Flatten,
+            LayerSpec::Linear {
+                outputs: 3,
+                activation: Activation::Identity,
+            },
+            LayerSpec::LogSoftmax,
+        ],
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let network = spec.build(&mut rng);
+    let design = NetworkDesign::new(
+        &network,
+        PortConfig::single_port(spec.paper_depth()),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    let image = dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0);
+    (design, vec![image])
+}
+
+fn rendered_csv() -> String {
+    let (design, images) = fixture();
+    let (_, trace) = design.instantiate(&images).with_trace().run();
+    trace.to_csv()
+}
+
+#[test]
+fn trace_csv_matches_golden_file() {
+    let csv = rendered_csv();
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the ignored bless_golden_trace test");
+    assert!(
+        csv == golden,
+        "trace CSV diverged from {GOLDEN_PATH}\n\
+         first differing line: {:?}\n\
+         re-bless only if the format change is intentional",
+        csv.lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: got {a:?}, want {b:?}", i + 1))
+            .unwrap_or_else(|| "line count differs".into())
+    );
+}
+
+/// Both schedulers must render the same bytes (a corollary of engine
+/// conformance, pinned here at the CSV level where consumers sit).
+#[test]
+fn trace_csv_identical_across_schedulers() {
+    let (design, images) = fixture();
+    let (_, reference) = design
+        .instantiate(&images)
+        .with_trace()
+        .reference_mode()
+        .run();
+    assert_eq!(rendered_csv(), reference.to_csv());
+}
+
+/// Regenerate the golden file (ignored; run explicitly after intentional
+/// trace-format changes).
+#[test]
+#[ignore]
+fn bless_golden_trace() {
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+    std::fs::write(GOLDEN_PATH, rendered_csv()).unwrap();
+}

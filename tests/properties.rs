@@ -2,7 +2,7 @@
 
 use dfcnn::core::kernel::{conv_forward_hw, fc_forward_hw, pool_forward_hw};
 use dfcnn::core::sst::WindowEngine;
-use dfcnn::core::stream::Fifo;
+use dfcnn::core::stream::{ChannelEvent, ChannelSet, Fifo};
 use dfcnn::hls::ii::pipeline_ii;
 use dfcnn::hls::reduce::TreeAdder;
 use dfcnn::nn::{Activation, Conv2d, Linear, Pool2d, PoolKind};
@@ -45,6 +45,102 @@ proptest! {
             next_out += 1;
         }
         prop_assert!(next_out <= next_in);
+    }
+}
+
+// ------------------------------------- two-phase channels + waiter lists
+
+proptest! {
+    /// The channel bookkeeping behind the event-driven scheduler: for any
+    /// interleaving of pushes, pops and cycle boundaries across several
+    /// channels, values are never lost, duplicated or reordered, and the
+    /// recorded event log holds exactly one `Push` per staged value and one
+    /// `Pop` per consumed value, in program order — events fire exactly
+    /// when occupancy changes, never for refused pushes or empty pops.
+    #[test]
+    fn channel_events_mirror_occupancy_changes(
+        ops in proptest::collection::vec((0u8..3, 0usize..3), 1..300)
+    ) {
+        let mut cs = ChannelSet::new();
+        let chs: Vec<_> = (0..3).map(|_| cs.alloc(4)).collect();
+        cs.set_recording(true);
+        let mut expect_events = Vec::new();
+        let mut visible: Vec<std::collections::VecDeque<f32>> =
+            vec![std::collections::VecDeque::new(); 3];
+        let mut staged: Vec<Vec<f32>> = vec![Vec::new(); 3];
+        let mut next = 0f32;
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (op, c) in ops {
+            let ch = chs[c];
+            match op {
+                0 => {
+                    // two-phase capacity: staged values already count
+                    prop_assert_eq!(
+                        cs.can_push(ch),
+                        visible[c].len() + staged[c].len() < 4
+                    );
+                    if cs.can_push(ch) {
+                        cs.push(ch, next);
+                        staged[c].push(next);
+                        expect_events.push(ChannelEvent::Push(ch));
+                        next += 1.0;
+                        pushed += 1;
+                    }
+                }
+                1 => {
+                    let got = cs.pop(ch);
+                    let want = visible[c].pop_front();
+                    prop_assert_eq!(got, want, "loss or reorder on channel {}", c);
+                    if got.is_some() {
+                        expect_events.push(ChannelEvent::Pop(ch));
+                        popped += 1;
+                    }
+                }
+                _ => {
+                    // cycle boundary: staged values become visible
+                    cs.commit_dirty();
+                    for (v, s) in visible.iter_mut().zip(staged.iter_mut()) {
+                        v.extend(s.drain(..));
+                    }
+                }
+            }
+        }
+        let mut log = Vec::new();
+        cs.drain_events_into(&mut log);
+        prop_assert_eq!(log, expect_events);
+        prop_assert_eq!(cs.activity(), pushed + popped);
+        prop_assert_eq!(cs.total_in_flight() as u64, pushed - popped, "values lost");
+    }
+
+    /// Waiter-list registration (the wiring declared by each actor) is
+    /// idempotent and order-preserving, whatever the registration sequence
+    /// — the scheduler may re-register freely without duplicating wakes.
+    #[test]
+    fn waiter_registration_dedups_and_preserves_order(
+        regs in proptest::collection::vec(
+            (proptest::bool::ANY, 0usize..4, 0usize..6), 0..40)
+    ) {
+        let mut cs = ChannelSet::new();
+        let chs: Vec<_> = (0..4).map(|_| cs.alloc(2)).collect();
+        let mut model: Vec<(Vec<usize>, Vec<usize>)> = vec![(vec![], vec![]); 4];
+        for (is_reader, c, actor) in regs {
+            if is_reader {
+                cs.register_reader(chs[c], actor);
+                if !model[c].0.contains(&actor) {
+                    model[c].0.push(actor);
+                }
+            } else {
+                cs.register_writer(chs[c], actor);
+                if !model[c].1.contains(&actor) {
+                    model[c].1.push(actor);
+                }
+            }
+        }
+        for c in 0..4 {
+            prop_assert_eq!(cs.readers(chs[c]), model[c].0.as_slice());
+            prop_assert_eq!(cs.writers(chs[c]), model[c].1.as_slice());
+        }
     }
 }
 

@@ -8,98 +8,14 @@
 //! backpressure, emission scheduling) is *semantically invisible* — it
 //! changes timing, never values.
 
-use dfcnn::core::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+mod common;
+
+use common::{random_ports, random_spec};
+use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::core::verify;
-use dfcnn::prelude::*;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-
-/// A random small-but-real topology: conv [pool] conv? flatten linear.
-fn random_spec() -> impl Strategy<Value = NetworkSpec> {
-    (
-        6usize..11,          // input h = w
-        1usize..4,           // input channels
-        1usize..5,           // conv1 maps
-        2usize..4,           // conv1 window
-        proptest::bool::ANY, // pool present
-        proptest::bool::ANY, // second conv present
-        2usize..6,           // classes
-        proptest::bool::ANY, // relu vs tanh
-    )
-        .prop_map(|(hw, c, k1, win1, with_pool, with_conv2, classes, relu)| {
-            let act = if relu {
-                Activation::Relu
-            } else {
-                Activation::Tanh
-            };
-            let mut layers = vec![LayerSpec::Conv {
-                kh: win1,
-                kw: win1,
-                out_maps: k1,
-                stride: 1,
-                pad: 0,
-                activation: act,
-            }];
-            let mut cur = hw - win1 + 1;
-            if with_pool && cur >= 2 {
-                layers.push(LayerSpec::Pool {
-                    kh: 2,
-                    kw: 2,
-                    stride: 2,
-                    kind: PoolKind::Max,
-                });
-                cur /= 2;
-            }
-            if with_conv2 && cur >= 2 {
-                layers.push(LayerSpec::Conv {
-                    kh: 2,
-                    kw: 2,
-                    out_maps: 2 * k1,
-                    stride: 1,
-                    pad: 0,
-                    activation: act,
-                });
-            }
-            layers.push(LayerSpec::Flatten);
-            layers.push(LayerSpec::Linear {
-                outputs: classes,
-                activation: Activation::Identity,
-            });
-            layers.push(LayerSpec::LogSoftmax);
-            NetworkSpec {
-                name: "random".into(),
-                input: Shape3::new(hw, hw, c),
-                layers,
-            }
-        })
-}
-
-/// Pick a random valid port configuration for a built network: each conv
-/// or pool layer gets random divisors of its FM counts; FC stays single.
-fn random_ports(spec: &NetworkSpec, seed: u64) -> PortConfig {
-    use rand::Rng;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let shapes = spec.shapes();
-    let mut layers = Vec::new();
-    for (i, l) in spec.layers.iter().enumerate() {
-        let in_c = shapes[i].c;
-        let out_c = shapes[i + 1].c;
-        let pick = |n: usize, rng: &mut ChaCha8Rng| {
-            let divs: Vec<usize> = (1..=n.min(6)).filter(|p| n.is_multiple_of(*p)).collect();
-            divs[rng.gen_range(0..divs.len())]
-        };
-        match l {
-            LayerSpec::Conv { .. } | LayerSpec::Pool { .. } => layers.push(LayerPorts {
-                in_ports: pick(in_c, &mut rng),
-                out_ports: pick(out_c, &mut rng),
-            }),
-            LayerSpec::Linear { .. } => layers.push(LayerPorts::SINGLE),
-            _ => {}
-        }
-    }
-    PortConfig { layers }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
