@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_accum-39a618970ecc8cb3.d: crates/bench/src/bin/ablation_accum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_accum-39a618970ecc8cb3.rmeta: crates/bench/src/bin/ablation_accum.rs Cargo.toml
+
+crates/bench/src/bin/ablation_accum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

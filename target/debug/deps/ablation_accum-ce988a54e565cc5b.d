@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_accum-ce988a54e565cc5b.d: crates/bench/src/bin/ablation_accum.rs
+
+/root/repo/target/debug/deps/ablation_accum-ce988a54e565cc5b: crates/bench/src/bin/ablation_accum.rs
+
+crates/bench/src/bin/ablation_accum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bandwidth-73c65235b57a2f49.d: crates/bench/src/bin/ablation_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bandwidth-73c65235b57a2f49.rmeta: crates/bench/src/bin/ablation_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

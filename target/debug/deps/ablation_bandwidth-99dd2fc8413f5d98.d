@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-99dd2fc8413f5d98.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-99dd2fc8413f5d98: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

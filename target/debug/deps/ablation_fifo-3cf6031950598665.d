@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fifo-3cf6031950598665.d: crates/bench/src/bin/ablation_fifo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fifo-3cf6031950598665.rmeta: crates/bench/src/bin/ablation_fifo.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fifo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fifo-53cf466ed5d2742e.d: crates/bench/src/bin/ablation_fifo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fifo-53cf466ed5d2742e.rmeta: crates/bench/src/bin/ablation_fifo.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fifo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

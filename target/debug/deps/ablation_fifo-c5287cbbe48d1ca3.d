@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fifo-c5287cbbe48d1ca3.d: crates/bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/debug/deps/ablation_fifo-c5287cbbe48d1ca3: crates/bench/src/bin/ablation_fifo.rs
+
+crates/bench/src/bin/ablation_fifo.rs:

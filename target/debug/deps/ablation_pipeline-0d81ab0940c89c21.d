@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pipeline-0d81ab0940c89c21.d: crates/bench/src/bin/ablation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pipeline-0d81ab0940c89c21.rmeta: crates/bench/src/bin/ablation_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pipeline-23cc4e97e8c3a348.d: crates/bench/src/bin/ablation_pipeline.rs
+
+/root/repo/target/debug/deps/ablation_pipeline-23cc4e97e8c3a348: crates/bench/src/bin/ablation_pipeline.rs
+
+crates/bench/src/bin/ablation_pipeline.rs:

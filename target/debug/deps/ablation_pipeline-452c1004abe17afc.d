@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pipeline-452c1004abe17afc.d: crates/bench/src/bin/ablation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pipeline-452c1004abe17afc.rmeta: crates/bench/src/bin/ablation_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ports-0e04e23b314e4441.d: crates/bench/src/bin/ablation_ports.rs
+
+/root/repo/target/debug/deps/ablation_ports-0e04e23b314e4441: crates/bench/src/bin/ablation_ports.rs
+
+crates/bench/src/bin/ablation_ports.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ports-acba971d9bc42384.d: crates/bench/src/bin/ablation_ports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ports-acba971d9bc42384.rmeta: crates/bench/src/bin/ablation_ports.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

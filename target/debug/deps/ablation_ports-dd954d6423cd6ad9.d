@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ports-dd954d6423cd6ad9.d: crates/bench/src/bin/ablation_ports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ports-dd954d6423cd6ad9.rmeta: crates/bench/src/bin/ablation_ports.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockdesign-009fe0b1d5256e49.d: crates/bench/src/bin/blockdesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockdesign-009fe0b1d5256e49.rmeta: crates/bench/src/bin/blockdesign.rs Cargo.toml
+
+crates/bench/src/bin/blockdesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockdesign-24683dec132a628b.d: crates/bench/src/bin/blockdesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockdesign-24683dec132a628b.rmeta: crates/bench/src/bin/blockdesign.rs Cargo.toml
+
+crates/bench/src/bin/blockdesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockdesign-882456b16fce2837.d: crates/bench/src/bin/blockdesign.rs
+
+/root/repo/target/debug/deps/blockdesign-882456b16fce2837: crates/bench/src/bin/blockdesign.rs
+
+crates/bench/src/bin/blockdesign.rs:

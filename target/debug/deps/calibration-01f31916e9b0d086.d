@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-01f31916e9b0d086.d: crates/bench/src/bin/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-01f31916e9b0d086.rmeta: crates/bench/src/bin/calibration.rs Cargo.toml
+
+crates/bench/src/bin/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

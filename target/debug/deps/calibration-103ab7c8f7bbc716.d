@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-103ab7c8f7bbc716.d: crates/bench/src/bin/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-103ab7c8f7bbc716.rmeta: crates/bench/src/bin/calibration.rs Cargo.toml
+
+crates/bench/src/bin/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

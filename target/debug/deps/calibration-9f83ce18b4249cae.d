@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-9f83ce18b4249cae.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/debug/deps/calibration-9f83ce18b4249cae: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dfcnn-391df0bd52eb41c8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdfcnn-391df0bd52eb41c8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdfcnn-391df0bd52eb41c8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfcnn-ac29c1bdce0378a5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn-ac29c1bdce0378a5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

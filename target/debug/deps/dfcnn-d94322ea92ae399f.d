@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfcnn-d94322ea92ae399f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn-d94322ea92ae399f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

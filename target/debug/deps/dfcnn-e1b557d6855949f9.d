@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfcnn-e1b557d6855949f9.d: src/lib.rs
+
+/root/repo/target/debug/deps/dfcnn-e1b557d6855949f9: src/lib.rs
+
+src/lib.rs:

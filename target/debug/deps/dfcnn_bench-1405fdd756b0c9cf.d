@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfcnn_bench-1405fdd756b0c9cf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_bench-1405fdd756b0c9cf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

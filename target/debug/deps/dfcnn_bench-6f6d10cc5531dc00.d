@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfcnn_bench-6f6d10cc5531dc00.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_bench-6f6d10cc5531dc00.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

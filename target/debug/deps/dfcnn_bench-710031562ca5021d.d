@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfcnn_bench-710031562ca5021d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dfcnn_bench-710031562ca5021d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dfcnn_bench-f53419ebf1d17808.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdfcnn_bench-f53419ebf1d17808.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdfcnn_bench-f53419ebf1d17808.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/dfcnn_core-0f7f37ba10764547.d: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/dse.rs crates/core/src/endpoints.rs crates/core/src/exec.rs crates/core/src/flow.rs crates/core/src/graph.rs crates/core/src/kernel.rs crates/core/src/layer/mod.rs crates/core/src/layer/conv_core.rs crates/core/src/layer/fc_core.rs crates/core/src/layer/pool_core.rs crates/core/src/multi.rs crates/core/src/port.rs crates/core/src/sim.rs crates/core/src/sst.rs crates/core/src/stream.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libdfcnn_core-0f7f37ba10764547.rlib: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/dse.rs crates/core/src/endpoints.rs crates/core/src/exec.rs crates/core/src/flow.rs crates/core/src/graph.rs crates/core/src/kernel.rs crates/core/src/layer/mod.rs crates/core/src/layer/conv_core.rs crates/core/src/layer/fc_core.rs crates/core/src/layer/pool_core.rs crates/core/src/multi.rs crates/core/src/port.rs crates/core/src/sim.rs crates/core/src/sst.rs crates/core/src/stream.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libdfcnn_core-0f7f37ba10764547.rmeta: crates/core/src/lib.rs crates/core/src/codegen.rs crates/core/src/dse.rs crates/core/src/endpoints.rs crates/core/src/exec.rs crates/core/src/flow.rs crates/core/src/graph.rs crates/core/src/kernel.rs crates/core/src/layer/mod.rs crates/core/src/layer/conv_core.rs crates/core/src/layer/fc_core.rs crates/core/src/layer/pool_core.rs crates/core/src/multi.rs crates/core/src/port.rs crates/core/src/sim.rs crates/core/src/sst.rs crates/core/src/stream.rs crates/core/src/trace.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/codegen.rs:
+crates/core/src/dse.rs:
+crates/core/src/endpoints.rs:
+crates/core/src/exec.rs:
+crates/core/src/flow.rs:
+crates/core/src/graph.rs:
+crates/core/src/kernel.rs:
+crates/core/src/layer/mod.rs:
+crates/core/src/layer/conv_core.rs:
+crates/core/src/layer/fc_core.rs:
+crates/core/src/layer/pool_core.rs:
+crates/core/src/multi.rs:
+crates/core/src/port.rs:
+crates/core/src/sim.rs:
+crates/core/src/sst.rs:
+crates/core/src/stream.rs:
+crates/core/src/trace.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfcnn_datasets-37ecef659e37d2df.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_datasets-37ecef659e37d2df.rmeta: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

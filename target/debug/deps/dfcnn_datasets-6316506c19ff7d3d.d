@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfcnn_datasets-6316506c19ff7d3d.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_datasets-6316506c19ff7d3d.rmeta: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dfcnn_datasets-c1c7fb7ef2c1c8c4.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/debug/deps/dfcnn_datasets-c1c7fb7ef2c1c8c4: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:

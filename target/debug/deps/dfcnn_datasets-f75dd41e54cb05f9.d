@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dfcnn_datasets-f75dd41e54cb05f9.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/debug/deps/libdfcnn_datasets-f75dd41e54cb05f9.rlib: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/debug/deps/libdfcnn_datasets-f75dd41e54cb05f9.rmeta: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:

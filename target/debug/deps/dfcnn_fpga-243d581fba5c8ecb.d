@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dfcnn_fpga-243d581fba5c8ecb.d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/libdfcnn_fpga-243d581fba5c8ecb.rlib: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/libdfcnn_fpga-243d581fba5c8ecb.rmeta: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/axi.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/host.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/report.rs:
+crates/fpga/src/resources.rs:

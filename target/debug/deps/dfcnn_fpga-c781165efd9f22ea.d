@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfcnn_fpga-c781165efd9f22ea.d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/debug/deps/dfcnn_fpga-c781165efd9f22ea: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/axi.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/host.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/report.rs:
+crates/fpga/src/resources.rs:

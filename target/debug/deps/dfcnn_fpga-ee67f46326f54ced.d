@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dfcnn_fpga-ee67f46326f54ced.d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_fpga-ee67f46326f54ced.rmeta: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/axi.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/host.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/report.rs:
+crates/fpga/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

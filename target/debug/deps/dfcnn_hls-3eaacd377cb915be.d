@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dfcnn_hls-3eaacd377cb915be.d: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/debug/deps/libdfcnn_hls-3eaacd377cb915be.rlib: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/debug/deps/libdfcnn_hls-3eaacd377cb915be.rmeta: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/accum.rs:
+crates/hls/src/directive.rs:
+crates/hls/src/ii.rs:
+crates/hls/src/latency.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/reduce.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dfcnn_hls-a59b5d0aa0b2f59f.d: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/debug/deps/dfcnn_hls-a59b5d0aa0b2f59f: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/accum.rs:
+crates/hls/src/directive.rs:
+crates/hls/src/ii.rs:
+crates/hls/src/latency.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/reduce.rs:

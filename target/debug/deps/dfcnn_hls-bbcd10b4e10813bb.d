@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dfcnn_hls-bbcd10b4e10813bb.d: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_hls-bbcd10b4e10813bb.rmeta: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs Cargo.toml
+
+crates/hls/src/lib.rs:
+crates/hls/src/accum.rs:
+crates/hls/src/directive.rs:
+crates/hls/src/ii.rs:
+crates/hls/src/latency.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/reduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dfcnn_nn-444b372630fdf233.d: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_nn-444b372630fdf233.rmeta: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/act.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/flatten.rs:
+crates/nn/src/layer/linear.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/layer/softmax.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/topology.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dfcnn_nn-7fe603348883b68d.d: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libdfcnn_nn-7fe603348883b68d.rlib: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libdfcnn_nn-7fe603348883b68d.rmeta: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/act.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/flatten.rs:
+crates/nn/src/layer/linear.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/layer/softmax.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/topology.rs:
+crates/nn/src/train.rs:

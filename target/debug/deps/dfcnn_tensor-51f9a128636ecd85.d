@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dfcnn_tensor-51f9a128636ecd85.d: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs
+
+/root/repo/target/debug/deps/libdfcnn_tensor-51f9a128636ecd85.rlib: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs
+
+/root/repo/target/debug/deps/libdfcnn_tensor-51f9a128636ecd85.rmeta: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/fixed.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/iter.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor1.rs:
+crates/tensor/src/tensor3.rs:
+crates/tensor/src/tensor4.rs:

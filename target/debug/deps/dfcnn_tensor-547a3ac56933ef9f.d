@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dfcnn_tensor-547a3ac56933ef9f.d: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_tensor-547a3ac56933ef9f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/fixed.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/iter.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor1.rs:
+crates/tensor/src/tensor3.rs:
+crates/tensor/src/tensor4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

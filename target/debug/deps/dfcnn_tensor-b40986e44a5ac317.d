@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dfcnn_tensor-b40986e44a5ac317.d: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfcnn_tensor-b40986e44a5ac317.rmeta: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/fixed.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/iter.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor1.rs:
+crates/tensor/src/tensor3.rs:
+crates/tensor/src/tensor4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

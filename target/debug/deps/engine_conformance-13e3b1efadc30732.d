@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/engine_conformance-13e3b1efadc30732.d: tests/engine_conformance.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/engine_conformance-13e3b1efadc30732: tests/engine_conformance.rs tests/common/mod.rs
+
+tests/engine_conformance.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/engine_conformance-6a80a419cb23d397.d: tests/engine_conformance.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_conformance-6a80a419cb23d397.rmeta: tests/engine_conformance.rs tests/common/mod.rs Cargo.toml
+
+tests/engine_conformance.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engines-559517d688abdf8e.d: crates/bench/benches/engines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengines-559517d688abdf8e.rmeta: crates/bench/benches/engines.rs Cargo.toml
+
+crates/bench/benches/engines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-b77ec53c8dee9e5b.d: crates/core/tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-b77ec53c8dee9e5b: crates/core/tests/failure_modes.rs
+
+crates/core/tests/failure_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_modes-f0422a83f28afdb9.d: crates/core/tests/failure_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_modes-f0422a83f28afdb9.rmeta: crates/core/tests/failure_modes.rs Cargo.toml
+
+crates/core/tests/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

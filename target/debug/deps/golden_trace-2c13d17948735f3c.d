@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-2c13d17948735f3c.d: tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-2c13d17948735f3c: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

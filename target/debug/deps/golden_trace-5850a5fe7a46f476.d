@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_trace-5850a5fe7a46f476.d: tests/golden_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_trace-5850a5fe7a46f476.rmeta: tests/golden_trace.rs Cargo.toml
+
+tests/golden_trace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

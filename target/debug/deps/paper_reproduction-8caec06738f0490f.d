@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_reproduction-8caec06738f0490f.d: tests/paper_reproduction.rs
+
+/root/repo/target/debug/deps/paper_reproduction-8caec06738f0490f: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_reproduction-94eac8be4ff9dfcc.d: tests/paper_reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_reproduction-94eac8be4ff9dfcc.rmeta: tests/paper_reproduction.rs Cargo.toml
+
+tests/paper_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_trace-8ebbed1cbfc2b128.d: crates/bench/src/bin/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_trace-8ebbed1cbfc2b128.rmeta: crates/bench/src/bin/pipeline_trace.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

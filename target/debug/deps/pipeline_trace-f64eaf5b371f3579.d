@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_trace-f64eaf5b371f3579.d: crates/bench/src/bin/pipeline_trace.rs
+
+/root/repo/target/debug/deps/pipeline_trace-f64eaf5b371f3579: crates/bench/src/bin/pipeline_trace.rs
+
+crates/bench/src/bin/pipeline_trace.rs:

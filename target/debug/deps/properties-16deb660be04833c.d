@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-16deb660be04833c.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-16deb660be04833c.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2bf3f70241a48292.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2bf3f70241a48292: tests/properties.rs
+
+tests/properties.rs:

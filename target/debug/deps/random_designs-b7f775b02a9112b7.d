@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/random_designs-b7f775b02a9112b7.d: tests/random_designs.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/random_designs-b7f775b02a9112b7: tests/random_designs.rs tests/common/mod.rs
+
+tests/random_designs.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/random_designs-df286f0fe397e076.d: tests/random_designs.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_designs-df286f0fe397e076.rmeta: tests/random_designs.rs tests/common/mod.rs Cargo.toml
+
+tests/random_designs.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

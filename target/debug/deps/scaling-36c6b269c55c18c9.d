@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-36c6b269c55c18c9.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-36c6b269c55c18c9.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

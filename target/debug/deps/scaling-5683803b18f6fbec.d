@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-5683803b18f6fbec.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-5683803b18f6fbec: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-1a59fe09ac2acb95.d: crates/bench/src/bin/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-1a59fe09ac2acb95.rmeta: crates/bench/src/bin/sched.rs Cargo.toml
+
+crates/bench/src/bin/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-2563ffcf81e52690.d: crates/bench/src/bin/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-2563ffcf81e52690.rmeta: crates/bench/src/bin/sched.rs Cargo.toml
+
+crates/bench/src/bin/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched-af83da42f2fe726b.d: crates/bench/src/bin/sched.rs
+
+/root/repo/target/debug/deps/sched-af83da42f2fe726b: crates/bench/src/bin/sched.rs
+
+crates/bench/src/bin/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4f6462f20b9b18b3.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-4f6462f20b9b18b3: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

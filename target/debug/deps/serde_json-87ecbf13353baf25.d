@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-87ecbf13353baf25.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-87ecbf13353baf25: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_end_to_end-353d51023a38fd8d.d: crates/core/tests/sim_end_to_end.rs
+
+/root/repo/target/debug/deps/sim_end_to_end-353d51023a38fd8d: crates/core/tests/sim_end_to_end.rs
+
+crates/core/tests/sim_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_end_to_end-3d30e4e4008e656e.d: crates/core/tests/sim_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_end_to_end-3d30e4e4008e656e.rmeta: crates/core/tests/sim_end_to_end.rs Cargo.toml
+
+crates/core/tests/sim_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

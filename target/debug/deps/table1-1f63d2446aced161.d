@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1f63d2446aced161.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1f63d2446aced161: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ca65d01dee45a719.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ca65d01dee45a719: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cifar_batch_pipeline-ad0490b9592bfa5a.d: examples/cifar_batch_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcifar_batch_pipeline-ad0490b9592bfa5a.rmeta: examples/cifar_batch_pipeline.rs Cargo.toml
+
+examples/cifar_batch_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cifar_batch_pipeline-e6fb37051e6f83f6.d: examples/cifar_batch_pipeline.rs
+
+/root/repo/target/debug/examples/cifar_batch_pipeline-e6fb37051e6f83f6: examples/cifar_batch_pipeline.rs
+
+examples/cifar_batch_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_network-8119db645cd6c3e2.d: examples/custom_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_network-8119db645cd6c3e2.rmeta: examples/custom_network.rs Cargo.toml
+
+examples/custom_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

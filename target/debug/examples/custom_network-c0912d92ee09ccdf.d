@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_network-c0912d92ee09ccdf.d: examples/custom_network.rs
+
+/root/repo/target/debug/examples/custom_network-c0912d92ee09ccdf: examples/custom_network.rs
+
+examples/custom_network.rs:

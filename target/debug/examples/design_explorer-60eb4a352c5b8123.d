@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_explorer-60eb4a352c5b8123.d: examples/design_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_explorer-60eb4a352c5b8123.rmeta: examples/design_explorer.rs Cargo.toml
+
+examples/design_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

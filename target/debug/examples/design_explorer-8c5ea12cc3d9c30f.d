@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_explorer-8c5ea12cc3d9c30f.d: examples/design_explorer.rs
+
+/root/repo/target/debug/examples/design_explorer-8c5ea12cc3d9c30f: examples/design_explorer.rs
+
+examples/design_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fixed_point_study-b7e2a0bc37df2cf7.d: examples/fixed_point_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfixed_point_study-b7e2a0bc37df2cf7.rmeta: examples/fixed_point_study.rs Cargo.toml
+
+examples/fixed_point_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fixed_point_study-efdb52c87ad80df8.d: examples/fixed_point_study.rs
+
+/root/repo/target/debug/examples/fixed_point_study-efdb52c87ad80df8: examples/fixed_point_study.rs
+
+examples/fixed_point_study.rs:

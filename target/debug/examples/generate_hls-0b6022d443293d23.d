@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generate_hls-0b6022d443293d23.d: examples/generate_hls.rs
+
+/root/repo/target/debug/examples/generate_hls-0b6022d443293d23: examples/generate_hls.rs
+
+examples/generate_hls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generate_hls-889ec73fc9cb2353.d: examples/generate_hls.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerate_hls-889ec73fc9cb2353.rmeta: examples/generate_hls.rs Cargo.toml
+
+examples/generate_hls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_fpga-22522123c0cf5c12.d: examples/multi_fpga.rs
+
+/root/repo/target/debug/examples/multi_fpga-22522123c0cf5c12: examples/multi_fpga.rs
+
+examples/multi_fpga.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_fpga-79806cdedf727def.d: examples/multi_fpga.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_fpga-79806cdedf727def.rmeta: examples/multi_fpga.rs Cargo.toml
+
+examples/multi_fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

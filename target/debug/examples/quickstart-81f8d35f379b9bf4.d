@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-81f8d35f379b9bf4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-81f8d35f379b9bf4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-da7cbb875112896c.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-da7cbb875112896c.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

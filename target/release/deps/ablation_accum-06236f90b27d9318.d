@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accum-06236f90b27d9318.d: crates/bench/src/bin/ablation_accum.rs
+
+/root/repo/target/release/deps/ablation_accum-06236f90b27d9318: crates/bench/src/bin/ablation_accum.rs
+
+crates/bench/src/bin/ablation_accum.rs:

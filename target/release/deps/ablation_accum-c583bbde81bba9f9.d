@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_accum-c583bbde81bba9f9.d: crates/bench/src/bin/ablation_accum.rs
+
+/root/repo/target/release/deps/ablation_accum-c583bbde81bba9f9: crates/bench/src/bin/ablation_accum.rs
+
+crates/bench/src/bin/ablation_accum.rs:

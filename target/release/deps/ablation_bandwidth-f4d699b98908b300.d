@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandwidth-f4d699b98908b300.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/release/deps/ablation_bandwidth-f4d699b98908b300: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

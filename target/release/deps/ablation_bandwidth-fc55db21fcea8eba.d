@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandwidth-fc55db21fcea8eba.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/release/deps/ablation_bandwidth-fc55db21fcea8eba: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fifo-33890b4ff04e04db.d: crates/bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/release/deps/ablation_fifo-33890b4ff04e04db: crates/bench/src/bin/ablation_fifo.rs
+
+crates/bench/src/bin/ablation_fifo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fifo-4d919ed133b9880a.d: crates/bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/release/deps/ablation_fifo-4d919ed133b9880a: crates/bench/src/bin/ablation_fifo.rs
+
+crates/bench/src/bin/ablation_fifo.rs:

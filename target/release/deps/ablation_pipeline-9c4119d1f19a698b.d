@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pipeline-9c4119d1f19a698b.d: crates/bench/src/bin/ablation_pipeline.rs
+
+/root/repo/target/release/deps/ablation_pipeline-9c4119d1f19a698b: crates/bench/src/bin/ablation_pipeline.rs
+
+crates/bench/src/bin/ablation_pipeline.rs:

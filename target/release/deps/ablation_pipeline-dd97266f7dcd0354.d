@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pipeline-dd97266f7dcd0354.d: crates/bench/src/bin/ablation_pipeline.rs
+
+/root/repo/target/release/deps/ablation_pipeline-dd97266f7dcd0354: crates/bench/src/bin/ablation_pipeline.rs
+
+crates/bench/src/bin/ablation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ports-53867d6f1091e568.d: crates/bench/src/bin/ablation_ports.rs
+
+/root/repo/target/release/deps/ablation_ports-53867d6f1091e568: crates/bench/src/bin/ablation_ports.rs
+
+crates/bench/src/bin/ablation_ports.rs:

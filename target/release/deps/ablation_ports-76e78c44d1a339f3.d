@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_ports-76e78c44d1a339f3.d: crates/bench/src/bin/ablation_ports.rs
+
+/root/repo/target/release/deps/ablation_ports-76e78c44d1a339f3: crates/bench/src/bin/ablation_ports.rs
+
+crates/bench/src/bin/ablation_ports.rs:

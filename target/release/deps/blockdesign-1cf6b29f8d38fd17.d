@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blockdesign-1cf6b29f8d38fd17.d: crates/bench/src/bin/blockdesign.rs
+
+/root/repo/target/release/deps/blockdesign-1cf6b29f8d38fd17: crates/bench/src/bin/blockdesign.rs
+
+crates/bench/src/bin/blockdesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blockdesign-f66edfaa8a71fcc0.d: crates/bench/src/bin/blockdesign.rs
+
+/root/repo/target/release/deps/blockdesign-f66edfaa8a71fcc0: crates/bench/src/bin/blockdesign.rs
+
+crates/bench/src/bin/blockdesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-643f95c326fd49e9.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/release/deps/calibration-643f95c326fd49e9: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-761933259147cd8c.d: crates/bench/src/bin/calibration.rs
+
+/root/repo/target/release/deps/calibration-761933259147cd8c: crates/bench/src/bin/calibration.rs
+
+crates/bench/src/bin/calibration.rs:

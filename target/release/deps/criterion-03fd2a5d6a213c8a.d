@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-03fd2a5d6a213c8a.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-03fd2a5d6a213c8a: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

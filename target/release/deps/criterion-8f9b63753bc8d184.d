@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8f9b63753bc8d184.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8f9b63753bc8d184.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8f9b63753bc8d184.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

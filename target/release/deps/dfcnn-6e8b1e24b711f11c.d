@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dfcnn-6e8b1e24b711f11c.d: src/lib.rs
+
+/root/repo/target/release/deps/libdfcnn-6e8b1e24b711f11c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdfcnn-6e8b1e24b711f11c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfcnn-85026091fcae66cd.d: src/lib.rs
+
+/root/repo/target/release/deps/dfcnn-85026091fcae66cd: src/lib.rs
+
+src/lib.rs:

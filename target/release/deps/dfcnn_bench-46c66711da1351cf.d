@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dfcnn_bench-46c66711da1351cf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdfcnn_bench-46c66711da1351cf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdfcnn_bench-46c66711da1351cf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

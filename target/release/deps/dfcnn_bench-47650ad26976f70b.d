@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfcnn_bench-47650ad26976f70b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dfcnn_bench-47650ad26976f70b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

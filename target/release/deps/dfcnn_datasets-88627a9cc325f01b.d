@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dfcnn_datasets-88627a9cc325f01b.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/release/deps/dfcnn_datasets-88627a9cc325f01b: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:

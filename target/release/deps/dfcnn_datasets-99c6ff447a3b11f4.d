@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dfcnn_datasets-99c6ff447a3b11f4.d: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/release/deps/libdfcnn_datasets-99c6ff447a3b11f4.rlib: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+/root/repo/target/release/deps/libdfcnn_datasets-99c6ff447a3b11f4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/batch.rs crates/datasets/src/cifar.rs crates/datasets/src/usps.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/cifar.rs:
+crates/datasets/src/usps.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dfcnn_fpga-e5b55dc9295cc94d.d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/release/deps/dfcnn_fpga-e5b55dc9295cc94d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/axi.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/host.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/report.rs:
+crates/fpga/src/resources.rs:

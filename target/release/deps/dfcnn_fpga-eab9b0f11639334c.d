@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dfcnn_fpga-eab9b0f11639334c.d: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/release/deps/libdfcnn_fpga-eab9b0f11639334c.rlib: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+/root/repo/target/release/deps/libdfcnn_fpga-eab9b0f11639334c.rmeta: crates/fpga/src/lib.rs crates/fpga/src/axi.rs crates/fpga/src/device.rs crates/fpga/src/dma.rs crates/fpga/src/host.rs crates/fpga/src/power.rs crates/fpga/src/report.rs crates/fpga/src/resources.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/axi.rs:
+crates/fpga/src/device.rs:
+crates/fpga/src/dma.rs:
+crates/fpga/src/host.rs:
+crates/fpga/src/power.rs:
+crates/fpga/src/report.rs:
+crates/fpga/src/resources.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dfcnn_hls-2c14ffb343abfd5b.d: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/release/deps/libdfcnn_hls-2c14ffb343abfd5b.rlib: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/release/deps/libdfcnn_hls-2c14ffb343abfd5b.rmeta: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/accum.rs:
+crates/hls/src/directive.rs:
+crates/hls/src/ii.rs:
+crates/hls/src/latency.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/reduce.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dfcnn_hls-ffd6121d97b88ec1.d: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+/root/repo/target/release/deps/dfcnn_hls-ffd6121d97b88ec1: crates/hls/src/lib.rs crates/hls/src/accum.rs crates/hls/src/directive.rs crates/hls/src/ii.rs crates/hls/src/latency.rs crates/hls/src/pipeline.rs crates/hls/src/reduce.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/accum.rs:
+crates/hls/src/directive.rs:
+crates/hls/src/ii.rs:
+crates/hls/src/latency.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/reduce.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dfcnn_nn-2c87cae0634162b5.d: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/dfcnn_nn-2c87cae0634162b5: crates/nn/src/lib.rs crates/nn/src/act.rs crates/nn/src/layer/mod.rs crates/nn/src/layer/conv.rs crates/nn/src/layer/flatten.rs crates/nn/src/layer/linear.rs crates/nn/src/layer/pool.rs crates/nn/src/layer/softmax.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/topology.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/act.rs:
+crates/nn/src/layer/mod.rs:
+crates/nn/src/layer/conv.rs:
+crates/nn/src/layer/flatten.rs:
+crates/nn/src/layer/linear.rs:
+crates/nn/src/layer/pool.rs:
+crates/nn/src/layer/softmax.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/topology.rs:
+crates/nn/src/train.rs:

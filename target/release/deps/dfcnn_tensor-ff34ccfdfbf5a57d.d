@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dfcnn_tensor-ff34ccfdfbf5a57d.d: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs
+
+/root/repo/target/release/deps/dfcnn_tensor-ff34ccfdfbf5a57d: crates/tensor/src/lib.rs crates/tensor/src/fixed.rs crates/tensor/src/init.rs crates/tensor/src/iter.rs crates/tensor/src/shape.rs crates/tensor/src/tensor1.rs crates/tensor/src/tensor3.rs crates/tensor/src/tensor4.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/fixed.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/iter.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor1.rs:
+crates/tensor/src/tensor3.rs:
+crates/tensor/src/tensor4.rs:

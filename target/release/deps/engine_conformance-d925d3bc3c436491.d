@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/engine_conformance-d925d3bc3c436491.d: tests/engine_conformance.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/engine_conformance-d925d3bc3c436491: tests/engine_conformance.rs tests/common/mod.rs
+
+tests/engine_conformance.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_modes-5654504615db06cc.d: crates/core/tests/failure_modes.rs
+
+/root/repo/target/release/deps/failure_modes-5654504615db06cc: crates/core/tests/failure_modes.rs
+
+crates/core/tests/failure_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-10e0d4a377131479.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-10e0d4a377131479: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

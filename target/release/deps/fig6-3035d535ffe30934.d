@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3035d535ffe30934.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3035d535ffe30934: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_trace-643c61a13433bc36.d: tests/golden_trace.rs
+
+/root/repo/target/release/deps/golden_trace-643c61a13433bc36: tests/golden_trace.rs
+
+tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_reproduction-46d7b763e5544e9e.d: tests/paper_reproduction.rs
+
+/root/repo/target/release/deps/paper_reproduction-46d7b763e5544e9e: tests/paper_reproduction.rs
+
+tests/paper_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_trace-3e7649eda8406542.d: crates/bench/src/bin/pipeline_trace.rs
+
+/root/repo/target/release/deps/pipeline_trace-3e7649eda8406542: crates/bench/src/bin/pipeline_trace.rs
+
+crates/bench/src/bin/pipeline_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_trace-5f303a61c2d93793.d: crates/bench/src/bin/pipeline_trace.rs
+
+/root/repo/target/release/deps/pipeline_trace-5f303a61c2d93793: crates/bench/src/bin/pipeline_trace.rs
+
+crates/bench/src/bin/pipeline_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prof_compute-50913f8301503482.d: crates/bench/src/bin/prof_compute.rs
+
+/root/repo/target/release/deps/prof_compute-50913f8301503482: crates/bench/src/bin/prof_compute.rs
+
+crates/bench/src/bin/prof_compute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-6008e9331633892a.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-6008e9331633892a: tests/properties.rs
+
+tests/properties.rs:

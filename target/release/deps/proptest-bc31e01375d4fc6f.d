@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-bc31e01375d4fc6f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-bc31e01375d4fc6f: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-f281418efb2fb9bc.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f281418efb2fb9bc.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-f281418efb2fb9bc.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

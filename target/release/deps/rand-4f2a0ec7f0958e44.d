@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-4f2a0ec7f0958e44.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-4f2a0ec7f0958e44: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

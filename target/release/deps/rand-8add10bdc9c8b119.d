@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-8add10bdc9c8b119.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8add10bdc9c8b119.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-8add10bdc9c8b119.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

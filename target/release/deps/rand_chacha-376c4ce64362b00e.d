@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-376c4ce64362b00e.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-376c4ce64362b00e.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-376c4ce64362b00e.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-96cec95538bc2b88.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-96cec95538bc2b88: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

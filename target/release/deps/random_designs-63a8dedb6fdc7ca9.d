@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/random_designs-63a8dedb6fdc7ca9.d: tests/random_designs.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/random_designs-63a8dedb6fdc7ca9: tests/random_designs.rs tests/common/mod.rs
+
+tests/random_designs.rs:
+tests/common/mod.rs:

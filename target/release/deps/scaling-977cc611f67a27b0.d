@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-977cc611f67a27b0.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-977cc611f67a27b0: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-a57318ec9e389143.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-a57318ec9e389143: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

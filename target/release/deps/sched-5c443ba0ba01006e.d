@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched-5c443ba0ba01006e.d: crates/bench/src/bin/sched.rs
+
+/root/repo/target/release/deps/sched-5c443ba0ba01006e: crates/bench/src/bin/sched.rs
+
+crates/bench/src/bin/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched-a29840a252b105e1.d: crates/bench/src/bin/sched.rs
+
+/root/repo/target/release/deps/sched-a29840a252b105e1: crates/bench/src/bin/sched.rs
+
+crates/bench/src/bin/sched.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-4e2893b3101a46f3.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-4e2893b3101a46f3: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-cd5978c67224aae8.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cd5978c67224aae8.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-cd5978c67224aae8.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

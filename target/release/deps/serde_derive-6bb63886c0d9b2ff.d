@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-6bb63886c0d9b2ff.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-6bb63886c0d9b2ff.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-7eaca2863b8cfa74.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-7eaca2863b8cfa74: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

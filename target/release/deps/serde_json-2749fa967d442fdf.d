@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-2749fa967d442fdf.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-2749fa967d442fdf: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-e7733d0e630950a3.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e7733d0e630950a3.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-e7733d0e630950a3.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_end_to_end-5623205e1cb1a273.d: crates/core/tests/sim_end_to_end.rs
+
+/root/repo/target/release/deps/sim_end_to_end-5623205e1cb1a273: crates/core/tests/sim_end_to_end.rs
+
+crates/core/tests/sim_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-4e29e58cb69546e8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-4e29e58cb69546e8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-cd9b18b36c476dfd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-cd9b18b36c476dfd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

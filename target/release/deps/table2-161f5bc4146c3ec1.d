@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-161f5bc4146c3ec1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-161f5bc4146c3ec1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

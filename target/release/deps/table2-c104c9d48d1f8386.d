@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c104c9d48d1f8386.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c104c9d48d1f8386: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

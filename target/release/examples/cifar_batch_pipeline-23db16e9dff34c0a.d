@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cifar_batch_pipeline-23db16e9dff34c0a.d: examples/cifar_batch_pipeline.rs
+
+/root/repo/target/release/examples/cifar_batch_pipeline-23db16e9dff34c0a: examples/cifar_batch_pipeline.rs
+
+examples/cifar_batch_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_network-0f05aaf624038485.d: examples/custom_network.rs
+
+/root/repo/target/release/examples/custom_network-0f05aaf624038485: examples/custom_network.rs
+
+examples/custom_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_explorer-5397d36cbf1af590.d: examples/design_explorer.rs
+
+/root/repo/target/release/examples/design_explorer-5397d36cbf1af590: examples/design_explorer.rs
+
+examples/design_explorer.rs:

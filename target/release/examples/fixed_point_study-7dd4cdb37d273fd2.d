@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fixed_point_study-7dd4cdb37d273fd2.d: examples/fixed_point_study.rs
+
+/root/repo/target/release/examples/fixed_point_study-7dd4cdb37d273fd2: examples/fixed_point_study.rs
+
+examples/fixed_point_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/generate_hls-3b7053e5dc896134.d: examples/generate_hls.rs
+
+/root/repo/target/release/examples/generate_hls-3b7053e5dc896134: examples/generate_hls.rs
+
+examples/generate_hls.rs:

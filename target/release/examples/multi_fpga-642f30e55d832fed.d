@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_fpga-642f30e55d832fed.d: examples/multi_fpga.rs
+
+/root/repo/target/release/examples/multi_fpga-642f30e55d832fed: examples/multi_fpga.rs
+
+examples/multi_fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8b847680c353a6fd.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8b847680c353a6fd: examples/quickstart.rs
+
+examples/quickstart.rs:
