@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dfcnn_bench::{quick_test_case_1, TestCase};
-use dfcnn_core::exec::ThreadedEngine;
+use dfcnn_core::exec::{ReplicationPlan, ThreadedEngine};
 use dfcnn_tensor::Tensor3;
 
 fn batch(tc: &TestCase, n: usize) -> Vec<Tensor3<f32>> {
@@ -42,6 +42,33 @@ fn bench_threaded(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_replicated(c: &mut Criterion) {
+    let tc = quick_test_case_1();
+    let images = batch(&tc, 16);
+    let engine = ThreadedEngine::new(&tc.design);
+    // double up the conv stages (the TC1 bottlenecks; see host_pipeline)
+    let factors: Vec<usize> = engine
+        .stage_names()
+        .iter()
+        .map(|n| if n.starts_with("conv") { 2 } else { 1 })
+        .collect();
+    let plan = ReplicationPlan { factors };
+    let mut g = c.benchmark_group("replicated_engine_tc1");
+    g.sample_size(10);
+    g.bench_function("conv_x2_batch16", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_with_plan(black_box(&images), &plan)
+                    .0
+                    .outputs
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_reference(c: &mut Criterion) {
     let tc = quick_test_case_1();
     let img = tc.images[0].clone();
@@ -55,5 +82,11 @@ fn bench_reference(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_threaded, bench_reference);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_threaded,
+    bench_replicated,
+    bench_reference
+);
 criterion_main!(benches);

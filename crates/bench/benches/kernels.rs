@@ -3,7 +3,7 @@
 //! reduction primitives (tree adder, interleaved accumulators).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dfcnn_core::kernel::{conv_forward_hw, fc_forward_hw};
+use dfcnn_core::kernel::{conv_forward_hw, conv_forward_hw_into, fc_forward_hw, ConvArena};
 use dfcnn_hls::accum::InterleavedAccumulator;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::act::Activation;
@@ -31,6 +31,20 @@ fn bench_conv(c: &mut Criterion) {
     });
     g.bench_function("hw_order_forward", |b| {
         b.iter(|| black_box(conv_forward_hw(black_box(&conv), 1, black_box(&img))))
+    });
+    // the steady-state path: packed filters + reused arena + caller buffer
+    let mut arena = ConvArena::new(&conv, 1);
+    let mut out = dfcnn_tensor::Tensor3::zeros(conv.output_shape());
+    g.bench_function("hw_order_forward_into", |b| {
+        b.iter(|| {
+            conv_forward_hw_into(
+                black_box(&conv),
+                1,
+                black_box(&img),
+                black_box(&mut out),
+                &mut arena,
+            )
+        })
     });
     g.finish();
 }

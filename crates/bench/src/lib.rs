@@ -20,6 +20,7 @@
 //! | `scaling` | §VI — bigger networks, fixed point, multi-FPGA partitioning |
 //! | `pipeline_trace` | stage-occupancy timelines (the §IV-C concurrency claim) |
 //! | `calibration` | fitting the DMA-overhead knob to the paper's absolute numbers |
+//! | `host_pipeline` | §IV-C on the host — sequential vs pipelined vs replicated stages, per-stage profile |
 //!
 //! All binaries print human-readable tables and write JSON records under
 //! `results/`.

@@ -3,12 +3,12 @@
 //! §IV-C: "the resulting network will exactly act like a high-level
 //! pipeline. At steady state, all the different layers of the network will
 //! be concurrently active and computing." This engine realises that
-//! concurrency on the host CPU: **one OS thread per generated core**,
-//! connected by bounded rendezvous channels carrying whole feature-map
-//! volumes (the token granularity is an image rather than a value — the
-//! same dataflow graph, coarser tokens).
+//! concurrency on the host CPU: **one or more OS threads per generated
+//! core**, connected by bounded rendezvous channels carrying whole
+//! feature-map volumes (the token granularity is an image rather than a
+//! value — the same dataflow graph, coarser tokens).
 //!
-//! Two purposes:
+//! Three purposes:
 //!
 //! 1. *Functional cross-check*: each stage computes with the same
 //!    [`crate::kernel`] hardware-order numerics as the cycle simulator, so
@@ -18,10 +18,37 @@
 //!    same effect Fig. 6 measures in cycles, observable here as real
 //!    speedup over a sequential forward pass (benchmarked in
 //!    `dfcnn-bench`).
+//! 3. *Stage balancing*: the paper balances stages by scaling ports
+//!    (Eq. 4, `II = max(OUT_FM/OUT_PORTS, IN_FM/IN_PORTS)`). The host
+//!    analogue is **stage replication** ([`ReplicationPlan`]): a profiling
+//!    pre-pass times each stage, bottleneck stages get extra worker
+//!    threads fed round-robin, and the batch interval converges toward the
+//!    *balanced*-stage bound instead of the slowest single stage.
+//!
+//! # Order and buffers
+//!
+//! With replication factor `r` for a stage, image `j` is always handled by
+//! worker `j mod r`; every producer deals to, and every consumer reads
+//! from, the channel that deterministic rule names. Outputs therefore come
+//! out in input order with no sequence numbers, and the value stream each
+//! image sees is identical to [`ThreadedEngine::run_sequential`] — so
+//! outputs are bit-identical, replicated or not.
+//!
+//! Steady state allocates nothing per image in the compute path: every
+//! worker owns a per-stage scratch arena ([`crate::kernel::ConvArena`] and
+//! friends), and output volumes are recycled — each message carries a
+//! return channel, the consumer sends the spent buffer back, and the
+//! producer reuses it for a later image (a ping-pong pool threaded through
+//! the channel chain).
 
 use crate::graph::NetworkDesign;
+use crate::kernel::{
+    conv_forward_hw_into, fc_forward_hw_into, pool_forward_hw_into, ConvArena, FcArena, PoolArena,
+};
+use crate::trace::IntervalStats;
 use dfcnn_nn::layer::Layer;
-use dfcnn_tensor::Tensor3;
+use dfcnn_tensor::{Shape3, Tensor3};
+use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::{Duration, Instant};
 
@@ -44,8 +71,134 @@ impl ExecResult {
     }
 }
 
-/// One pipeline stage: a closure over the layer's hardware-order forward.
-enum Stage {
+/// Per-stage replication factors: how many worker threads serve each
+/// pipeline stage. The host analogue of the paper's Eq. 4 port scaling —
+/// replicating a stage divides its effective interval the way adding ports
+/// divides a core's II.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationPlan {
+    /// One factor (≥ 1) per stage.
+    pub factors: Vec<usize>,
+}
+
+impl ReplicationPlan {
+    /// One worker per stage — the plain pipeline.
+    pub fn uniform(stages: usize) -> Self {
+        ReplicationPlan {
+            factors: vec![1; stages],
+        }
+    }
+
+    /// Allocate up to `extra_workers` additional workers greedily to the
+    /// stage with the largest *effective* interval (`mean / factor`),
+    /// capping each stage at `max_factor`. Stops early when the global
+    /// bottleneck can no longer be replicated (further workers would not
+    /// raise throughput).
+    pub fn balanced(mean_interval_ns: &[u64], extra_workers: usize, max_factor: usize) -> Self {
+        assert!(max_factor >= 1);
+        let n = mean_interval_ns.len();
+        let mut factors = vec![1usize; n];
+        let eff = |i: usize, f: &[usize]| mean_interval_ns[i] / f[i] as u64;
+        for _ in 0..extra_workers {
+            let bound = (0..n).map(|i| eff(i, &factors)).max().unwrap_or(0);
+            let candidate = (0..n)
+                .filter(|&i| factors[i] < max_factor)
+                .max_by_key(|&i| eff(i, &factors));
+            match candidate {
+                Some(i) if eff(i, &factors) == bound && bound > 0 => factors[i] += 1,
+                _ => break,
+            }
+        }
+        ReplicationPlan { factors }
+    }
+
+    /// Total worker threads the plan spawns.
+    pub fn workers(&self) -> usize {
+        self.factors.iter().sum()
+    }
+}
+
+/// Measured behaviour of one pipeline stage during a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name (`conv1`, `pool1`, `flatten`, `fc1`, …).
+    pub name: String,
+    /// Worker threads that served this stage.
+    pub replication: usize,
+    /// Images processed (summed over workers).
+    pub images: u64,
+    /// Mean per-image service time in nanoseconds — the host analogue of
+    /// the stage interval Fig. 6 converges to.
+    pub mean_interval_ns: u64,
+    /// Worst single-image service time in nanoseconds.
+    pub max_interval_ns: u64,
+    /// Mean time a worker spent blocked waiting for input, per image.
+    pub mean_queue_wait_ns: u64,
+}
+
+impl StageProfile {
+    /// Effective interval the stage contributes to the pipeline bound:
+    /// `mean / replication` (replicated workers overlap in time).
+    pub fn effective_interval_ns(&self) -> u64 {
+        self.mean_interval_ns / self.replication as u64
+    }
+}
+
+/// Per-stage measurements of one pipelined run, consumed by `dfcnn-bench`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PipelineProfile {
+    /// One entry per pipeline stage, in pipeline order.
+    pub stages: Vec<StageProfile>,
+    /// Batch size of the measured run.
+    pub batch: usize,
+    /// Total wall-clock of the run in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl PipelineProfile {
+    /// Index of the stage with the largest effective interval — the stage
+    /// the batch interval converges to (Fig. 6's plateau).
+    pub fn bottleneck(&self) -> usize {
+        (0..self.stages.len())
+            .max_by_key(|&i| self.stages[i].effective_interval_ns())
+            .expect("profile has no stages")
+    }
+
+    /// The balanced-stage bound in nanoseconds: the largest effective
+    /// interval. At steady state the pipeline emits one image per this
+    /// interval; replication lowers it the way Eq. 4's ports lower II.
+    pub fn balanced_bound_ns(&self) -> u64 {
+        self.stages[self.bottleneck()].effective_interval_ns()
+    }
+
+    /// Fixed-width text table (one row per stage) for console output.
+    pub fn render_table(&self) -> String {
+        let mut out =
+            String::from("stage      repl  images  mean_us    max_us     wait_us    eff_us\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<10} {:>4} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+                s.name,
+                s.replication,
+                s.images,
+                s.mean_interval_ns as f64 / 1e3,
+                s.max_interval_ns as f64 / 1e3,
+                s.mean_queue_wait_ns as f64 / 1e3,
+                s.effective_interval_ns() as f64 / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// One pipeline stage: the layer parameters plus its output geometry.
+struct Stage {
+    name: String,
+    out_shape: Shape3,
+    kind: StageKind,
+}
+
+enum StageKind {
     Conv {
         layer: dfcnn_nn::layer::Conv2d,
         in_ports: usize,
@@ -57,20 +210,149 @@ enum Stage {
         layer: dfcnn_nn::layer::Linear,
         banks: usize,
     },
-    Flatten {
-        layer: dfcnn_nn::layer::Flatten,
-    },
+    Flatten,
+}
+
+/// Per-worker mutable scratch (each worker owns its own, so replicated
+/// workers never contend).
+enum StageState {
+    Conv(Box<ConvArena>),
+    Pool(PoolArena),
+    Fc(Box<FcArena>),
+    Flatten,
 }
 
 impl Stage {
-    fn apply(&self, x: &Tensor3<f32>) -> Tensor3<f32> {
-        match self {
-            Stage::Conv { layer, in_ports } => crate::kernel::conv_forward_hw(layer, *in_ports, x),
-            Stage::Pool { layer } => crate::kernel::pool_forward_hw(layer, x),
-            Stage::Fc { layer, banks } => crate::kernel::fc_forward_hw(layer, *banks, x),
-            Stage::Flatten { layer } => layer.forward(x),
+    fn make_state(&self) -> StageState {
+        match &self.kind {
+            StageKind::Conv { layer, in_ports } => {
+                StageState::Conv(Box::new(ConvArena::new(layer, *in_ports)))
+            }
+            StageKind::Pool { layer } => StageState::Pool(PoolArena::new(layer)),
+            StageKind::Fc { layer, banks } => {
+                StageState::Fc(Box::new(FcArena::new(layer.weights(), *banks)))
+            }
+            StageKind::Flatten => StageState::Flatten,
         }
     }
+
+    /// Allocation-free forward of one image through this stage.
+    fn apply_into(&self, state: &mut StageState, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        match (&self.kind, state) {
+            (StageKind::Conv { layer, in_ports }, StageState::Conv(a)) => {
+                conv_forward_hw_into(layer, *in_ports, input, out, a)
+            }
+            (StageKind::Pool { layer }, StageState::Pool(a)) => {
+                pool_forward_hw_into(layer, input, out, a)
+            }
+            (StageKind::Fc { layer, .. }, StageState::Fc(a)) => {
+                fc_forward_hw_into(layer, input, out, a)
+            }
+            (StageKind::Flatten, StageState::Flatten) => {
+                // a pure reshape: stream order is already (y, x, c)
+                out.as_mut_slice().copy_from_slice(input.as_slice());
+            }
+            _ => unreachable!("stage state built for a different stage kind"),
+        }
+    }
+}
+
+/// A volume travelling down the pipeline. Owned messages carry the return
+/// channel of the worker whose buffer pool they came from, so the consumer
+/// can recycle the buffer once it has read it.
+enum Msg<'a> {
+    /// A borrowed input image (zero-copy feed of the first stage).
+    Borrowed(&'a Tensor3<f32>),
+    /// A stage output, plus the producing worker's free-list.
+    Owned(Tensor3<f32>, Option<SyncSender<Tensor3<f32>>>),
+}
+
+impl Msg<'_> {
+    fn tensor(&self) -> &Tensor3<f32> {
+        match self {
+            Msg::Borrowed(t) => t,
+            Msg::Owned(t, _) => t,
+        }
+    }
+
+    /// Hand the buffer back to its producer (best effort: a full or
+    /// disconnected free-list just drops the buffer — never blocks).
+    fn recycle(self) {
+        if let Msg::Owned(t, Some(ret)) = self {
+            let _ = ret.try_send(t);
+        }
+    }
+}
+
+/// Timing gathered by one worker thread.
+struct WorkerStats {
+    busy: IntervalStats,
+    wait: IntervalStats,
+}
+
+/// Channel matrix for one stage boundary: `pc` producers × `cc` consumers.
+/// Returns (per-producer sender rows, per-consumer receiver columns);
+/// `rows[p][c]` feeds `cols[c][p]`.
+type TxRows<'a> = Vec<Vec<SyncSender<Msg<'a>>>>;
+type RxCols<'a> = Vec<Vec<Receiver<Msg<'a>>>>;
+
+fn boundary<'a>(pc: usize, cc: usize, depth: usize) -> (TxRows<'a>, RxCols<'a>) {
+    let mut rows: TxRows = (0..pc).map(|_| Vec::with_capacity(cc)).collect();
+    let mut cols: RxCols = (0..cc).map(|_| Vec::with_capacity(pc)).collect();
+    for row in rows.iter_mut() {
+        for col in cols.iter_mut() {
+            let (tx, rx) = sync_channel(depth);
+            row.push(tx);
+            col.push(rx);
+        }
+    }
+    (rows, cols)
+}
+
+/// One worker of a (possibly replicated) stage. Worker `w` of a stage with
+/// factor `r` serves exactly the images `j ≡ w (mod r)`, in increasing
+/// order; image `j` arrives on the channel from producer `j mod r_prev`
+/// and leaves on the channel to consumer `j mod r_next`. That fixed
+/// dealing rule is what keeps outputs in input order with no tags.
+fn worker_loop(
+    stage: &Stage,
+    w: usize,
+    r_mine: usize,
+    rx_col: Vec<Receiver<Msg<'_>>>,
+    tx_row: Vec<SyncSender<Msg<'_>>>,
+    channel_depth: usize,
+) -> WorkerStats {
+    let mut state = stage.make_state();
+    let (r_prev, r_next) = (rx_col.len(), tx_row.len());
+    // buffers in flight from this worker: channel depth per consumer link
+    // plus one being read at each consumer
+    let (free_tx, free_rx) = sync_channel::<Tensor3<f32>>(r_next * (channel_depth + 1) + 1);
+    let mut busy = IntervalStats::new();
+    let mut wait = IntervalStats::new();
+    let mut k = 0u64;
+    loop {
+        let j = w as u64 + k * r_mine as u64;
+        let t0 = Instant::now();
+        let msg = match rx_col[(j % r_prev as u64) as usize].recv() {
+            Ok(m) => m,
+            Err(_) => break, // upstream done
+        };
+        wait.record(t0.elapsed().as_nanos() as u64);
+        let mut out = free_rx
+            .try_recv()
+            .unwrap_or_else(|_| Tensor3::zeros(stage.out_shape));
+        let t1 = Instant::now();
+        stage.apply_into(&mut state, msg.tensor(), &mut out);
+        busy.record(t1.elapsed().as_nanos() as u64);
+        msg.recycle();
+        let sent =
+            tx_row[(j % r_next as u64) as usize].send(Msg::Owned(out, Some(free_tx.clone())));
+        if sent.is_err() {
+            break; // downstream done
+        }
+        k += 1;
+    }
+    WorkerStats { busy, wait }
 }
 
 /// The engine itself; construct per design, run per batch.
@@ -86,27 +368,54 @@ impl ThreadedEngine {
     pub fn new(design: &NetworkDesign) -> Self {
         let mut stages = Vec::new();
         let mut port_iter = design.ports().layers.iter();
+        let mut cur_shape = design.network().input_shape();
+        let (mut convs, mut pools, mut fcs) = (0, 0, 0);
         for layer in design.network().layers() {
             match layer {
                 Layer::Conv(c) => {
                     let lp = port_iter.next().expect("port config exhausted");
-                    stages.push(Stage::Conv {
-                        layer: c.clone(),
-                        in_ports: lp.in_ports,
+                    convs += 1;
+                    cur_shape = c.output_shape();
+                    stages.push(Stage {
+                        name: format!("conv{convs}"),
+                        out_shape: cur_shape,
+                        kind: StageKind::Conv {
+                            layer: c.clone(),
+                            in_ports: lp.in_ports,
+                        },
                     });
                 }
                 Layer::Pool(p) => {
                     let _ = port_iter.next();
-                    stages.push(Stage::Pool { layer: p.clone() });
+                    pools += 1;
+                    cur_shape = p.output_shape();
+                    stages.push(Stage {
+                        name: format!("pool{pools}"),
+                        out_shape: cur_shape,
+                        kind: StageKind::Pool { layer: p.clone() },
+                    });
                 }
                 Layer::Linear(f) => {
                     let _ = port_iter.next();
-                    stages.push(Stage::Fc {
-                        layer: f.clone(),
-                        banks: design.config().fc_banks,
+                    fcs += 1;
+                    cur_shape = Shape3::new(1, 1, f.outputs());
+                    stages.push(Stage {
+                        name: format!("fc{fcs}"),
+                        out_shape: cur_shape,
+                        kind: StageKind::Fc {
+                            layer: f.clone(),
+                            banks: design.config().fc_banks,
+                        },
                     });
                 }
-                Layer::Flatten(f) => stages.push(Stage::Flatten { layer: f.clone() }),
+                Layer::Flatten(_) => {
+                    cur_shape = Shape3::new(1, 1, cur_shape.len());
+                    stages.push(Stage {
+                        name: "flatten".to_string(),
+                        out_shape: cur_shape,
+                        kind: StageKind::Flatten,
+                    });
+                }
                 Layer::LogSoftmax(_) => {}
             }
         }
@@ -116,71 +425,190 @@ impl ThreadedEngine {
         }
     }
 
-    /// Number of pipeline stages (threads spawned per run).
+    /// Number of pipeline stages (minimum threads spawned per run).
     pub fn stage_count(&self) -> usize {
         self.stages.len()
     }
 
-    /// Stream a batch through the pipeline.
+    /// Stage names in pipeline order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Stream a batch through the plain pipeline (one worker per stage).
     pub fn run(&self, images: &[Tensor3<f32>]) -> ExecResult {
+        self.run_with_plan(images, &ReplicationPlan::uniform(self.stages.len()))
+            .0
+    }
+
+    /// Profile each stage, compute a balanced [`ReplicationPlan`] sized to
+    /// the machine's parallelism, and run the batch with it.
+    pub fn run_pipelined(&self, images: &[Tensor3<f32>]) -> (ExecResult, PipelineProfile) {
+        let plan = self.plan_for_host(images);
+        self.run_with_plan(images, &plan)
+    }
+
+    /// The balanced plan [`ThreadedEngine::run_pipelined`] would use:
+    /// stage intervals from a warmup sample, extra workers bounded by the
+    /// host's spare hardware threads, factors capped at 4.
+    pub fn plan_for_host(&self, images: &[Tensor3<f32>]) -> ReplicationPlan {
         assert!(!images.is_empty(), "empty batch");
+        let warmup = &images[..images.len().min(2)];
+        let stats = self.profile_stages(warmup);
+        let means: Vec<u64> = stats.iter().map(|s| s.mean_ns()).collect();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let extra = threads.saturating_sub(1).min(8);
+        ReplicationPlan::balanced(&means, extra, 4)
+    }
+
+    /// Time each stage on a warmup sample (run sequentially, one
+    /// measurement per stage per image) — the profiling pre-pass behind
+    /// [`ReplicationPlan::balanced`].
+    pub fn profile_stages(&self, sample: &[Tensor3<f32>]) -> Vec<IntervalStats> {
+        let mut states: Vec<StageState> = self.stages.iter().map(|s| s.make_state()).collect();
+        let mut bufs: Vec<Tensor3<f32>> = self
+            .stages
+            .iter()
+            .map(|s| Tensor3::zeros(s.out_shape))
+            .collect();
+        let mut stats = vec![IntervalStats::new(); self.stages.len()];
+        for img in sample {
+            for s in 0..self.stages.len() {
+                let (done, rest) = bufs.split_at_mut(s);
+                let input = if s == 0 { img } else { &done[s - 1] };
+                let t = Instant::now();
+                self.stages[s].apply_into(&mut states[s], input, &mut rest[0]);
+                stats[s].record(t.elapsed().as_nanos() as u64);
+            }
+        }
+        stats
+    }
+
+    /// Stream a batch through the pipeline with explicit per-stage
+    /// replication. Outputs are in input order and bit-identical to
+    /// [`ThreadedEngine::run_sequential`] for any plan.
+    pub fn run_with_plan(
+        &self,
+        images: &[Tensor3<f32>],
+        plan: &ReplicationPlan,
+    ) -> (ExecResult, PipelineProfile) {
+        assert!(!images.is_empty(), "empty batch");
+        assert!(!self.stages.is_empty(), "design has no pipeline stages");
+        assert_eq!(
+            plan.factors.len(),
+            self.stages.len(),
+            "plan length mismatch"
+        );
+        assert!(plan.factors.iter().all(|&f| f >= 1), "factors must be ≥ 1");
+        let r = &plan.factors;
+        let n = self.stages.len();
+        let depth = self.channel_depth;
+        let (stats_tx, stats_rx) = std::sync::mpsc::channel::<(usize, WorkerStats)>();
         let start = Instant::now();
         let (outputs, completion_times) = std::thread::scope(|scope| {
-            // channel chain: feeder -> stage0 -> ... -> stageN -> collector
-            let (feed_tx, mut rx): (SyncSender<Tensor3<f32>>, Receiver<Tensor3<f32>>) =
-                sync_channel(self.channel_depth);
-            for stage in &self.stages {
-                let (tx, next_rx) = sync_channel(self.channel_depth);
-                let stage_rx = rx;
-                scope.spawn(move || {
-                    for img in stage_rx.iter() {
-                        let out = stage.apply(&img);
-                        if tx.send(out).is_err() {
-                            break;
-                        }
-                    }
-                });
-                rx = next_rx;
+            // boundary 0: the feeder (one producer) into stage 0's workers
+            let (mut feed_rows, mut cur_cols) = boundary(1, r[0], depth);
+            for s in 0..n {
+                let next_cc = if s + 1 < n { r[s + 1] } else { 1 };
+                let (next_rows, next_cols) = boundary(r[s], next_cc, depth);
+                let in_cols = std::mem::replace(&mut cur_cols, next_cols);
+                for (w, (rx_col, tx_row)) in in_cols.into_iter().zip(next_rows).enumerate() {
+                    let stage = &self.stages[s];
+                    let r_mine = r[s];
+                    let stats_tx = stats_tx.clone();
+                    scope.spawn(move || {
+                        let ws = worker_loop(stage, w, r_mine, rx_col, tx_row, depth);
+                        let _ = stats_tx.send((s, ws));
+                    });
+                }
             }
+            // collector: one consumer reading the last boundary round-robin
+            let coll_col = cur_cols.pop().expect("collector column");
             let batch = images.len();
+            let r_last = *r.last().unwrap();
             let collector = scope.spawn(move || {
                 let mut outs = Vec::with_capacity(batch);
                 let mut times = Vec::with_capacity(batch);
-                for img in rx.iter() {
-                    outs.push(img);
-                    times.push(start.elapsed());
-                    if outs.len() == batch {
-                        break;
+                for j in 0..batch {
+                    match coll_col[j % r_last].recv() {
+                        Ok(Msg::Owned(t, _)) => outs.push(t),
+                        Ok(Msg::Borrowed(t)) => outs.push(t.clone()),
+                        Err(_) => break, // a worker died; surface short batch
                     }
+                    times.push(start.elapsed());
                 }
                 (outs, times)
             });
-            for img in images {
-                feed_tx.send(img.clone()).expect("pipeline hung up");
+            // feed borrowed references — no per-image clone
+            let feed_row = feed_rows.pop().expect("feeder row");
+            for (j, img) in images.iter().enumerate() {
+                if feed_row[j % r[0]].send(Msg::Borrowed(img)).is_err() {
+                    break;
+                }
             }
-            drop(feed_tx);
+            drop(feed_row);
             collector.join().expect("collector panicked")
         });
-        ExecResult {
-            outputs,
-            completion_times,
-            total: start.elapsed(),
+        let total = start.elapsed();
+        drop(stats_tx);
+        let mut busy = vec![IntervalStats::new(); n];
+        let mut wait = vec![IntervalStats::new(); n];
+        while let Ok((s, ws)) = stats_rx.try_recv() {
+            busy[s].merge(&ws.busy);
+            wait[s].merge(&ws.wait);
         }
+        let profile = PipelineProfile {
+            stages: self
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(s, st)| StageProfile {
+                    name: st.name.clone(),
+                    replication: r[s],
+                    images: busy[s].count,
+                    mean_interval_ns: busy[s].mean_ns(),
+                    max_interval_ns: busy[s].max_ns,
+                    mean_queue_wait_ns: wait[s].mean_ns(),
+                })
+                .collect(),
+            batch: images.len(),
+            total_ns: total.as_nanos() as u64,
+        };
+        (
+            ExecResult {
+                outputs,
+                completion_times,
+                total,
+            },
+            profile,
+        )
     }
 
     /// Sequential baseline: the same hardware-order stages, one image at a
     /// time on one thread (what a non-pipelined accelerator would do).
+    /// Uses the same arenas and staging buffers as the pipeline workers,
+    /// so it is equally allocation-free per image apart from the owned
+    /// output clone.
     pub fn run_sequential(&self, images: &[Tensor3<f32>]) -> ExecResult {
         assert!(!images.is_empty(), "empty batch");
         let start = Instant::now();
+        let mut states: Vec<StageState> = self.stages.iter().map(|s| s.make_state()).collect();
+        let mut bufs: Vec<Tensor3<f32>> = self
+            .stages
+            .iter()
+            .map(|s| Tensor3::zeros(s.out_shape))
+            .collect();
         let mut outputs = Vec::with_capacity(images.len());
         let mut completion_times = Vec::with_capacity(images.len());
         for img in images {
-            let mut cur = img.clone();
-            for s in &self.stages {
-                cur = s.apply(&cur);
+            for s in 0..self.stages.len() {
+                let (done, rest) = bufs.split_at_mut(s);
+                let input = if s == 0 { img } else { &done[s - 1] };
+                self.stages[s].apply_into(&mut states[s], input, &mut rest[0]);
             }
-            outputs.push(cur);
+            outputs.push(bufs.last().expect("at least one stage").clone());
             completion_times.push(start.elapsed());
         }
         ExecResult {
@@ -259,6 +687,98 @@ mod tests {
     fn stage_count_includes_flatten() {
         let design = tc1_design();
         // conv, pool, conv, flatten, fc = 5 (logsoftmax host-side)
-        assert_eq!(ThreadedEngine::new(&design).stage_count(), 5);
+        let engine = ThreadedEngine::new(&design);
+        assert_eq!(engine.stage_count(), 5);
+        assert_eq!(
+            engine.stage_names(),
+            vec!["conv1", "pool1", "conv2", "flatten", "fc1"]
+        );
+    }
+
+    #[test]
+    fn replicated_runs_match_sequential_exactly() {
+        let design = tc1_design();
+        let imgs = batch(&design, 11, 4);
+        let engine = ThreadedEngine::new(&design);
+        let seq = engine.run_sequential(&imgs);
+        for factors in [
+            vec![1, 1, 1, 1, 1],
+            vec![2, 1, 3, 1, 2],
+            vec![4, 4, 4, 4, 4],
+            vec![3, 1, 1, 1, 1],
+        ] {
+            let plan = ReplicationPlan { factors };
+            let (res, profile) = engine.run_with_plan(&imgs, &plan);
+            assert_eq!(res.outputs, seq.outputs, "plan {:?}", plan.factors);
+            // every image passed through every stage exactly once
+            assert!(profile.stages.iter().all(|s| s.images == 11));
+        }
+    }
+
+    #[test]
+    fn batch_smaller_than_replication_works() {
+        // more workers than images: surplus workers see an immediate
+        // disconnect and must exit cleanly
+        let design = tc1_design();
+        let imgs = batch(&design, 2, 5);
+        let engine = ThreadedEngine::new(&design);
+        let plan = ReplicationPlan {
+            factors: vec![4, 4, 4, 4, 4],
+        };
+        let (res, _) = engine.run_with_plan(&imgs, &plan);
+        assert_eq!(res.outputs, engine.run_sequential(&imgs).outputs);
+    }
+
+    #[test]
+    fn profile_reports_all_stages() {
+        let design = tc1_design();
+        let imgs = batch(&design, 6, 6);
+        let engine = ThreadedEngine::new(&design);
+        let (_, profile) =
+            engine.run_with_plan(&imgs, &ReplicationPlan::uniform(engine.stage_count()));
+        assert_eq!(profile.stages.len(), 5);
+        assert_eq!(profile.batch, 6);
+        assert!(profile.total_ns > 0);
+        assert!(profile.stages.iter().all(|s| s.images == 6));
+        assert!(profile.stages.iter().all(|s| s.mean_interval_ns > 0));
+        let table = profile.render_table();
+        assert!(table.contains("conv1") && table.contains("fc1"));
+        let b = profile.bottleneck();
+        assert!(profile.balanced_bound_ns() >= profile.stages[b].effective_interval_ns());
+    }
+
+    #[test]
+    fn run_pipelined_is_bit_identical_too() {
+        let design = tc1_design();
+        let imgs = batch(&design, 10, 7);
+        let engine = ThreadedEngine::new(&design);
+        let (res, profile) = engine.run_pipelined(&imgs);
+        assert_eq!(res.outputs, engine.run_sequential(&imgs).outputs);
+        assert!(profile.stages.iter().all(|s| s.replication >= 1));
+    }
+
+    #[test]
+    fn balanced_plan_targets_bottleneck() {
+        // stage 1 is 4x slower: extra workers must go there first
+        let plan = ReplicationPlan::balanced(&[100, 400, 100], 3, 4);
+        assert_eq!(plan.factors, vec![1, 4, 1]);
+        // cap respected even with surplus budget
+        let capped = ReplicationPlan::balanced(&[100, 400, 100], 8, 2);
+        assert_eq!(capped.factors[1], 2);
+        // equal stages: workers spread rather than stack
+        let even = ReplicationPlan::balanced(&[100, 100], 2, 4);
+        assert_eq!(even.workers(), 4);
+        // uniform is all ones
+        assert_eq!(ReplicationPlan::uniform(3).factors, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn profile_stages_measures_every_stage() {
+        let design = tc1_design();
+        let imgs = batch(&design, 3, 8);
+        let engine = ThreadedEngine::new(&design);
+        let stats = engine.profile_stages(&imgs);
+        assert_eq!(stats.len(), engine.stage_count());
+        assert!(stats.iter().all(|s| s.count == 3));
     }
 }

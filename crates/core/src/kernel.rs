@@ -14,7 +14,75 @@ use dfcnn_hls::accum::InterleavedAccumulator;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::act::Activation;
 use dfcnn_nn::layer::{Conv2d, Linear, Pool2d, PoolKind};
-use dfcnn_tensor::{Tensor1, Tensor3, Tensor4};
+use dfcnn_tensor::{Shape3, Tensor1, Tensor3, Tensor4};
+
+/// Conv filters repacked into the window layout `(f, dy, dx)` — the same
+/// order [`crate::sst::WindowEngine::extract`] writes the window buffer.
+///
+/// With both operands in the same layout, Algorithm 1's group `g` reads one
+/// *contiguous* slice of each (`[g·P·KH·KW .. (g+1)·P·KH·KW]`), so the
+/// product loop is a straight element-wise multiply the compiler can
+/// auto-vectorise. The products are produced in exactly the order the
+/// unpacked loop produced them, so the tree-adder summation — and therefore
+/// every output bit — is unchanged ([`conv_window_packed`] vs
+/// [`conv_window`] is pinned by a test).
+#[derive(Clone, Debug)]
+pub struct PackedFilters {
+    data: Vec<f32>,
+    k: usize,
+    /// Values per filter (`KH · KW · IN_FM`).
+    stride: usize,
+    /// Per-channel window size (`KH · KW`).
+    win: usize,
+}
+
+impl PackedFilters {
+    /// Repack `filters` (native layout `(dy, dx, f)` per filter) into
+    /// window layout. Done once per layer at design/engine build time.
+    pub fn new(filters: &Tensor4<f32>) -> Self {
+        let (k_count, kh, kw, in_fm) = (filters.k(), filters.kh(), filters.kw(), filters.c());
+        let stride = kh * kw * in_fm;
+        let mut data = vec![0.0f32; k_count * stride];
+        for k in 0..k_count {
+            let fk = filters.filter(k);
+            let dst = &mut data[k * stride..(k + 1) * stride];
+            for f in 0..in_fm {
+                for dy in 0..kh {
+                    for dx in 0..kw {
+                        dst[(f * kh + dy) * kw + dx] = fk[(dy * kw + dx) * in_fm + f];
+                    }
+                }
+            }
+        }
+        PackedFilters {
+            data,
+            k: k_count,
+            stride,
+            win: kh * kw,
+        }
+    }
+
+    /// Per-channel window size (`KH · KW`).
+    pub fn window(&self) -> usize {
+        self.win
+    }
+
+    /// Number of output feature maps.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Values per filter (`KH · KW · IN_FM`).
+    pub fn filter_len(&self) -> usize {
+        self.stride
+    }
+
+    /// Filter `k` in window layout.
+    #[inline]
+    pub fn filter(&self, k: usize) -> &[f32] {
+        &self.data[k * self.stride..(k + 1) * self.stride]
+    }
+}
 
 /// Compute all `OUT_FM` outputs of a conv core for one window position,
 /// exactly as Algorithm 1 schedules it:
@@ -78,6 +146,51 @@ pub fn conv_window(
     }
 }
 
+/// [`conv_window`] with pre-packed filters: the steady-state form used by
+/// the execution engines. Because `window` and [`PackedFilters`] share the
+/// `(f, dy, dx)` layout, each group's products come from two contiguous
+/// slices multiplied element-wise — auto-vectorisable — while the product
+/// *order*, and hence the tree-adder rounding, is identical to
+/// [`conv_window`] bit for bit.
+pub fn conv_window_packed(
+    out: &mut [f32],
+    window: &[f32],
+    filters: &PackedFilters,
+    bias: &Tensor1<f32>,
+    activation: Activation,
+    in_ports: usize,
+    scratch: &mut [f32],
+) {
+    let k_count = filters.k();
+    let flen = filters.filter_len();
+    let in_fm = flen / filters.window();
+    assert_eq!(out.len(), k_count, "output buffer length mismatch");
+    assert_eq!(window.len(), flen, "window length mismatch");
+    assert_eq!(in_fm % in_ports, 0, "ports must divide channels");
+    let group_len = in_ports * filters.window();
+    assert!(
+        scratch.len() >= group_len,
+        "scratch must hold IN_PORTS * KH * KW values"
+    );
+    let groups = in_fm / in_ports;
+    let tree = TreeAdder::new(group_len);
+    let prods = &mut scratch[..group_len];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = bias.get(k);
+        let fk = filters.filter(k);
+        for g in 0..groups {
+            let base = g * group_len;
+            let wg = &window[base..base + group_len];
+            let fg = &fk[base..base + group_len];
+            for ((p, &w), &f) in prods.iter_mut().zip(wg).zip(fg) {
+                *p = f * w;
+            }
+            acc += tree.sum_in_place(prods);
+        }
+        *slot = activation.apply(acc);
+    }
+}
+
 /// Pooling of one per-channel window (`KH·KW` values in `(dy, dx)` order).
 /// Max-pooling compares sequentially (exact whatever the order);
 /// mean-pooling sums through a tree adder then scales by `1/(KH·KW)`, the
@@ -93,9 +206,83 @@ pub fn pool_window(kind: PoolKind, values: &[f32]) -> f32 {
     }
 }
 
-/// The FC core's computation (§IV-B): for each output FM an interleaved
-/// accumulator bank fed one product per input value, merged by a tree
-/// adder, plus bias and activation.
+/// Reusable state for the FC hardware-order forward: the weight matrix
+/// transposed to input-major order (so the per-input inner loop over the
+/// `OUT_FM` accumulators reads one contiguous row), the interleaved
+/// accumulator banks themselves, and the merge-tree scratch. Constructed
+/// once per stage; [`fc_forward_into`] then allocates nothing.
+#[derive(Clone, Debug)]
+pub struct FcArena {
+    /// `weights[j][i]` transposed to `wt[i * j_count + j]`.
+    wt: Vec<f32>,
+    j_count: usize,
+    inputs: usize,
+    accs: Vec<InterleavedAccumulator>,
+    merge: Vec<f32>,
+}
+
+impl FcArena {
+    /// Transpose the weights and size the accumulator bank.
+    pub fn new(weights: &Tensor4<f32>, banks: usize) -> Self {
+        let (j_count, inputs) = (weights.k(), weights.c());
+        let mut wt = vec![0.0f32; j_count * inputs];
+        for j in 0..j_count {
+            for i in 0..inputs {
+                wt[i * j_count + j] = weights.get(j, 0, 0, i);
+            }
+        }
+        FcArena {
+            wt,
+            j_count,
+            inputs,
+            accs: vec![InterleavedAccumulator::new(banks); j_count],
+            merge: vec![0.0f32; banks],
+        }
+    }
+
+    /// Number of outputs (`OUT_FM`).
+    pub fn outputs(&self) -> usize {
+        self.j_count
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+}
+
+/// The FC core's computation (§IV-B), allocation-free: for each output FM
+/// an interleaved accumulator bank fed one product per input value, merged
+/// by a tree adder, plus bias and activation. Products are generated in
+/// the same order as [`fc_forward`], and the merge uses the same tree
+/// pairing, so outputs are bit-identical to the allocating form.
+pub fn fc_forward_into(
+    out: &mut [f32],
+    arena: &mut FcArena,
+    bias: &Tensor1<f32>,
+    activation: Activation,
+    input: &[f32],
+) {
+    assert_eq!(input.len(), arena.inputs, "FC input length mismatch");
+    assert_eq!(out.len(), arena.j_count, "FC output length mismatch");
+    let j_count = arena.j_count;
+    for acc in arena.accs.iter_mut() {
+        acc.reset();
+    }
+    for (i, &x) in input.iter().enumerate() {
+        // all OUT_FM 1x1 convolutions of this input value in the same cycle
+        let row = &arena.wt[i * j_count..(i + 1) * j_count];
+        for (acc, &w) in arena.accs.iter_mut().zip(row) {
+            acc.push(w * x);
+        }
+    }
+    for (j, acc) in arena.accs.iter().enumerate() {
+        out[j] = activation.apply(acc.total_with_scratch(&mut arena.merge) + bias.get(j));
+    }
+}
+
+/// The FC core's computation (§IV-B), one-shot allocating form (kept as
+/// the reference; [`fc_forward_into`] is the steady-state path).
 pub fn fc_forward(
     weights: &Tensor4<f32>,
     bias: &Tensor1<f32>,
@@ -120,52 +307,123 @@ pub fn fc_forward(
         .collect()
 }
 
-/// Whole-image conv layer forward pass in hardware order (used by the
-/// threaded engine and by verification). Equivalent to streaming the image
-/// through a [`crate::sst::WindowEngine`] + [`conv_window`]; a test pins
-/// that equivalence.
-pub fn conv_forward_hw(conv: &Conv2d, in_ports: usize, input: &Tensor3<f32>) -> Tensor3<f32> {
+/// Reusable scratch for the whole-image conv forward: packed filters plus
+/// the window, product and output staging buffers. Constructed once per
+/// stage; [`conv_forward_hw_into`] then allocates nothing per image.
+#[derive(Clone, Debug)]
+pub struct ConvArena {
+    packed: PackedFilters,
+    window: Vec<f32>,
+    scratch: Vec<f32>,
+    outvals: Vec<f32>,
+}
+
+impl ConvArena {
+    /// Pack the layer's filters and size every buffer.
+    pub fn new(conv: &Conv2d, in_ports: usize) -> Self {
+        let geo = conv.geometry();
+        ConvArena {
+            packed: PackedFilters::new(conv.filters()),
+            window: vec![0.0f32; geo.window_volume()],
+            scratch: vec![0.0f32; in_ports * geo.kh * geo.kw],
+            outvals: vec![0.0f32; conv.out_maps()],
+        }
+    }
+}
+
+/// Whole-image conv layer forward pass in hardware order, allocation-free:
+/// writes into a caller-owned output volume using the arena's buffers.
+/// Bit-identical to [`conv_forward_hw`] (same window values in the same
+/// order into the same tree-adder summation).
+pub fn conv_forward_hw_into(
+    conv: &Conv2d,
+    in_ports: usize,
+    input: &Tensor3<f32>,
+    out: &mut Tensor3<f32>,
+    arena: &mut ConvArena,
+) {
     let geo = *conv.geometry();
     assert_eq!(input.shape(), geo.input, "input shape mismatch");
+    assert_eq!(out.shape(), conv.output_shape(), "output shape mismatch");
     let (kh, kw, in_fm) = (geo.kh, geo.kw, geo.input.c);
-    let mut out = Tensor3::zeros(conv.output_shape());
-    let mut window = vec![0.0f32; kh * kw * in_fm];
-    let mut scratch = vec![0.0f32; 2 * in_ports * kh * kw];
-    let mut outvals = vec![0.0f32; conv.out_maps()];
-    let ow = geo.out_w();
+    let (h, w) = (geo.input.h, geo.input.w);
+    let src = input.as_slice();
+    let (ow, k_count) = (geo.out_w(), conv.out_maps());
     for (pos, (y0, x0)) in dfcnn_tensor::iter::WindowPositions::new(geo).enumerate() {
-        // build the window in WindowEngine layout: (f, dy, dx)
+        // build the window in WindowEngine layout: (f, dy, dx); rows fully
+        // inside the image take the strided fast path over the input slice
         for f in 0..in_fm {
             for dy in 0..kh {
-                for dx in 0..kw {
-                    window[(f * kh + dy) * kw + dx] =
-                        input.get_padded(y0 + dy as isize, x0 + dx as isize, f);
+                let y = y0 + dy as isize;
+                let row = &mut arena.window[(f * kh + dy) * kw..(f * kh + dy) * kw + kw];
+                if y < 0 || y >= h as isize {
+                    row.fill(0.0);
+                } else if x0 >= 0 && x0 + kw as isize <= w as isize {
+                    let mut idx = ((y as usize) * w + x0 as usize) * in_fm + f;
+                    for v in row.iter_mut() {
+                        *v = src[idx];
+                        idx += in_fm;
+                    }
+                } else {
+                    for (dx, v) in row.iter_mut().enumerate() {
+                        *v = input.get_padded(y, x0 + dx as isize, f);
+                    }
                 }
             }
         }
-        conv_window(
-            &mut outvals,
-            &window,
-            conv.filters(),
+        conv_window_packed(
+            &mut arena.outvals,
+            &arena.window,
+            &arena.packed,
             conv.bias(),
             conv.activation(),
             in_ports,
-            &mut scratch,
+            &mut arena.scratch,
         );
         let (oy, ox) = (pos / ow, pos % ow);
-        for (k, &v) in outvals.iter().enumerate() {
-            out.set(oy, ox, k, v);
-        }
+        let dst = &mut out.as_mut_slice()[(oy * ow + ox) * k_count..(oy * ow + ox + 1) * k_count];
+        dst.copy_from_slice(&arena.outvals);
     }
+}
+
+/// Whole-image conv layer forward pass in hardware order (used by
+/// verification and tests; the engines use [`conv_forward_hw_into`]).
+/// Equivalent to streaming the image through a
+/// [`crate::sst::WindowEngine`] + [`conv_window`]; a test pins that
+/// equivalence.
+pub fn conv_forward_hw(conv: &Conv2d, in_ports: usize, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let mut out = Tensor3::zeros(conv.output_shape());
+    let mut arena = ConvArena::new(conv, in_ports);
+    conv_forward_hw_into(conv, in_ports, input, &mut out, &mut arena);
     out
 }
 
-/// Whole-image pooling forward pass in hardware order.
-pub fn pool_forward_hw(pool: &Pool2d, input: &Tensor3<f32>) -> Tensor3<f32> {
+/// Reusable scratch for the whole-image pooling forward.
+#[derive(Clone, Debug)]
+pub struct PoolArena {
+    vals: Vec<f32>,
+}
+
+impl PoolArena {
+    /// Size the per-channel window buffer.
+    pub fn new(pool: &Pool2d) -> Self {
+        let geo = pool.geometry();
+        PoolArena {
+            vals: vec![0.0f32; geo.kh * geo.kw],
+        }
+    }
+}
+
+/// Whole-image pooling forward pass in hardware order, allocation-free.
+pub fn pool_forward_hw_into(
+    pool: &Pool2d,
+    input: &Tensor3<f32>,
+    out: &mut Tensor3<f32>,
+    arena: &mut PoolArena,
+) {
     let geo = *pool.geometry();
     assert_eq!(input.shape(), geo.input, "input shape mismatch");
-    let mut out = Tensor3::zeros(pool.output_shape());
-    let mut vals = vec![0.0f32; geo.kh * geo.kw];
+    assert_eq!(out.shape(), pool.output_shape(), "output shape mismatch");
     let ow = geo.out_w();
     for (pos, (y0, x0)) in dfcnn_tensor::iter::WindowPositions::new(geo).enumerate() {
         let (oy, ox) = (pos / ow, pos % ow);
@@ -173,14 +431,42 @@ pub fn pool_forward_hw(pool: &Pool2d, input: &Tensor3<f32>) -> Tensor3<f32> {
             let mut i = 0;
             for dy in 0..geo.kh {
                 for dx in 0..geo.kw {
-                    vals[i] = input.get((y0 as usize) + dy, (x0 as usize) + dx, c);
+                    arena.vals[i] = input.get((y0 as usize) + dy, (x0 as usize) + dx, c);
                     i += 1;
                 }
             }
-            out.set(oy, ox, c, pool_window(pool.kind(), &vals));
+            out.set(oy, ox, c, pool_window(pool.kind(), &arena.vals));
         }
     }
+}
+
+/// Whole-image pooling forward pass in hardware order.
+pub fn pool_forward_hw(pool: &Pool2d, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let mut out = Tensor3::zeros(pool.output_shape());
+    let mut arena = PoolArena::new(pool);
+    pool_forward_hw_into(pool, input, &mut out, &mut arena);
     out
+}
+
+/// Whole-image FC forward pass in hardware order, allocation-free.
+pub fn fc_forward_hw_into(
+    linear: &Linear,
+    input: &Tensor3<f32>,
+    out: &mut Tensor3<f32>,
+    arena: &mut FcArena,
+) {
+    assert_eq!(
+        out.shape(),
+        Shape3::new(1, 1, linear.outputs()),
+        "output shape mismatch"
+    );
+    fc_forward_into(
+        out.as_mut_slice(),
+        arena,
+        linear.bias(),
+        linear.activation(),
+        input.as_slice(),
+    );
 }
 
 /// Whole-image FC forward pass in hardware order.
@@ -192,7 +478,7 @@ pub fn fc_forward_hw(linear: &Linear, banks: usize, input: &Tensor3<f32>) -> Ten
         input.as_slice(),
         banks,
     );
-    Tensor3::from_vec(dfcnn_tensor::Shape3::new(1, 1, vals.len()), vals)
+    Tensor3::from_vec(Shape3::new(1, 1, vals.len()), vals)
 }
 
 #[cfg(test)]
@@ -283,6 +569,113 @@ mod tests {
         let a1 = fc_forward_hw(&fc, 1, &x);
         let a11 = fc_forward_hw(&fc, 11, &x);
         assert!(a1.max_abs_diff(&a11) < 1e-4);
+    }
+
+    #[test]
+    fn conv_window_packed_bit_identical_to_unpacked() {
+        // the packed form must not change a single bit, whatever the port
+        // grouping — same products, same tree-adder order
+        let (conv, x) = random_conv(7, 6, 4, 5);
+        let geo = *conv.geometry();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let packed = PackedFilters::new(conv.filters());
+        for in_ports in [1usize, 2, 3, 6] {
+            let mut window = vec![0.0f32; geo.window_volume()];
+            for v in window.iter_mut() {
+                *v = dfcnn_tensor::init::random_vector(&mut rng, 1, -1.0, 1.0).get(0);
+            }
+            let mut out_ref = vec![0.0f32; conv.out_maps()];
+            let mut out_packed = vec![0.0f32; conv.out_maps()];
+            let mut scratch = vec![0.0f32; 2 * in_ports * geo.kh * geo.kw];
+            conv_window(
+                &mut out_ref,
+                &window,
+                conv.filters(),
+                conv.bias(),
+                conv.activation(),
+                in_ports,
+                &mut scratch,
+            );
+            conv_window_packed(
+                &mut out_packed,
+                &window,
+                &packed,
+                conv.bias(),
+                conv.activation(),
+                in_ports,
+                &mut scratch,
+            );
+            assert_eq!(out_ref, out_packed, "in_ports = {in_ports}");
+        }
+        let _ = x;
+    }
+
+    #[test]
+    fn conv_hw_into_bit_identical_with_padding_and_stride() {
+        // the strided fast path + padded slow path must agree with the
+        // plain get_padded window build, bit for bit
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (pad, stride) in [(0usize, 1usize), (1, 1), (2, 2), (1, 3)] {
+            let geo = ConvGeometry::new(Shape3::new(7, 7, 4), 3, 3, stride, pad);
+            let f = dfcnn_tensor::init::conv_filters(&mut rng, 3, 3, 3, 4);
+            let b = dfcnn_tensor::init::random_vector(&mut rng, 3, -0.1, 0.1);
+            let conv = Conv2d::new(geo, f, b, Activation::Relu);
+            let x = dfcnn_tensor::init::random_volume(&mut rng, geo.input, -1.0, 1.0);
+            // reference: window via get_padded only, unpacked conv_window
+            let mut reference = Tensor3::zeros(conv.output_shape());
+            let mut window = vec![0.0f32; geo.window_volume()];
+            let mut scratch = vec![0.0f32; 2 * 2 * geo.kh * geo.kw];
+            let mut outvals = vec![0.0f32; conv.out_maps()];
+            let ow = geo.out_w();
+            for (pos, (y0, x0)) in dfcnn_tensor::iter::WindowPositions::new(geo).enumerate() {
+                for fm in 0..geo.input.c {
+                    for dy in 0..geo.kh {
+                        for dx in 0..geo.kw {
+                            window[(fm * geo.kh + dy) * geo.kw + dx] =
+                                x.get_padded(y0 + dy as isize, x0 + dx as isize, fm);
+                        }
+                    }
+                }
+                conv_window(
+                    &mut outvals,
+                    &window,
+                    conv.filters(),
+                    conv.bias(),
+                    conv.activation(),
+                    2,
+                    &mut scratch,
+                );
+                for (k, &v) in outvals.iter().enumerate() {
+                    reference.set(pos / ow, pos % ow, k, v);
+                }
+            }
+            let mut arena = ConvArena::new(&conv, 2);
+            let mut got = Tensor3::zeros(conv.output_shape());
+            conv_forward_hw_into(&conv, 2, &x, &mut got, &mut arena);
+            assert_eq!(got, reference, "pad = {pad}, stride = {stride}");
+            // arena reuse across images must not leak state
+            let mut got2 = Tensor3::zeros(conv.output_shape());
+            conv_forward_hw_into(&conv, 2, &x, &mut got2, &mut arena);
+            assert_eq!(got2, reference);
+        }
+    }
+
+    #[test]
+    fn fc_forward_into_bit_identical_to_fc_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let w = dfcnn_tensor::init::linear_weights(&mut rng, 90, 7);
+        let b = dfcnn_tensor::init::random_vector(&mut rng, 7, -0.1, 0.1);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 90), -1.0, 1.0);
+        for banks in [1usize, 4, 11] {
+            let reference = fc_forward(&w, &b, Activation::Tanh, x.as_slice(), banks);
+            let mut arena = FcArena::new(&w, banks);
+            let mut out = vec![0.0f32; 7];
+            fc_forward_into(&mut out, &mut arena, &b, Activation::Tanh, x.as_slice());
+            assert_eq!(out, reference, "banks = {banks}");
+            // arena reuse: second call must reset cleanly
+            fc_forward_into(&mut out, &mut arena, &b, Activation::Tanh, x.as_slice());
+            assert_eq!(out, reference);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The convolutional layer core (§IV-A, Algorithm 1) as a cycle actor.
 
-use crate::kernel::conv_window;
+use crate::kernel::{conv_window_packed, PackedFilters};
 use crate::layer::{core_quiescence, OutputQueue};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::sst::WindowEngine;
@@ -24,7 +24,7 @@ pub struct ConvCore {
     engine: WindowEngine,
     in_chs: Vec<ChannelId>,
     out_q: OutputQueue,
-    filters: dfcnn_tensor::Tensor4<f32>,
+    filters: PackedFilters,
     bias: dfcnn_tensor::Tensor1<f32>,
     activation: Activation,
     /// Eq. 4 initiation interval.
@@ -64,7 +64,7 @@ impl ConvCore {
             engine,
             in_chs,
             out_q: OutputQueue::new(out_chs),
-            filters: conv.filters().clone(),
+            filters: PackedFilters::new(conv.filters()),
             bias: conv.bias().clone(),
             activation: conv.activation(),
             ii: ii as u64,
@@ -73,7 +73,7 @@ impl ConvCore {
             next_initiation: 0,
             window_buf: vec![0.0; geo.window_volume()],
             out_buf: vec![0.0; out_fm],
-            scratch: vec![0.0; 2 * group_len],
+            scratch: vec![0.0; group_len],
             inits: 0,
         }
     }
@@ -117,7 +117,7 @@ impl Actor for ConvCore {
             && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
-            conv_window(
+            conv_window_packed(
                 &mut self.out_buf,
                 &self.window_buf,
                 &self.filters,

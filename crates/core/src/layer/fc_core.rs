@@ -13,7 +13,7 @@
 //! core drains (pipeline flush + merge tree + bias + activation) and sends
 //! the outputs sequentially on its single output port.
 
-use crate::kernel::fc_forward;
+use crate::kernel::{fc_forward_into, FcArena};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
 use crate::trace::{EventKind, Trace};
@@ -35,10 +35,9 @@ pub struct FcCore {
     name: String,
     in_ch: ChannelId,
     out_ch: ChannelId,
-    weights: dfcnn_tensor::Tensor4<f32>,
+    arena: FcArena,
     bias: dfcnn_tensor::Tensor1<f32>,
     activation: Activation,
-    banks: usize,
     /// Input-loop initiation interval: `ceil(add_latency / banks)`.
     in_ii: u64,
     /// Drain latency after the last input.
@@ -77,10 +76,9 @@ impl FcCore {
             name: name.into(),
             in_ch,
             out_ch,
-            weights: linear.weights().clone(),
+            arena: FcArena::new(linear.weights(), banks),
             bias: linear.bias().clone(),
             activation: linear.activation(),
-            banks,
             in_ii,
             drain,
             inputs: linear.inputs(),
@@ -88,7 +86,7 @@ impl FcCore {
             buffer: Vec::with_capacity(linear.inputs()),
             phase: Phase::Accumulate(0),
             next_accept: 0,
-            results: Vec::new(),
+            results: vec![0.0; linear.outputs()],
             inits: 0,
         }
     }
@@ -124,12 +122,12 @@ impl Actor for FcCore {
                     self.inits += 1;
                     trace.record(cycle, &self.name, EventKind::Initiate);
                     if count + 1 == self.inputs {
-                        self.results = fc_forward(
-                            &self.weights,
+                        fc_forward_into(
+                            &mut self.results,
+                            &mut self.arena,
                             &self.bias,
                             self.activation,
                             &self.buffer,
-                            self.banks,
                         );
                         self.buffer.clear();
                         self.phase = Phase::Drain {

@@ -40,7 +40,6 @@ pub struct PoolCore {
     out_per_port: usize,
     next_initiation: u64,
     window_buf: Vec<f32>,
-    chan_buf: Vec<f32>,
     out_buf: Vec<f32>,
     inits: u64,
 }
@@ -82,7 +81,6 @@ impl PoolCore {
             out_per_port: fm / out_ports,
             next_initiation: 0,
             window_buf: vec![0.0; geo.window_volume()],
-            chan_buf: vec![0.0; win],
             out_buf: vec![0.0; fm],
             inits: 0,
         }
@@ -114,12 +112,11 @@ impl Actor for PoolCore {
             && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
-            // pool each channel independently
+            // pool each channel independently, straight from its window slice
             for f in 0..self.fm {
                 let base = f * self.kh * self.kw;
-                self.chan_buf
-                    .copy_from_slice(&self.window_buf[base..base + self.kh * self.kw]);
-                self.out_buf[f] = pool_window(self.kind, &self.chan_buf);
+                let chan = &self.window_buf[base..base + self.kh * self.kw];
+                self.out_buf[f] = pool_window(self.kind, chan);
             }
             self.out_q.schedule(cycle + self.depth, &self.out_buf);
             self.next_initiation = cycle + self.ii;

@@ -56,5 +56,6 @@ pub mod stream;
 pub mod trace;
 pub mod verify;
 
+pub use exec::{ExecResult, PipelineProfile, ReplicationPlan, StageProfile, ThreadedEngine};
 pub use graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
 pub use sim::{SimResult, Simulator};

@@ -42,9 +42,11 @@ struct PortBuffer {
 }
 
 impl PortBuffer {
-    fn new() -> Self {
+    /// `capacity` is the full-buffering bound; preallocating it makes the
+    /// steady-state accept/free path allocation-free.
+    fn new(capacity: usize) -> Self {
         PortBuffer {
-            buf: std::collections::VecDeque::new(),
+            buf: std::collections::VecDeque::with_capacity(capacity),
             head: 0,
             received: 0,
         }
@@ -101,11 +103,15 @@ impl WindowEngine {
             in_ports,
             geo.input.c
         );
+        let ch_per_port = geo.input.c / in_ports;
+        // full-buffering bound (see capacity_per_port), preallocated so the
+        // line buffers never grow on the steady-state path
+        let cap = ((geo.kh - 1 + geo.pad) * geo.input.w + geo.kw) * ch_per_port;
         WindowEngine {
             geo,
             in_ports,
-            ch_per_port: geo.input.c / in_ports,
-            ports: (0..in_ports).map(|_| PortBuffer::new()).collect(),
+            ch_per_port,
+            ports: (0..in_ports).map(|_| PortBuffer::new(cap)).collect(),
             next_window: 0,
             max_occupancy: 0,
         }

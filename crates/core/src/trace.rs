@@ -110,9 +110,84 @@ impl Trace {
     }
 }
 
+/// Running statistics over a series of measured intervals (nanoseconds) —
+/// the host-side analogue of a stage's initiation-interval histogram. Used
+/// by the threaded engine's workers to time per-image service and
+/// queue-wait, and aggregated into a
+/// [`crate::exec::PipelineProfile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Sum of all intervals in nanoseconds.
+    pub total_ns: u64,
+    /// Largest single interval in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl IntervalStats {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one interval.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another series into this one (used to merge per-worker stats
+    /// of a replicated stage).
+    pub fn merge(&mut self, other: &IntervalStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean interval in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Mean interval in fractional milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns() as f64 / 1e6
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn interval_stats_record_and_mean() {
+        let mut s = IntervalStats::new();
+        assert_eq!(s.mean_ns(), 0);
+        s.record(10);
+        s.record(30);
+        s.record(20);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn interval_stats_merge() {
+        let mut a = IntervalStats::new();
+        a.record(5);
+        a.record(15);
+        let mut b = IntervalStats::new();
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 120);
+        assert_eq!(a.max_ns, 100);
+        assert_eq!(a.mean_ns(), 40);
+    }
 
     #[test]
     fn disabled_trace_discards() {

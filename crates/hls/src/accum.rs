@@ -81,6 +81,13 @@ impl InterleavedAccumulator {
         TreeAdder::new(self.partials.len()).sum(&self.partials)
     }
 
+    /// [`InterleavedAccumulator::total`] without the internal allocation:
+    /// the merge tree runs in `scratch` (at least `banks()` long). Rounding
+    /// is identical to `total()` — the tree pairs partials the same way.
+    pub fn total_with_scratch(&self, scratch: &mut [f32]) -> f32 {
+        TreeAdder::new(self.partials.len()).sum_with_scratch(&self.partials, scratch)
+    }
+
     /// Reset to zero.
     pub fn reset(&mut self) {
         self.partials.iter_mut().for_each(|p| *p = 0.0);
@@ -169,6 +176,18 @@ mod tests {
         assert!(cycles[3] > cycles[4]);
         // beyond A = add latency only the merge tree grows
         assert!(cycles[5] >= cycles[4]);
+    }
+
+    #[test]
+    fn total_with_scratch_is_bit_identical() {
+        for banks in [1usize, 2, 3, 7, 11, 16] {
+            let mut a = InterleavedAccumulator::new(banks);
+            for i in 0..100 {
+                a.push((i as f32) * 0.137 - 3.0);
+            }
+            let mut scratch = vec![0.0f32; banks];
+            assert_eq!(a.total(), a.total_with_scratch(&mut scratch));
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 mod common;
 
 use common::{random_ports, random_spec};
-use dfcnn::core::exec::ThreadedEngine;
+use dfcnn::core::exec::{ReplicationPlan, ThreadedEngine};
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::core::verify::check_engine_conformance;
 use dfcnn::prelude::*;
@@ -99,6 +99,51 @@ fn test_case_1_conforms_at_steady_state() {
     assert_conformance(&design, &usps_images(8, 46));
 }
 
+/// Stage replication must not change a single output bit or the output
+/// order — here on Paper Test Case 1 at a batch deep enough that every
+/// replicated worker handles several images.
+#[test]
+fn test_case_1_replicated_matches_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(47);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_1(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    let engine = ThreadedEngine::new(&design);
+    let images = usps_images(2 * engine.stage_count() + 3, 48);
+    let seq = engine.run_sequential(&images);
+    for factors in [vec![2, 1, 3, 1, 2], vec![4, 4, 4, 4, 4]] {
+        let plan = ReplicationPlan { factors };
+        let (res, profile) = engine.run_with_plan(&images, &plan);
+        assert_eq!(res.outputs, seq.outputs, "plan {:?}", plan.factors);
+        assert!(profile
+            .stages
+            .iter()
+            .all(|s| s.images == images.len() as u64));
+    }
+}
+
+/// Same contract on Paper Test Case 2 via the auto-balanced plan.
+#[test]
+fn test_case_2_replicated_matches_sequential() {
+    let mut rng = ChaCha8Rng::seed_from_u64(49);
+    let net = NetworkSpec::test_case_2().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_2(),
+        DesignConfig::default(),
+    )
+    .unwrap();
+    let engine = ThreadedEngine::new(&design);
+    let images = cifar_images(engine.stage_count() + 2, 50);
+    let seq = engine.run_sequential(&images);
+    let (res, _) = engine.run_pipelined(&images);
+    assert_eq!(res.outputs, seq.outputs);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(50))]
 
@@ -115,5 +160,41 @@ proptest! {
             .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
             .collect();
         assert_conformance(&design, &images);
+    }
+
+    /// The replicated engine is bit-identical to `run_sequential` — order
+    /// included — across random designs, random per-stage replication
+    /// factors 1–4, and batch sizes straddling the pipeline depth.
+    #[test]
+    fn random_designs_replicated_engine_is_bit_identical(
+        spec in random_spec(),
+        seed in 0u64..10_000,
+        factor_seed in 0u64..10_000,
+        batch_kind in 0usize..3,
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let network = spec.build(&mut rng);
+        let ports = random_ports(&spec, seed ^ 0x5EED);
+        let design = NetworkDesign::new(&network, ports, DesignConfig::default())
+            .expect("random divisor config must validate");
+        let engine = ThreadedEngine::new(&design);
+        let depth = engine.stage_count();
+        // below, at, and beyond the pipeline depth
+        let batch = match batch_kind {
+            0 => (depth / 2).max(1),
+            1 => depth,
+            _ => 2 * depth + 3,
+        };
+        let images: Vec<_> = (0..batch)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+            .collect();
+        let seq = engine.run_sequential(&images);
+        let mut frng = ChaCha8Rng::seed_from_u64(factor_seed);
+        let factors: Vec<usize> = (0..depth).map(|_| frng.gen_range(1usize..=4)).collect();
+        let plan = ReplicationPlan { factors };
+        let (res, profile) = engine.run_with_plan(&images, &plan);
+        prop_assert_eq!(&res.outputs, &seq.outputs, "plan {:?}", plan.factors);
+        prop_assert!(profile.stages.iter().all(|s| s.images == batch as u64));
     }
 }
