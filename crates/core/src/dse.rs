@@ -17,9 +17,9 @@
 //! choices *and* finds the intermediate designs they did not try.
 
 use crate::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+use crate::model;
 use dfcnn_fpga::device::Device;
 use dfcnn_fpga::resources::{CostModel, Resources};
-use dfcnn_hls::ii::divisor_port_options;
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
 
@@ -82,22 +82,15 @@ pub fn enumerate_configs(network: &Network, max_ports: usize) -> Vec<PortConfig>
     let paper_layers: Vec<&Layer> = network
         .layers()
         .iter()
-        .filter(|l| matches!(l, Layer::Conv(_) | Layer::Pool(_) | Layer::Linear(_)))
+        .filter(|l| model::paper_layer_model(l).is_some())
         .collect();
-    // out-port options per layer
+    // out-port options per layer (the model caps single-port kinds at 1)
     let out_options: Vec<Vec<usize>> = paper_layers
         .iter()
-        .map(|l| match l {
-            Layer::Conv(c) => divisor_port_options(c.out_maps())
-                .into_iter()
-                .filter(|&p| p <= max_ports)
-                .collect(),
-            Layer::Pool(p) => divisor_port_options(p.geometry().input.c)
-                .into_iter()
-                .filter(|&x| x <= max_ports)
-                .collect(),
-            Layer::Linear(_) => vec![1],
-            _ => unreachable!(),
+        .map(|l| {
+            model::paper_layer_model(l)
+                .expect("filtered to paper layers")
+                .out_port_options(l, max_ports)
         })
         .collect();
     // cartesian product over out_ports choices
@@ -121,16 +114,14 @@ pub fn enumerate_configs(network: &Network, max_ports: usize) -> Vec<PortConfig>
             let mut layers = Vec::with_capacity(outs.len());
             let mut prev_out = 1usize;
             for (i, l) in paper_layers.iter().enumerate() {
-                let in_fm = match l {
-                    Layer::Conv(c) => c.geometry().input.c,
-                    Layer::Pool(p) => p.geometry().input.c,
-                    Layer::Linear(f) => f.inputs(),
-                    _ => unreachable!(),
-                };
-                let in_ports = match l {
-                    Layer::Linear(_) => 1,
-                    _ if in_fm % prev_out == 0 => prev_out,
-                    _ => 1,
+                let m = model::paper_layer_model(l).expect("filtered to paper layers");
+                let in_fm = m.feature_maps(l).0;
+                let in_ports = if m.forces_single_port() {
+                    1
+                } else if in_fm % prev_out == 0 {
+                    prev_out
+                } else {
+                    1
                 };
                 layers.push(LayerPorts {
                     in_ports,

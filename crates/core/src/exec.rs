@@ -42,12 +42,9 @@
 //! the channel chain).
 
 use crate::graph::NetworkDesign;
-use crate::kernel::{
-    conv_forward_hw_into, fc_forward_hw_into, pool_forward_hw_into, ConvArena, FcArena, PoolArena,
-};
+use crate::model::{self, StageSpec, StageWorker};
 use crate::trace::IntervalStats;
-use dfcnn_nn::layer::Layer;
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::Tensor3;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::{Duration, Instant};
@@ -191,72 +188,6 @@ impl PipelineProfile {
     }
 }
 
-/// One pipeline stage: the layer parameters plus its output geometry.
-struct Stage {
-    name: String,
-    out_shape: Shape3,
-    kind: StageKind,
-}
-
-enum StageKind {
-    Conv {
-        layer: dfcnn_nn::layer::Conv2d,
-        in_ports: usize,
-    },
-    Pool {
-        layer: dfcnn_nn::layer::Pool2d,
-    },
-    Fc {
-        layer: dfcnn_nn::layer::Linear,
-        banks: usize,
-    },
-    Flatten,
-}
-
-/// Per-worker mutable scratch (each worker owns its own, so replicated
-/// workers never contend).
-enum StageState {
-    Conv(Box<ConvArena>),
-    Pool(PoolArena),
-    Fc(Box<FcArena>),
-    Flatten,
-}
-
-impl Stage {
-    fn make_state(&self) -> StageState {
-        match &self.kind {
-            StageKind::Conv { layer, in_ports } => {
-                StageState::Conv(Box::new(ConvArena::new(layer, *in_ports)))
-            }
-            StageKind::Pool { layer } => StageState::Pool(PoolArena::new(layer)),
-            StageKind::Fc { layer, banks } => {
-                StageState::Fc(Box::new(FcArena::new(layer.weights(), *banks)))
-            }
-            StageKind::Flatten => StageState::Flatten,
-        }
-    }
-
-    /// Allocation-free forward of one image through this stage.
-    fn apply_into(&self, state: &mut StageState, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
-        match (&self.kind, state) {
-            (StageKind::Conv { layer, in_ports }, StageState::Conv(a)) => {
-                conv_forward_hw_into(layer, *in_ports, input, out, a)
-            }
-            (StageKind::Pool { layer }, StageState::Pool(a)) => {
-                pool_forward_hw_into(layer, input, out, a)
-            }
-            (StageKind::Fc { layer, .. }, StageState::Fc(a)) => {
-                fc_forward_hw_into(layer, input, out, a)
-            }
-            (StageKind::Flatten, StageState::Flatten) => {
-                // a pure reshape: stream order is already (y, x, c)
-                out.as_mut_slice().copy_from_slice(input.as_slice());
-            }
-            _ => unreachable!("stage state built for a different stage kind"),
-        }
-    }
-}
-
 /// A volume travelling down the pipeline. Owned messages carry the return
 /// channel of the worker whose buffer pool they came from, so the consumer
 /// can recycle the buffer once it has read it.
@@ -315,14 +246,14 @@ fn boundary<'a>(pc: usize, cc: usize, depth: usize) -> (TxRows<'a>, RxCols<'a>) 
 /// and leaves on the channel to consumer `j mod r_next`. That fixed
 /// dealing rule is what keeps outputs in input order with no tags.
 fn worker_loop(
-    stage: &Stage,
+    stage: &StageSpec,
     w: usize,
     r_mine: usize,
     rx_col: Vec<Receiver<Msg<'_>>>,
     tx_row: Vec<SyncSender<Msg<'_>>>,
     channel_depth: usize,
 ) -> WorkerStats {
-    let mut state = stage.make_state();
+    let mut worker = stage.make_worker();
     let (r_prev, r_next) = (rx_col.len(), tx_row.len());
     // buffers in flight from this worker: channel depth per consumer link
     // plus one being read at each consumer
@@ -342,7 +273,7 @@ fn worker_loop(
             .try_recv()
             .unwrap_or_else(|_| Tensor3::zeros(stage.out_shape));
         let t1 = Instant::now();
-        stage.apply_into(&mut state, msg.tensor(), &mut out);
+        worker.apply_into(msg.tensor(), &mut out);
         busy.record(t1.elapsed().as_nanos() as u64);
         msg.recycle();
         let sent =
@@ -357,70 +288,18 @@ fn worker_loop(
 
 /// The engine itself; construct per design, run per batch.
 pub struct ThreadedEngine {
-    stages: Vec<Stage>,
+    stages: Vec<StageSpec>,
     channel_depth: usize,
 }
 
 impl ThreadedEngine {
-    /// Build stages from a design (one per layer incl. flatten; adapters
-    /// are port plumbing with no image-level effect; LogSoftMax stays on
-    /// the host).
+    /// Build stages from a design via [`model::pipeline_stages`] (one per
+    /// layer incl. flatten; adapters are port plumbing with no image-level
+    /// effect; LogSoftMax stays on the host unless
+    /// [`crate::graph::DesignConfig::fabric_normalization`] is set).
     pub fn new(design: &NetworkDesign) -> Self {
-        let mut stages = Vec::new();
-        let mut port_iter = design.ports().layers.iter();
-        let mut cur_shape = design.network().input_shape();
-        let (mut convs, mut pools, mut fcs) = (0, 0, 0);
-        for layer in design.network().layers() {
-            match layer {
-                Layer::Conv(c) => {
-                    let lp = port_iter.next().expect("port config exhausted");
-                    convs += 1;
-                    cur_shape = c.output_shape();
-                    stages.push(Stage {
-                        name: format!("conv{convs}"),
-                        out_shape: cur_shape,
-                        kind: StageKind::Conv {
-                            layer: c.clone(),
-                            in_ports: lp.in_ports,
-                        },
-                    });
-                }
-                Layer::Pool(p) => {
-                    let _ = port_iter.next();
-                    pools += 1;
-                    cur_shape = p.output_shape();
-                    stages.push(Stage {
-                        name: format!("pool{pools}"),
-                        out_shape: cur_shape,
-                        kind: StageKind::Pool { layer: p.clone() },
-                    });
-                }
-                Layer::Linear(f) => {
-                    let _ = port_iter.next();
-                    fcs += 1;
-                    cur_shape = Shape3::new(1, 1, f.outputs());
-                    stages.push(Stage {
-                        name: format!("fc{fcs}"),
-                        out_shape: cur_shape,
-                        kind: StageKind::Fc {
-                            layer: f.clone(),
-                            banks: design.config().fc_banks,
-                        },
-                    });
-                }
-                Layer::Flatten(_) => {
-                    cur_shape = Shape3::new(1, 1, cur_shape.len());
-                    stages.push(Stage {
-                        name: "flatten".to_string(),
-                        out_shape: cur_shape,
-                        kind: StageKind::Flatten,
-                    });
-                }
-                Layer::LogSoftmax(_) => {}
-            }
-        }
         ThreadedEngine {
-            stages,
+            stages: model::pipeline_stages(design),
             channel_depth: 2,
         }
     }
@@ -467,7 +346,8 @@ impl ThreadedEngine {
     /// measurement per stage per image) — the profiling pre-pass behind
     /// [`ReplicationPlan::balanced`].
     pub fn profile_stages(&self, sample: &[Tensor3<f32>]) -> Vec<IntervalStats> {
-        let mut states: Vec<StageState> = self.stages.iter().map(|s| s.make_state()).collect();
+        let mut workers: Vec<Box<dyn StageWorker>> =
+            self.stages.iter().map(|s| s.make_worker()).collect();
         let mut bufs: Vec<Tensor3<f32>> = self
             .stages
             .iter()
@@ -479,7 +359,7 @@ impl ThreadedEngine {
                 let (done, rest) = bufs.split_at_mut(s);
                 let input = if s == 0 { img } else { &done[s - 1] };
                 let t = Instant::now();
-                self.stages[s].apply_into(&mut states[s], input, &mut rest[0]);
+                workers[s].apply_into(input, &mut rest[0]);
                 stats[s].record(t.elapsed().as_nanos() as u64);
             }
         }
@@ -594,7 +474,8 @@ impl ThreadedEngine {
     pub fn run_sequential(&self, images: &[Tensor3<f32>]) -> ExecResult {
         assert!(!images.is_empty(), "empty batch");
         let start = Instant::now();
-        let mut states: Vec<StageState> = self.stages.iter().map(|s| s.make_state()).collect();
+        let mut workers: Vec<Box<dyn StageWorker>> =
+            self.stages.iter().map(|s| s.make_worker()).collect();
         let mut bufs: Vec<Tensor3<f32>> = self
             .stages
             .iter()
@@ -606,7 +487,7 @@ impl ThreadedEngine {
             for s in 0..self.stages.len() {
                 let (done, rest) = bufs.split_at_mut(s);
                 let input = if s == 0 { img } else { &done[s - 1] };
-                self.stages[s].apply_into(&mut states[s], input, &mut rest[0]);
+                workers[s].apply_into(input, &mut rest[0]);
             }
             outputs.push(bufs.last().expect("at least one stage").clone());
             completion_times.push(start.elapsed());
@@ -693,6 +574,27 @@ mod tests {
             engine.stage_names(),
             vec!["conv1", "pool1", "conv2", "flatten", "fc1"]
         );
+    }
+
+    #[test]
+    fn fabric_normalization_adds_a_stage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let net = NetworkSpec::test_case_1().build(&mut rng);
+        let cfg = DesignConfig {
+            fabric_normalization: true,
+            ..DesignConfig::default()
+        };
+        let design = NetworkDesign::new(&net, PortConfig::paper_test_case_1(), cfg).unwrap();
+        let engine = ThreadedEngine::new(&design);
+        assert_eq!(
+            engine.stage_names(),
+            vec!["conv1", "pool1", "conv2", "flatten", "fc1", "logsoftmax1"]
+        );
+        let imgs = batch(&design, 3, 9);
+        let res = engine.run(&imgs);
+        for (img, out) in imgs.iter().zip(res.outputs.iter()) {
+            assert_eq!(out, &design.hw_forward(img), "engine must be bit-exact");
+        }
     }
 
     #[test]

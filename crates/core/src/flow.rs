@@ -117,20 +117,8 @@ pub fn compile(
             None => {
                 // nothing fits one device: fall back to single-port and
                 // let the partitioner spread it
-                let paper_layers = network
-                    .layers()
-                    .iter()
-                    .filter(|l| {
-                        matches!(
-                            l,
-                            dfcnn_nn::layer::Layer::Conv(_)
-                                | dfcnn_nn::layer::Layer::Pool(_)
-                                | dfcnn_nn::layer::Layer::Linear(_)
-                        )
-                    })
-                    .count();
                 (
-                    PortConfig::single_port(paper_layers),
+                    PortConfig::single_port(crate::model::paper_layer_count(network)),
                     "fallback: single-port + multi-FPGA partitioning",
                 )
             }

@@ -19,17 +19,21 @@
 //! Two presets reproduce the paper's designs: test case 1 with the first
 //! conv and pool fully parallelised (Fig. 4) and test case 2 entirely
 //! single-port (Fig. 5). The final LogSoftMax operator runs on the host
-//! (the hardware designs of Figs. 4/5 end at the last linear layer), so
-//! the sink collects the classifier scores.
+//! by default (the hardware designs of Figs. 4/5 end at the last linear
+//! layer), so the sink collects the classifier scores; setting
+//! [`DesignConfig::fabric_normalization`] appends the on-fabric
+//! normalisation core instead and the sink collects log-probabilities.
+//!
+//! All per-layer-kind knowledge (validation, Eq. 4 II, actors, compute,
+//! labels) comes from the [`crate::model`] registry — this module only
+//! walks the chain.
 
 use crate::endpoints::{Sink, SinkState, Source};
-use crate::layer::{ConvCore, FcCore, PoolCore};
-use crate::port::PortAdapter;
+use crate::model;
 use crate::sim::{Actor, Simulator};
 use crate::stream::ChannelSet;
 use dfcnn_fpga::dma::{DmaChannel, DmaConfig};
-use dfcnn_fpga::resources::{CoreKind, CoreParams, CostModel, Resources};
-use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_fpga::resources::{CoreParams, CostModel, Resources};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
@@ -112,6 +116,10 @@ pub struct DesignConfig {
     pub dma: DmaConfig,
     /// Core clock (100 MHz on the VC707).
     pub clock_hz: u64,
+    /// Run the final normalisation (LogSoftMax) on the fabric instead of
+    /// the host. Off by default: the paper's designs end at the last
+    /// linear layer and normalise on the CPU.
+    pub fabric_normalization: bool,
 }
 
 impl Default for DesignConfig {
@@ -123,6 +131,7 @@ impl Default for DesignConfig {
             inter_fifo_depth: 8,
             dma: DmaConfig::paper(),
             clock_hz: 100_000_000,
+            fabric_normalization: false,
         }
     }
 }
@@ -164,7 +173,7 @@ impl NetworkDesign {
             .layers()
             .iter()
             .enumerate()
-            .filter(|(_, l)| matches!(l, Layer::Conv(_) | Layer::Pool(_) | Layer::Linear(_)))
+            .filter(|(_, l)| model::paper_layer_model(l).is_some())
             .collect();
         if paper_layers.len() != ports.layers.len() {
             return Err(format!(
@@ -173,150 +182,77 @@ impl NetworkDesign {
                 paper_layers.len()
             ));
         }
-        let mut cores = Vec::new();
-        let mut conv_n = 0usize;
-        let mut pool_n = 0usize;
-        let mut fc_n = 0usize;
+        let mut cores: Vec<CoreInfo> = Vec::new();
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
         let mut prev_out_ports: Option<usize> = None;
         let mut classes = 0;
-        for ((layer_index, layer), lp) in paper_layers.iter().zip(ports.layers.iter()) {
-            let (in_fm, out_fm, kh, kw, image_w, kind, weights, in_pixels, positions) = match layer
-            {
-                Layer::Conv(c) => {
-                    conv_n += 1;
-                    let g = c.geometry();
-                    (
-                        g.input.c,
-                        c.out_maps(),
-                        g.kh,
-                        g.kw,
-                        g.input.w,
-                        CoreKind::Conv,
-                        c.filters().len(),
-                        (g.input.h * g.input.w) as u64,
-                        g.positions() as u64,
-                    )
-                }
-                Layer::Pool(p) => {
-                    pool_n += 1;
-                    let g = p.geometry();
-                    (
-                        g.input.c,
-                        g.input.c,
-                        g.kh,
-                        g.kw,
-                        g.input.w,
-                        CoreKind::Pool,
-                        0,
-                        (g.input.h * g.input.w) as u64,
-                        g.positions() as u64,
-                    )
-                }
-                Layer::Linear(f) => {
-                    fc_n += 1;
-                    classes = f.outputs();
-                    (
-                        f.inputs(),
-                        f.outputs(),
-                        1,
-                        1,
-                        1,
-                        CoreKind::Fc,
-                        f.weights().len(),
-                        1,
-                        0,
-                    )
-                }
-                _ => unreachable!(),
-            };
-            let name = match kind {
-                CoreKind::Conv => format!("conv{conv_n}"),
-                CoreKind::Pool => format!("pool{pool_n}"),
-                CoreKind::Fc => format!("fc{fc_n}"),
-                _ => unreachable!(),
-            };
-            if kind == CoreKind::Fc && *lp != LayerPorts::SINGLE {
-                return Err(format!(
-                    "{name}: FC layers are always single-input-port/single-output-port (§IV-B)"
-                ));
-            }
-            if lp.in_ports == 0 || lp.out_ports == 0 {
-                return Err(format!("{name}: port counts must be non-zero"));
-            }
-            if in_fm % lp.in_ports != 0 {
-                return Err(format!(
-                    "{name}: IN_PORTS {} does not divide IN_FM {in_fm}",
-                    lp.in_ports
-                ));
-            }
-            if out_fm % lp.out_ports != 0 {
-                return Err(format!(
-                    "{name}: OUT_PORTS {} does not divide OUT_FM {out_fm}",
-                    lp.out_ports
-                ));
-            }
+        let push_core = |cores: &mut Vec<CoreInfo>,
+                         prev_out_ports: &mut Option<usize>,
+                         m: &dyn model::CoreModel,
+                         name: String,
+                         layer_index: usize,
+                         layer: &Layer,
+                         lp: LayerPorts|
+         -> Result<(), String> {
+            m.validate(&name, layer, lp)?;
+            let plan = m.plan(layer, lp, &config);
             // adapter between the previous layer's output and this input
-            if let Some(prev) = prev_out_ports {
-                if prev != lp.in_ports {
-                    let akind = if prev < lp.in_ports {
-                        CoreKind::Demux
-                    } else {
-                        CoreKind::Widen
-                    };
-                    cores.push(CoreInfo {
-                        name: format!(
-                            "{}{}",
-                            if akind == CoreKind::Demux {
-                                "demux"
-                            } else {
-                                "widen"
-                            },
-                            cores.len()
-                        ),
-                        params: CoreParams {
-                            kind: akind,
-                            in_fm,
-                            out_fm: in_fm,
-                            in_ports: prev,
-                            out_ports: lp.in_ports,
-                            kh: 1,
-                            kw: 1,
-                            image_w: 1,
-                            ii: 1,
-                            weights: 0,
-                            accumulators: 1,
-                        },
-                        layer_index: None,
-                        in_values_per_image: in_pixels * in_fm as u64,
-                        positions: 0,
-                    });
+            if let Some(prev) = *prev_out_ports {
+                if let Some(adapter) = model::adapter::plan_between(
+                    prev,
+                    lp.in_ports,
+                    plan.params.in_fm,
+                    plan.in_values_per_image,
+                    cores.len(),
+                ) {
+                    cores.push(adapter);
                 }
             }
-            let ii = pipeline_ii(in_fm, lp.in_ports, out_fm, lp.out_ports);
             cores.push(CoreInfo {
                 name,
-                params: CoreParams {
-                    kind,
-                    in_fm,
-                    out_fm,
-                    in_ports: lp.in_ports,
-                    out_ports: lp.out_ports,
-                    kh,
-                    kw,
-                    image_w,
-                    ii,
-                    weights,
-                    accumulators: if kind == CoreKind::Fc {
-                        config.fc_banks
-                    } else {
-                        1
-                    },
-                },
-                layer_index: Some(*layer_index),
-                in_values_per_image: in_pixels * in_fm as u64,
-                positions,
+                params: plan.params,
+                layer_index: Some(layer_index),
+                in_values_per_image: plan.in_values_per_image,
+                positions: plan.positions,
             });
-            prev_out_ports = Some(lp.out_ports);
+            *prev_out_ports = Some(lp.out_ports);
+            Ok(())
+        };
+        for ((layer_index, layer), lp) in paper_layers.iter().zip(ports.layers.iter()) {
+            let m = model::paper_layer_model(layer).expect("filtered to paper layers");
+            let name = model::next_name(&mut counts, m.label());
+            if let Some(k) = m.classifier_outputs(layer) {
+                classes = k;
+            }
+            push_core(
+                &mut cores,
+                &mut prev_out_ports,
+                m,
+                name,
+                *layer_index,
+                layer,
+                *lp,
+            )?;
+        }
+        if config.fabric_normalization {
+            if let Some((layer_index, layer)) = network
+                .layers()
+                .iter()
+                .enumerate()
+                .find(|(_, l)| model::is_normalization(l))
+            {
+                let m = model::normalization_model();
+                let name = model::next_name(&mut counts, m.label());
+                push_core(
+                    &mut cores,
+                    &mut prev_out_ports,
+                    m,
+                    name,
+                    layer_index,
+                    layer,
+                    LayerPorts::SINGLE,
+                )?;
+            }
         }
         Ok(NetworkDesign {
             network: network.clone(),
@@ -352,6 +288,20 @@ impl NetworkDesign {
         self.classes
     }
 
+    /// Whether the design normalises (LogSoftMax) on the fabric: opted in
+    /// via [`DesignConfig::fabric_normalization`] and the network actually
+    /// ends in a normalisation operator.
+    pub fn on_fabric_normalization(&self) -> bool {
+        self.config.fabric_normalization
+            && self.network.layers().iter().any(model::is_normalization)
+    }
+
+    /// Whether a host-side normalisation pass still follows the sink (the
+    /// paper's default split).
+    pub fn host_normalization(&self) -> bool {
+        !self.on_fabric_normalization() && self.network.layers().iter().any(model::is_normalization)
+    }
+
     /// The paper's layer count (used for the Fig. 6 convergence claim).
     pub fn paper_depth(&self) -> usize {
         self.ports.layers.len()
@@ -372,33 +322,13 @@ impl NetworkDesign {
     /// output-serialisation times. The slowest stage bounds the pipeline —
     /// "the pipeline interval is its slowest stage time" (§IV-C).
     pub fn estimate_stage_intervals(&self) -> Vec<(String, u64)> {
-        let mut v = Vec::new();
-        for c in &self.cores {
-            let p = &c.params;
-            let interval = match p.kind {
-                CoreKind::Conv | CoreKind::Pool => {
-                    // per-port input serialisation, the Eq. 4 initiation
-                    // schedule, and per-port output serialisation
-                    let per_port_in = c.in_values_per_image / p.in_ports as u64;
-                    let initiations = c.positions * p.ii as u64;
-                    let out_serial = c.positions * (p.out_fm / p.out_ports) as u64;
-                    per_port_in.max(initiations).max(out_serial)
-                }
-                CoreKind::Fc => {
-                    let in_ii = (self.config.ops.add as u64)
-                        .div_ceil(p.accumulators as u64)
-                        .max(1);
-                    p.in_fm as u64 * in_ii + p.out_fm as u64
-                }
-                CoreKind::Demux | CoreKind::Widen => {
-                    // the adapter moves the whole boundary stream through
-                    // its narrower side at one value per port per cycle
-                    c.in_values_per_image / p.in_ports.min(p.out_ports) as u64
-                }
-            };
-            v.push((c.name.clone(), interval));
-        }
-        v
+        self.cores
+            .iter()
+            .map(|c| {
+                let interval = model::model_for(c.params.kind).estimate_interval(c, &self.config);
+                (c.name.clone(), interval)
+            })
+            .collect()
     }
 
     /// The estimated bottleneck stage `(name, cycles per image)`.
@@ -421,55 +351,31 @@ impl NetworkDesign {
         let mut out = String::new();
         out.push_str(&format!("input {} -> ", self.network.input_shape()));
         for c in &self.cores {
-            let p = &c.params;
-            match p.kind {
-                CoreKind::Conv => out.push_str(&format!(
-                    "[{} {}x{} {}->{}FM in:{} out:{} II={}] -> ",
-                    c.name, p.kh, p.kw, p.in_fm, p.out_fm, p.in_ports, p.out_ports, p.ii
-                )),
-                CoreKind::Pool => out.push_str(&format!(
-                    "[{} {}x{} {}FM in:{} out:{}] -> ",
-                    c.name, p.kh, p.kw, p.in_fm, p.in_ports, p.out_ports
-                )),
-                CoreKind::Fc => out.push_str(&format!(
-                    "[{} {}->{} 1x1conv acc={}] -> ",
-                    c.name, p.in_fm, p.out_fm, p.accumulators
-                )),
-                CoreKind::Demux => {
-                    out.push_str(&format!("[{} {}to{}] -> ", c.name, p.in_ports, p.out_ports))
-                }
-                CoreKind::Widen => {
-                    out.push_str(&format!("[{} {}to{}] -> ", c.name, p.in_ports, p.out_ports))
-                }
-            }
+            out.push_str(&model::model_for(c.params.kind).block_label(c));
+            out.push_str(" -> ");
         }
-        out.push_str(&format!("{} classes (LogSoftMax on host)", self.classes));
+        out.push_str(&format!(
+            "{} classes (LogSoftMax on {})",
+            self.classes,
+            if self.on_fabric_normalization() {
+                "fabric"
+            } else {
+                "host"
+            }
+        ));
         out
     }
 
     /// Run the hardware-order forward pass on the host (no timing):
     /// exactly what the accelerator computes for one image, ending at the
-    /// classifier scores.
+    /// values the sink collects (classifier scores, or log-probabilities
+    /// when normalisation is on the fabric).
     pub fn hw_forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
         let mut cur = input.clone();
-        let mut port_iter = self.ports.layers.iter();
-        for layer in self.network.layers() {
-            cur = match layer {
-                Layer::Conv(c) => {
-                    let lp = port_iter.next().expect("port config exhausted");
-                    crate::kernel::conv_forward_hw(c, lp.in_ports, &cur)
-                }
-                Layer::Pool(p) => {
-                    let _ = port_iter.next();
-                    crate::kernel::pool_forward_hw(p, &cur)
-                }
-                Layer::Linear(f) => {
-                    let _ = port_iter.next();
-                    crate::kernel::fc_forward_hw(f, self.config.fc_banks, &cur)
-                }
-                Layer::Flatten(f) => f.forward(&cur),
-                Layer::LogSoftmax(_) => cur, // host-side, after the sink
-            };
+        for spec in model::pipeline_stages(self) {
+            let mut out = Tensor3::zeros(spec.out_shape);
+            spec.make_worker().apply_into(&cur, &mut out);
+            cur = out;
         }
         cur
     }
@@ -510,40 +416,12 @@ impl NetworkDesign {
         for (core_idx, c) in self.cores.iter().enumerate() {
             let p = &c.params;
             let out_chs: Vec<_> = (0..p.out_ports).map(|_| chans.alloc(depth)).collect();
-            let layer = c.layer_index.map(|i| &self.network.layers()[i]);
-            let actor: Box<dyn Actor> = match (p.kind, layer) {
-                (CoreKind::Conv, Some(Layer::Conv(l))) => Box::new(ConvCore::new(
-                    c.name.clone(),
-                    l,
-                    cur_chs.clone(),
-                    out_chs.clone(),
-                    p.ii,
-                    &self.config.ops,
-                )),
-                (CoreKind::Pool, Some(Layer::Pool(l))) => Box::new(PoolCore::new(
-                    c.name.clone(),
-                    l,
-                    cur_chs.clone(),
-                    out_chs.clone(),
-                    &self.config.ops,
-                )),
-                (CoreKind::Fc, Some(Layer::Linear(l))) => Box::new(FcCore::new(
-                    c.name.clone(),
-                    l,
-                    cur_chs[0],
-                    out_chs[0],
-                    p.accumulators,
-                    &self.config.ops,
-                )),
-                (CoreKind::Demux | CoreKind::Widen, None) => Box::new(PortAdapter::new(
-                    c.name.clone(),
-                    cur_chs.clone(),
-                    out_chs.clone(),
-                    p.in_fm,
-                )),
-                _ => unreachable!("core/layer mismatch"),
-            };
-            actors.push(actor);
+            actors.push(model::model_for(p.kind).make_actor(
+                self,
+                c,
+                cur_chs.clone(),
+                out_chs.clone(),
+            ));
             cur_chs = out_chs;
 
             // optional inter-FPGA link after this core
@@ -604,7 +482,7 @@ mod tests {
         let convs: Vec<_> = d
             .cores()
             .iter()
-            .filter(|c| c.params.kind == CoreKind::Conv)
+            .filter(|c| c.name.starts_with("conv"))
             .collect();
         assert_eq!(convs[0].params.ii, 1, "fully parallel conv1 has II=1");
         assert_eq!(convs[1].params.ii, 16, "conv2 II = max(16/1, 6/6)");
@@ -643,8 +521,7 @@ mod tests {
             ],
         };
         let d = NetworkDesign::new(&net, cfg, DesignConfig::default()).unwrap();
-        let kinds: Vec<_> = d.cores().iter().map(|c| c.params.kind).collect();
-        assert!(kinds.contains(&CoreKind::Widen));
+        assert!(d.cores().iter().any(|c| c.name.starts_with("widen")));
     }
 
     #[test]
@@ -668,8 +545,7 @@ mod tests {
             ],
         };
         let d = NetworkDesign::new(&net, cfg, DesignConfig::default()).unwrap();
-        let kinds: Vec<_> = d.cores().iter().map(|c| c.params.kind).collect();
-        assert!(kinds.contains(&CoreKind::Demux));
+        assert!(d.cores().iter().any(|c| c.name.starts_with("demux")));
     }
 
     #[test]
@@ -772,6 +648,62 @@ mod tests {
         for n in ["conv1", "pool1", "conv2", "fc1", "10 classes"] {
             assert!(diag.contains(n), "missing {n} in: {diag}");
         }
+    }
+
+    #[test]
+    fn fabric_normalization_appends_the_logsoftmax_core() {
+        let cfg = DesignConfig {
+            fabric_normalization: true,
+            ..DesignConfig::default()
+        };
+        let d = NetworkDesign::new(&tc1_network(), PortConfig::paper_test_case_1(), cfg).unwrap();
+        let names: Vec<_> = d.cores().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["conv1", "pool1", "conv2", "fc1", "logsoftmax1"]);
+        assert!(d.on_fabric_normalization());
+        assert!(!d.host_normalization());
+        assert_eq!(d.classes(), 10, "sink still collects 10 values");
+        let diag = d.render_block_diagram();
+        assert!(diag.contains("logsoftmax1"), "{diag}");
+        assert!(diag.contains("LogSoftMax on fabric"), "{diag}");
+    }
+
+    #[test]
+    fn default_design_keeps_normalization_on_host() {
+        let d = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        assert!(!d.on_fabric_normalization());
+        assert!(d.host_normalization());
+        assert!(d.render_block_diagram().contains("LogSoftMax on host"));
+    }
+
+    #[test]
+    fn fabric_hw_forward_matches_reference_logsoftmax() {
+        let net = tc1_network();
+        let cfg = DesignConfig {
+            fabric_normalization: true,
+            ..DesignConfig::default()
+        };
+        let d = NetworkDesign::new(&net, PortConfig::paper_test_case_1(), cfg).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, net.input_shape(), 0.0, 1.0);
+        let hw = d.hw_forward(&x);
+        // reference trace ends at the host LogSoftMax output
+        let trace = net.forward_trace(&x);
+        let reference = trace.last().unwrap();
+        assert!(
+            hw.max_abs_diff(reference) < 1e-4,
+            "diff = {}",
+            hw.max_abs_diff(reference)
+        );
+        let prob_sum: f32 = hw.as_slice().iter().map(|v| v.exp()).sum();
+        assert!(
+            (prob_sum - 1.0).abs() < 1e-4,
+            "probabilities sum to {prob_sum}"
+        );
     }
 
     #[test]

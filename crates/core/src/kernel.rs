@@ -481,6 +481,52 @@ pub fn fc_forward_hw(linear: &Linear, banks: usize, input: &Tensor3<f32>) -> Ten
     Tensor3::from_vec(Shape3::new(1, 1, vals.len()), vals)
 }
 
+/// Reusable scratch for the log-softmax normalisation core: the buffered
+/// exponentials that feed the reduction tree.
+#[derive(Clone, Debug)]
+pub struct LogSoftmaxArena {
+    exps: Vec<f32>,
+}
+
+impl LogSoftmaxArena {
+    /// Size the exponential buffer for `classes` values.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "log-softmax needs at least one class");
+        LogSoftmaxArena {
+            exps: vec![0.0f32; classes],
+        }
+    }
+}
+
+/// The normalisation core's computation (paper Eq. 3) in hardware order,
+/// allocation-free: a sequential comparator chain finds the running
+/// maximum (exact whatever the order), one exponential unit produces
+/// `e^{x_k - max}` per value, a **tree adder** sums the exponentials (the
+/// hardware summation order — the `dfcnn-nn` reference sums left to
+/// right), and the final subtract emits `x_j - max - ln Σ`. All three
+/// execution engines share this function, so their normalised scores are
+/// bit-identical.
+pub fn logsoftmax_forward_into(out: &mut [f32], input: &[f32], arena: &mut LogSoftmaxArena) {
+    assert_eq!(out.len(), input.len(), "log-softmax length mismatch");
+    assert_eq!(arena.exps.len(), input.len(), "arena sized for another K");
+    let max = input.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for (e, &x) in arena.exps.iter_mut().zip(input.iter()) {
+        *e = (x - max).exp();
+    }
+    let lse = TreeAdder::new(input.len()).sum(&arena.exps).ln();
+    for (o, &x) in out.iter_mut().zip(input.iter()) {
+        *o = x - max - lse;
+    }
+}
+
+/// Whole-volume log-softmax forward pass in hardware order.
+pub fn logsoftmax_forward_hw(input: &Tensor3<f32>) -> Tensor3<f32> {
+    let mut out = Tensor3::zeros(input.shape());
+    let mut arena = LogSoftmaxArena::new(input.shape().len());
+    logsoftmax_forward_into(out.as_mut_slice(), input.as_slice(), &mut arena);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +722,48 @@ mod tests {
             fc_forward_into(&mut out, &mut arena, &b, Activation::Tanh, x.as_slice());
             assert_eq!(out, reference);
         }
+    }
+
+    #[test]
+    fn logsoftmax_deterministic_and_arena_reuse_is_clean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let x = dfcnn_tensor::init::random_vector(&mut rng, 10, -3.0, 3.0);
+        let mut arena = LogSoftmaxArena::new(10);
+        let mut a = vec![0.0f32; 10];
+        let mut b = vec![0.0f32; 10];
+        logsoftmax_forward_into(&mut a, x.as_slice(), &mut arena);
+        // arena reuse across images must not leak state
+        logsoftmax_forward_into(&mut b, x.as_slice(), &mut arena);
+        assert_eq!(a, b);
+        let hw = logsoftmax_forward_hw(&Tensor3::from_vec(
+            Shape3::new(1, 1, 10),
+            x.as_slice().to_vec(),
+        ));
+        assert_eq!(hw.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn logsoftmax_close_to_reference_and_normalised() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let x = dfcnn_tensor::init::random_volume(&mut rng, Shape3::new(1, 1, 10), -5.0, 5.0);
+        let hw = logsoftmax_forward_hw(&x);
+        // the reference layer sums the exponentials left to right; the tree
+        // adder groups them pairwise, so agreement is tolerance not bits
+        let reference = dfcnn_nn::layer::LogSoftmax::new(10).forward(&x);
+        for (a, b) in hw.as_slice().iter().zip(reference.as_slice().iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        let prob_sum: f32 = hw.as_slice().iter().map(|v| v.exp()).sum();
+        assert!(
+            (prob_sum - 1.0).abs() < 1e-4,
+            "probabilities sum to {prob_sum}"
+        );
+        // shift invariance: the max-subtraction keeps large inputs finite
+        let big = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![1000.0, 1000.5, 999.0]);
+        assert!(logsoftmax_forward_hw(&big)
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

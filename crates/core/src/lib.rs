@@ -13,6 +13,7 @@
 //! | SST *memory structure* (filter chains + window registers, full buffering) | [`sst`] |
 //! | FM interleaving over ports, demux core, widened-filter adapter | [`port`] |
 //! | Convolution / sub-sampling / FC compute cores (Algorithm 1, Eq. 4) | [`layer`] |
+//! | One definition per layer kind (validation, II, compute, actor, HLS, cost) | [`model`] |
 //! | Hardware-order numerics (tree adder, interleaved accumulators) | [`kernel`] |
 //! | DMA source & score sink (the §V-A test harness) | [`endpoints`] |
 //! | Network construction, port-width cases, FIFO sizing (§IV-C) | [`graph`] |
@@ -48,6 +49,7 @@ pub mod flow;
 pub mod graph;
 pub mod kernel;
 pub mod layer;
+pub mod model;
 pub mod multi;
 pub mod port;
 pub mod sim;

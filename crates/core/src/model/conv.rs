@@ -1,0 +1,287 @@
+//! The convolutional layer kind (§IV-A, Algorithm 1).
+
+use super::{CoreModel, CorePlan, StageSpec, StageWorker};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::kernel::{conv_forward_hw_into, ConvArena};
+use crate::layer::ConvCore;
+use crate::sim::Actor;
+use crate::stream::ChannelId;
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::{Conv2d, Layer};
+use dfcnn_tensor::Tensor3;
+use std::fmt::Write as _;
+
+/// The conv [`CoreModel`].
+pub struct ConvModel;
+
+fn conv_layer(layer: &Layer) -> &Conv2d {
+    match layer {
+        Layer::Conv(c) => c,
+        _ => unreachable!("conv model handed a non-conv layer"),
+    }
+}
+
+/// Steady-state interval of a windowed (conv/pool) core: the max of
+/// per-port input serialisation, the Eq. 4 initiation schedule, and
+/// per-port output serialisation.
+pub(crate) fn windowed_interval(core: &CoreInfo) -> u64 {
+    let p = &core.params;
+    let per_port_in = core.in_values_per_image / p.in_ports as u64;
+    let initiations = core.positions * p.ii as u64;
+    let out_serial = core.positions * (p.out_fm / p.out_ports) as u64;
+    per_port_in.max(initiations).max(out_serial)
+}
+
+struct ConvWorker {
+    layer: Conv2d,
+    in_ports: usize,
+    arena: Box<ConvArena>,
+}
+
+impl StageWorker for ConvWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        conv_forward_hw_into(&self.layer, self.in_ports, input, out, &mut self.arena);
+    }
+}
+
+impl CoreModel for ConvModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Conv
+    }
+
+    fn label(&self) -> &'static str {
+        "conv"
+    }
+
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize) {
+        let c = conv_layer(layer);
+        (c.geometry().input.c, c.out_maps())
+    }
+
+    fn plan(&self, layer: &Layer, lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        let c = conv_layer(layer);
+        let g = c.geometry();
+        let (in_fm, out_fm) = (g.input.c, c.out_maps());
+        CorePlan {
+            params: CoreParams {
+                kind: CoreKind::Conv,
+                in_fm,
+                out_fm,
+                in_ports: lp.in_ports,
+                out_ports: lp.out_ports,
+                kh: g.kh,
+                kw: g.kw,
+                image_w: g.input.w,
+                ii: pipeline_ii(in_fm, lp.in_ports, out_fm, lp.out_ports),
+                weights: c.filters().len(),
+                accumulators: 1,
+            },
+            in_values_per_image: (g.input.h * g.input.w) as u64 * in_fm as u64,
+            positions: g.positions() as u64,
+        }
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, _config: &DesignConfig) -> u64 {
+        windowed_interval(core)
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        let p = &core.params;
+        format!(
+            "[{} {}x{} {}->{}FM in:{} out:{} II={}]",
+            core.name, p.kh, p.kw, p.in_fm, p.out_fm, p.in_ports, p.out_ports, p.ii
+        )
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        let idx = core.layer_index.expect("conv core has a layer");
+        let l = conv_layer(&design.network().layers()[idx]);
+        Box::new(ConvCore::new(
+            core.name.clone(),
+            l,
+            in_chs,
+            out_chs,
+            core.params.ii,
+            &design.config().ops,
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, interface_pragmas, stream_args, weight_array};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let layer = conv_layer(&design.network().layers()[info.layer_index.unwrap()]);
+        let geo = layer.geometry();
+        let mut s = header();
+        s.push_str(&weight_array(
+            &format!("{}_weights", info.name),
+            layer.filters().as_slice(),
+        ));
+        s.push_str(&weight_array(
+            &format!("{}_bias", info.name),
+            layer.bias().as_slice(),
+        ));
+        let _ = write!(
+            s,
+            "\n// convolutional layer: {in_fm} -> {out_fm} FMs, {kh}x{kw} window, stride {st},\n\
+             // IN_PORTS={ip}, OUT_PORTS={op}, Eq.4 II={ii}\n\
+             void {name}({ins}, {outs}) {{\n{ipr}{opr}",
+            in_fm = p.in_fm,
+            out_fm = p.out_fm,
+            kh = p.kh,
+            kw = p.kw,
+            st = geo.stride,
+            ip = p.in_ports,
+            op = p.out_ports,
+            ii = p.ii,
+            name = info.name,
+            ins = stream_args("in", p.in_ports),
+            outs = stream_args("out", p.out_ports),
+            ipr = interface_pragmas("in", p.in_ports),
+            opr = interface_pragmas("out", p.out_ports),
+        );
+        let chpp = p.in_fm / p.in_ports;
+        let line_words = (p.kh - 1) * p.image_w * chpp + p.kw * chpp;
+        let _ = write!(
+            s,
+            "\n    // SST memory structure: full-buffering line buffer per port\n\
+             \x20   static float line[{ip}][{lw}];\n\
+             \x20   float window[{ip}][{win}];\n\
+             #pragma HLS ARRAY_PARTITION variable=window complete dim=0\n\
+             \x20   float outputs[{of}];\n\
+             #pragma HLS ARRAY_PARTITION variable=outputs complete\n\n\
+             \x20   for (int y = 0; y < {oh}; ++y) {{\n\
+             \x20       for (int x = 0; x < {ow}; ++x) {{\n\
+             #pragma HLS PIPELINE II={ii}\n\
+             \x20           // Algorithm 1: outputs <- biases\n\
+             \x20           for (int k = 0; k < {of}; ++k) outputs[k] = {name}_bias[k];\n\
+             \x20           // shift the window registers from the line buffers\n\
+             \x20           read_window: for (int p = 0; p < {ip}; ++p)\n\
+             #pragma HLS PIPELINE II=1\n\
+             \x20               shift_window(in0 /* filters chain */, line[p], window[p]);\n\
+             \x20           // for i = 0 to IN_FM step IN_PORTS\n\
+             \x20           for (int g = 0; g < {groups}; ++g) {{\n\
+             \x20               float buf[{grouplen}];\n\
+             #pragma HLS ARRAY_PARTITION variable=buf complete\n\
+             \x20               for (int k = 0; k < {of}; ++k) {{\n\
+             \x20                   // buf <- buf * weights; outputs += reduce(buf)\n\
+             \x20                   outputs[k] += reduce_tree_{grouplen}(buf, &{name}_weights[k * {fweights}]);\n\
+             \x20               }}\n\
+             \x20           }}\n\
+             \x20           // send outputs on OUT_PORTS ports, interleaved\n\
+             \x20           for (int k = 0; k < {of}; ++k) write_out(k % {op}, activation(outputs[k]));\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             }}\n",
+            ip = p.in_ports,
+            lw = line_words,
+            win = p.kh * p.kw * chpp,
+            of = p.out_fm,
+            oh = geo.out_h(),
+            ow = geo.out_w(),
+            ii = p.ii,
+            name = info.name,
+            groups = p.in_fm / p.in_ports,
+            grouplen = p.in_ports * p.kh * p.kw,
+            fweights = p.kh * p.kw * p.in_fm,
+            op = p.out_ports,
+        );
+        s
+    }
+
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        let c = conv_layer(layer).clone();
+        let in_ports = lp.in_ports;
+        Some(StageSpec::new(name, c.output_shape(), move || {
+            Box::new(ConvWorker {
+                arena: Box::new(ConvArena::new(&c, in_ports)),
+                layer: c.clone(),
+                in_ports,
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_conv() -> Layer {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let net = dfcnn_nn::topology::NetworkSpec::test_case_1().build(&mut rng);
+        net.layers()[0].clone()
+    }
+
+    #[test]
+    fn validate_rejects_non_divisor_ports_with_layer_name() {
+        let m = ConvModel;
+        let layer = small_conv();
+        let err = m
+            .validate(
+                "conv1",
+                &layer,
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 4,
+                },
+            )
+            .unwrap_err();
+        assert!(err.starts_with("conv1:"), "{err}");
+        assert!(err.contains("does not divide"), "{err}");
+        assert!(m.validate("conv1", &layer, LayerPorts::SINGLE).is_ok());
+    }
+
+    #[test]
+    fn emitted_cpp_hardcodes_the_trained_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let net = dfcnn_nn::topology::NetworkSpec::test_case_1().build(&mut rng);
+        let design = crate::graph::NetworkDesign::new(
+            &net,
+            crate::graph::PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        let src = ConvModel.emit_cpp(&design, 0);
+        let layer = conv_layer(&design.network().layers()[0]);
+        let w = layer.filters().get(0, 0, 0, 0);
+        assert!(
+            src.contains(&crate::codegen::lit(w)),
+            "first weight must be in the source"
+        );
+    }
+
+    #[test]
+    fn plan_carries_eq4_ii() {
+        let m = ConvModel;
+        let layer = small_conv();
+        // TC1 conv1 fully parallel: 1 in-FM on 1 port, 6 out-FMs on 6 ports
+        let plan = m.plan(
+            &layer,
+            LayerPorts {
+                in_ports: 1,
+                out_ports: 6,
+            },
+            &DesignConfig::default(),
+        );
+        assert_eq!(plan.params.ii, 1);
+        assert_eq!(plan.params.weights, 150);
+        assert_eq!(plan.in_values_per_image, 16 * 16);
+        // 5x5 window over a 16x16 input, stride 1 -> 12x12 positions
+        assert_eq!(plan.positions, 12 * 12);
+    }
+}

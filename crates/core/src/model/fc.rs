@@ -1,0 +1,244 @@
+//! The fully-connected layer kind (§IV-B): a single-input-port /
+//! single-output-port 1×1 convolution with interleaved accumulators.
+
+use super::{validate_ports, CoreModel, CorePlan, StageSpec, StageWorker};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::kernel::{fc_forward_hw_into, FcArena};
+use crate::layer::FcCore;
+use crate::sim::Actor;
+use crate::stream::ChannelId;
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::{Layer, Linear};
+use dfcnn_tensor::{Shape3, Tensor3};
+use std::fmt::Write as _;
+
+/// The FC [`CoreModel`].
+pub struct FcModel;
+
+fn fc_layer(layer: &Layer) -> &Linear {
+    match layer {
+        Layer::Linear(l) => l,
+        _ => unreachable!("fc model handed a non-linear layer"),
+    }
+}
+
+struct FcWorker {
+    layer: Linear,
+    arena: Box<FcArena>,
+}
+
+impl StageWorker for FcWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        fc_forward_hw_into(&self.layer, input, out, &mut self.arena);
+    }
+}
+
+impl CoreModel for FcModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Fc
+    }
+
+    fn label(&self) -> &'static str {
+        "fc"
+    }
+
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize) {
+        let f = fc_layer(layer);
+        (f.inputs(), f.outputs())
+    }
+
+    fn forces_single_port(&self) -> bool {
+        true
+    }
+
+    fn classifier_outputs(&self, layer: &Layer) -> Option<usize> {
+        Some(fc_layer(layer).outputs())
+    }
+
+    fn validate(&self, name: &str, layer: &Layer, lp: LayerPorts) -> Result<(), String> {
+        if lp != LayerPorts::SINGLE {
+            return Err(format!(
+                "{name}: FC layers are always single-input-port/single-output-port (§IV-B)"
+            ));
+        }
+        let (in_fm, out_fm) = self.feature_maps(layer);
+        validate_ports(name, in_fm, out_fm, lp)
+    }
+
+    fn plan(&self, layer: &Layer, lp: LayerPorts, config: &DesignConfig) -> CorePlan {
+        let f = fc_layer(layer);
+        let (in_fm, out_fm) = (f.inputs(), f.outputs());
+        CorePlan {
+            params: CoreParams {
+                kind: CoreKind::Fc,
+                in_fm,
+                out_fm,
+                in_ports: lp.in_ports,
+                out_ports: lp.out_ports,
+                kh: 1,
+                kw: 1,
+                image_w: 1,
+                ii: pipeline_ii(in_fm, lp.in_ports, out_fm, lp.out_ports),
+                weights: f.weights().len(),
+                accumulators: config.fc_banks,
+            },
+            in_values_per_image: in_fm as u64,
+            positions: 0,
+        }
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, config: &DesignConfig) -> u64 {
+        let p = &core.params;
+        let in_ii = (config.ops.add as u64)
+            .div_ceil(p.accumulators as u64)
+            .max(1);
+        p.in_fm as u64 * in_ii + p.out_fm as u64
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        let p = &core.params;
+        format!(
+            "[{} {}->{} 1x1conv acc={}]",
+            core.name, p.in_fm, p.out_fm, p.accumulators
+        )
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        let idx = core.layer_index.expect("fc core has a layer");
+        let l = fc_layer(&design.network().layers()[idx]);
+        Box::new(FcCore::new(
+            core.name.clone(),
+            l,
+            in_chs[0],
+            out_chs[0],
+            core.params.accumulators,
+            &design.config().ops,
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, weight_array};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let layer = fc_layer(&design.network().layers()[info.layer_index.unwrap()]);
+        let mut s = header();
+        s.push_str(&weight_array(
+            &format!("{}_weights", info.name),
+            layer.weights().as_slice(),
+        ));
+        s.push_str(&weight_array(
+            &format!("{}_bias", info.name),
+            layer.bias().as_slice(),
+        ));
+        let _ = write!(
+            s,
+            "\n// fully-connected layer as a 1x1 convolution (SIV-B):\n\
+             // single-input-port/single-output-port, {i} inputs -> {j} outputs,\n\
+             // {banks} interleaved accumulators hide the 11-cycle f32 add latency\n\
+             void {name}(hls::stream<float> &in0, hls::stream<float> &out0) {{\n\
+             #pragma HLS INTERFACE axis port=in0\n\
+             #pragma HLS INTERFACE axis port=out0\n\
+             \x20   float acc[{j}][{banks}];\n\
+             #pragma HLS ARRAY_PARTITION variable=acc complete dim=0\n\
+             \x20   accumulate: for (int i = 0; i < {i}; ++i) {{\n\
+             #pragma HLS PIPELINE II=1\n\
+             #pragma HLS UNROLL factor={banks}\n\
+             \x20       float x = in0.read();\n\
+             \x20       // all OUT_FM 1x1 convolutions in the same clock cycle\n\
+             \x20       for (int jj = 0; jj < {j}; ++jj)\n\
+             \x20           acc[jj][i % {banks}] += {name}_weights[jj * {i} + i] * x;\n\
+             \x20   }}\n\
+             \x20   drain: for (int jj = 0; jj < {j}; ++jj) {{\n\
+             #pragma HLS PIPELINE II=1\n\
+             \x20       out0.write(activation(merge_tree_{banks}(acc[jj]) + {name}_bias[jj]));\n\
+             \x20   }}\n\
+             }}\n",
+            i = p.in_fm,
+            j = p.out_fm,
+            banks = p.accumulators,
+            name = info.name,
+        );
+        s
+    }
+
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        _lp: LayerPorts,
+        config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        let f = fc_layer(layer).clone();
+        let banks = config.fc_banks;
+        let out_shape = Shape3::new(1, 1, f.outputs());
+        Some(StageSpec::new(name, out_shape, move || {
+            Box::new(FcWorker {
+                arena: Box::new(FcArena::new(f.weights(), banks)),
+                layer: f.clone(),
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_fc() -> Layer {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let net = dfcnn_nn::topology::NetworkSpec::test_case_1().build(&mut rng);
+        net.layers()
+            .iter()
+            .find(|l| matches!(l, Layer::Linear(_)))
+            .unwrap()
+            .clone()
+    }
+
+    #[test]
+    fn validate_rejects_multi_port_before_anything_else() {
+        let m = FcModel;
+        let layer = small_fc();
+        let err = m
+            .validate(
+                "fc1",
+                &layer,
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 2,
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("single-input-port"), "{err}");
+        // even a non-divisor multi-port choice reports the §IV-B rule first
+        let err = m
+            .validate(
+                "fc1",
+                &layer,
+                LayerPorts {
+                    in_ports: 7,
+                    out_ports: 3,
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("single-input-port"), "{err}");
+        assert!(m.validate("fc1", &layer, LayerPorts::SINGLE).is_ok());
+    }
+
+    #[test]
+    fn dse_options_are_pinned_single_port() {
+        let m = FcModel;
+        let layer = small_fc();
+        assert!(m.forces_single_port());
+        assert_eq!(m.out_port_options(&layer, 16), vec![1]);
+        assert_eq!(m.classifier_outputs(&layer), Some(10));
+    }
+}

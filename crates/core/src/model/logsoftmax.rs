@@ -1,0 +1,414 @@
+//! The on-fabric log-softmax normalisation core.
+//!
+//! The paper keeps normalisation on the host ("the final LogSoftMax is
+//! computed on the CPU"); this kind moves it onto the fabric so the chain
+//! classifies end-to-end without a host post-pass. It is opt-in via
+//! [`DesignConfig::fabric_normalization`] and is *not* a paper layer: it
+//! carries no [`crate::graph::PortConfig`] entry and is always
+//! single-input-port / single-output-port, like the FC core it follows.
+//!
+//! Dataflow per image: buffer the `K` class scores, then run the
+//! numerically-stable pipeline `max -> exp -> tree-sum -> ln -> subtract`
+//! and drain the `K` normalised log-probabilities one per cycle. The
+//! compute goes through [`crate::kernel::logsoftmax_forward_into`] — the
+//! same kernel used by the host pipeline stage and `hw_forward` — so all
+//! three engines stay bit-identical.
+
+use super::{CoreModel, CorePlan, StageSpec, StageWorker};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::kernel::{logsoftmax_forward_into, LogSoftmaxArena};
+use crate::sim::{Actor, Quiescence, Wiring};
+use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::{EventKind, Trace};
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_hls::latency::OpLatency;
+use dfcnn_hls::reduce::TreeAdder;
+use dfcnn_nn::layer::Layer;
+use dfcnn_tensor::{Shape3, Tensor3};
+use std::fmt::Write as _;
+
+/// The normalisation [`CoreModel`].
+pub struct LogSoftmaxModel;
+
+fn classes_of(layer: &Layer) -> usize {
+    match layer {
+        Layer::LogSoftmax(l) => l.classes(),
+        _ => unreachable!("logsoftmax model handed a non-normalisation layer"),
+    }
+}
+
+/// Drain latency after the last score: exponentiation, the adder-tree
+/// reduction of the exponentials, the logarithm, and the final subtract.
+fn drain_latency(classes: usize, ops: &OpLatency) -> u64 {
+    ops.activation as u64
+        + TreeAdder::new(classes).latency(ops) as u64
+        + ops.activation as u64
+        + ops.add as u64
+}
+
+struct LogSoftmaxWorker {
+    arena: LogSoftmaxArena,
+}
+
+impl StageWorker for LogSoftmaxWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        logsoftmax_forward_into(out.as_mut_slice(), input.as_slice(), &mut self.arena);
+    }
+}
+
+enum Phase {
+    /// Consuming class scores (count so far).
+    Accumulate(usize),
+    /// Emitting normalised score `j` starting at `ready_cycle`.
+    Drain { next_j: usize, ready: u64 },
+}
+
+/// The log-softmax normalisation core as a cycle actor. Single input
+/// port, single output port, weight-free.
+pub struct LogSoftmaxCore {
+    name: String,
+    in_ch: ChannelId,
+    out_ch: ChannelId,
+    classes: usize,
+    arena: LogSoftmaxArena,
+    drain: u64,
+    buffer: Vec<f32>,
+    results: Vec<f32>,
+    phase: Phase,
+    inits: u64,
+}
+
+impl LogSoftmaxCore {
+    /// Build the core for a `classes`-wide score vector.
+    pub fn new(
+        name: impl Into<String>,
+        classes: usize,
+        in_ch: ChannelId,
+        out_ch: ChannelId,
+        ops: &OpLatency,
+    ) -> Self {
+        LogSoftmaxCore {
+            name: name.into(),
+            in_ch,
+            out_ch,
+            classes,
+            arena: LogSoftmaxArena::new(classes),
+            drain: drain_latency(classes, ops),
+            buffer: Vec::with_capacity(classes),
+            results: vec![0.0; classes],
+            phase: Phase::Accumulate(0),
+            inits: 0,
+        }
+    }
+
+    /// Drain latency in cycles.
+    pub fn drain_latency(&self) -> u64 {
+        self.drain
+    }
+}
+
+impl Actor for LogSoftmaxCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
+        match self.phase {
+            Phase::Accumulate(count) => {
+                if chans.peek(self.in_ch).is_some() {
+                    let v = chans.pop(self.in_ch).unwrap();
+                    self.buffer.push(v);
+                    self.inits += 1;
+                    trace.record(cycle, &self.name, EventKind::Initiate);
+                    if count + 1 == self.classes {
+                        logsoftmax_forward_into(&mut self.results, &self.buffer, &mut self.arena);
+                        self.buffer.clear();
+                        self.phase = Phase::Drain {
+                            next_j: 0,
+                            ready: cycle + self.drain,
+                        };
+                    } else {
+                        self.phase = Phase::Accumulate(count + 1);
+                    }
+                }
+            }
+            Phase::Drain { next_j, ready } => {
+                if cycle >= ready && chans.can_push(self.out_ch) {
+                    chans.push(self.out_ch, self.results[next_j]);
+                    trace.record(cycle, &self.name, EventKind::Emit);
+                    if next_j + 1 == self.classes {
+                        self.phase = Phase::Accumulate(0);
+                    } else {
+                        self.phase = Phase::Drain {
+                            next_j: next_j + 1,
+                            ready: cycle + 1,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        match self.phase {
+            Phase::Accumulate(c) => c > 0,
+            Phase::Drain { .. } => true,
+        }
+    }
+
+    fn initiations(&self) -> u64 {
+        self.inits
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: vec![self.in_ch],
+            outputs: vec![self.out_ch],
+        }
+    }
+
+    fn quiescence(&self, now: u64, chans: &ChannelSet) -> Quiescence {
+        match self.phase {
+            Phase::Accumulate(_) => {
+                if chans.peek(self.in_ch).is_none() {
+                    Quiescence::Wait(None) // starved: push wakes us
+                } else {
+                    Quiescence::Active
+                }
+            }
+            Phase::Drain { ready, .. } => {
+                if !chans.can_push(self.out_ch) {
+                    Quiescence::Wait(None) // backpressured: pop wakes us
+                } else if ready > now + 1 {
+                    Quiescence::Wait(Some(ready)) // drain latency
+                } else {
+                    Quiescence::Active
+                }
+            }
+        }
+    }
+}
+
+impl CoreModel for LogSoftmaxModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::LogSoftmax
+    }
+
+    fn label(&self) -> &'static str {
+        "logsoftmax"
+    }
+
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize) {
+        let k = classes_of(layer);
+        (k, k)
+    }
+
+    fn forces_single_port(&self) -> bool {
+        true
+    }
+
+    fn plan(&self, layer: &Layer, lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        let k = classes_of(layer);
+        CorePlan {
+            params: CoreParams {
+                kind: CoreKind::LogSoftmax,
+                in_fm: k,
+                out_fm: k,
+                in_ports: lp.in_ports,
+                out_ports: lp.out_ports,
+                kh: 1,
+                kw: 1,
+                image_w: 1,
+                ii: pipeline_ii(k, lp.in_ports, k, lp.out_ports),
+                weights: 0,
+                accumulators: 1,
+            },
+            in_values_per_image: k as u64,
+            positions: 0,
+        }
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, config: &DesignConfig) -> u64 {
+        // K reads + the max/exp/sum/ln drain + K writes, no image overlap
+        let k = core.params.in_fm as u64;
+        k + drain_latency(core.params.in_fm, &config.ops) + k
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        format!("[{} logsoftmax K={}]", core.name, core.params.in_fm)
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        Box::new(LogSoftmaxCore::new(
+            core.name.clone(),
+            core.params.in_fm,
+            in_chs[0],
+            out_chs[0],
+            &design.config().ops,
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::header;
+        let info = &design.cores()[idx];
+        let k = info.params.in_fm;
+        let mut s = header();
+        let _ = write!(
+            s,
+            "// log-softmax normalisation core: weight-free, single-input-port/\n\
+             // single-output-port. Numerically stable form: max-shift, exp,\n\
+             // adder-tree sum, ln, subtract.\n\
+             void {name}(hls::stream<float> &in0, hls::stream<float> &out0) {{\n\
+             #pragma HLS INTERFACE axis port=in0\n\
+             #pragma HLS INTERFACE axis port=out0\n\
+             \x20   float scores[{k}];\n\
+             #pragma HLS ARRAY_PARTITION variable=scores complete\n\
+             \x20   float m = -INFINITY;\n\
+             \x20   read_max: for (int i = 0; i < {k}; ++i) {{\n\
+             #pragma HLS PIPELINE II=1\n\
+             \x20       scores[i] = in0.read();\n\
+             \x20       m = fmaxf(m, scores[i]);\n\
+             \x20   }}\n\
+             \x20   float exps[{k}];\n\
+             #pragma HLS ARRAY_PARTITION variable=exps complete\n\
+             \x20   exponentiate: for (int i = 0; i < {k}; ++i) {{\n\
+             #pragma HLS PIPELINE II=1\n\
+             \x20       exps[i] = expf(scores[i] - m);\n\
+             \x20   }}\n\
+             \x20   float lse = logf(merge_tree_{k}(exps));\n\
+             \x20   drain: for (int i = 0; i < {k}; ++i) {{\n\
+             #pragma HLS PIPELINE II=1\n\
+             \x20       out0.write(scores[i] - m - lse);\n\
+             \x20   }}\n\
+             }}\n",
+            name = info.name,
+            k = k,
+        );
+        s
+    }
+
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        _lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        let k = classes_of(layer);
+        Some(StageSpec::new(name, Shape3::new(1, 1, k), move || {
+            Box::new(LogSoftmaxWorker {
+                arena: LogSoftmaxArena::new(k),
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::logsoftmax_forward_hw;
+    use dfcnn_nn::layer::LogSoftmax;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_core(scores: &[f32], images: usize) -> (Vec<Vec<f32>>, u64) {
+        let k = scores.len();
+        let mut chans = ChannelSet::new();
+        let inp = chans.alloc(8);
+        let out = chans.alloc(8);
+        let ops = OpLatency::f32_virtex7();
+        let mut core = LogSoftmaxCore::new("logsoftmax", k, inp, out, &ops);
+        let mut feed: Vec<f32> = Vec::new();
+        for _ in 0..images {
+            feed.extend_from_slice(scores);
+        }
+        let mut cursor = 0;
+        let mut results = vec![Vec::new(); images];
+        let mut img = 0;
+        let mut trace = Trace::disabled();
+        let mut cycle = 0u64;
+        while img < images {
+            if cursor < feed.len() && chans.can_push(inp) {
+                chans.push(inp, feed[cursor]);
+                cursor += 1;
+            }
+            core.tick(cycle, &mut chans, &mut trace);
+            while let Some(v) = chans.pop(out) {
+                results[img].push(v);
+                if results[img].len() == k {
+                    img += 1;
+                }
+            }
+            chans.commit_all();
+            cycle += 1;
+            assert!(cycle < 1_000_000, "logsoftmax core made no progress");
+        }
+        (results, cycle)
+    }
+
+    fn random_scores(seed: u64, k: usize) -> Vec<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        dfcnn_tensor::init::random_vector(&mut rng, k, -4.0, 4.0)
+            .as_slice()
+            .to_vec()
+    }
+
+    #[test]
+    fn actor_matches_hw_kernel_exactly() {
+        let scores = random_scores(1, 10);
+        let (res, _) = run_core(&scores, 1);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 10), scores.clone());
+        let expect = logsoftmax_forward_hw(&x);
+        assert_eq!(res[0].as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn close_to_reference_layer_and_normalised() {
+        let scores = random_scores(2, 10);
+        let (res, _) = run_core(&scores, 1);
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 10), scores.clone());
+        let reference = LogSoftmax::new(10).forward(&x);
+        for (a, b) in res[0].iter().zip(reference.as_slice()) {
+            // hw sums the exponentials with an adder tree, the reference
+            // left-to-right: identical up to rounding
+            assert!((a - b).abs() < 1e-5, "hw {a} vs reference {b}");
+        }
+        let prob_sum: f32 = res[0].iter().map(|v| v.exp()).sum();
+        assert!(
+            (prob_sum - 1.0).abs() < 1e-5,
+            "probabilities sum to {prob_sum}"
+        );
+    }
+
+    #[test]
+    fn back_to_back_images_and_drain_gap() {
+        let scores = random_scores(3, 6);
+        let (res, cycles) = run_core(&scores, 3);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0], res[1]);
+        assert_eq!(res[1], res[2]);
+        let ops = OpLatency::f32_virtex7();
+        // each image pays at least reads + drain + writes
+        assert!(cycles >= 3 * (6 + drain_latency(6, &ops) + 6) - 8);
+    }
+
+    #[test]
+    fn plan_is_single_port_and_weight_free() {
+        let m = LogSoftmaxModel;
+        let layer = Layer::LogSoftmax(LogSoftmax::new(10));
+        assert!(m.forces_single_port());
+        let plan = m.plan(&layer, LayerPorts::SINGLE, &DesignConfig::default());
+        assert_eq!(plan.params.kind, CoreKind::LogSoftmax);
+        assert_eq!(plan.params.weights, 0);
+        assert_eq!(plan.params.in_fm, 10);
+        assert_eq!(plan.in_values_per_image, 10);
+        assert_eq!(plan.positions, 0);
+    }
+}

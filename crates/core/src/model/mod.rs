@@ -1,0 +1,433 @@
+//! The per-layer-kind [`CoreModel`] abstraction — one definition per kind,
+//! N consumers.
+//!
+//! The paper's central claim is modularity: "each layer is implemented as
+//! an independent module" (§IV), so a network is just a chain of
+//! instantiated cores. This module makes the codebase match that claim
+//! structurally: everything the rest of the system needs to know about a
+//! layer kind — geometry propagation, the Eq. 4 initiation interval,
+//! validation rules, hardware-order compute, cycle-actor construction,
+//! resource parameters, HLS C++ emission and display labels — lives in one
+//! `CoreModel` implementation per kind ([`conv`], [`pool`], [`fc`],
+//! [`adapter`], [`logsoftmax`]).
+//!
+//! The consumers (`graph`, `sim`, `exec`, `verify`, `codegen`, `dse`,
+//! `multi`, `flow`) contain **zero per-kind dispatch**; a CI grep-lint
+//! (`scripts/lint_corekind.sh`) keeps it that way. Adding a layer kind is
+//! one new module here plus a `CoreKind` variant and cost-model arm in
+//! `dfcnn-fpga` — see DESIGN.md §2d and the README recipe.
+//!
+//! The proof the abstraction is real: the on-fabric log-softmax
+//! normalisation core ([`logsoftmax`]), opt-in via
+//! [`DesignConfig::fabric_normalization`], was added entirely inside this
+//! module without touching any consumer.
+
+pub mod adapter;
+pub mod conv;
+pub mod fc;
+pub mod logsoftmax;
+pub mod pool;
+
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::sim::Actor;
+use crate::stream::ChannelId;
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::divisor_port_options;
+use dfcnn_nn::layer::Layer;
+use dfcnn_nn::Network;
+use dfcnn_tensor::{Shape3, Tensor3};
+
+/// Everything [`NetworkDesign::new`] derives for one core of a kind.
+#[derive(Clone, Debug)]
+pub struct CorePlan {
+    /// The cost-model / simulator parameters (including the Eq. 4 II).
+    pub params: CoreParams,
+    /// Values entering the core per image (across all input ports).
+    pub in_values_per_image: u64,
+    /// Window positions per image (0 for FC-like cores and adapters).
+    pub positions: u64,
+}
+
+/// One host pipeline stage's allocation-free compute: the hardware-order
+/// forward of one image. Each worker thread owns its own instance, so
+/// replicated stages never contend on scratch state.
+pub trait StageWorker: Send {
+    /// Forward one image through the stage (no allocation at steady state).
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>);
+}
+
+/// One stage of the host pipeline ([`crate::exec::ThreadedEngine`] and
+/// [`NetworkDesign::hw_forward`]): a name, the output geometry, and a
+/// factory producing per-worker [`StageWorker`]s.
+pub struct StageSpec {
+    /// Stage name (`conv1`, `flatten`, `logsoftmax1`, …).
+    pub name: String,
+    /// Output volume shape of the stage.
+    pub out_shape: Shape3,
+    factory: Box<dyn Fn() -> Box<dyn StageWorker> + Send + Sync>,
+}
+
+impl StageSpec {
+    /// Build a stage from its worker factory.
+    pub fn new(
+        name: String,
+        out_shape: Shape3,
+        factory: impl Fn() -> Box<dyn StageWorker> + Send + Sync + 'static,
+    ) -> Self {
+        StageSpec {
+            name,
+            out_shape,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Create a fresh worker (own scratch arena) for this stage.
+    pub fn make_worker(&self) -> Box<dyn StageWorker> {
+        (self.factory)()
+    }
+}
+
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("out_shape", &self.out_shape)
+            .finish()
+    }
+}
+
+/// The single definition of a layer kind. Implementations are stateless
+/// unit structs; consumers reach them through [`model_for`] /
+/// [`paper_layer_model`] and never match on [`CoreKind`] themselves.
+pub trait CoreModel: Sync {
+    /// The [`CoreKind`] this model owns.
+    fn kind(&self) -> CoreKind;
+
+    /// Core-name prefix (`"conv"`, `"pool"`, `"fc"`, …); instances are
+    /// numbered `conv1`, `conv2`, … in pipeline order.
+    fn label(&self) -> &'static str;
+
+    /// `(IN_FM, OUT_FM)` of a paper layer of this kind.
+    ///
+    /// # Panics
+    /// If `layer` is not the variant this model owns (adapters, which have
+    /// no backing layer, always panic).
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize);
+
+    /// Whether the kind is restricted to single-input-port /
+    /// single-output-port (§IV-B's FC rule).
+    fn forces_single_port(&self) -> bool {
+        false
+    }
+
+    /// Classifier width this layer would give the sink, if it is a
+    /// classifier head (FC layers report their output count).
+    fn classifier_outputs(&self, _layer: &Layer) -> Option<usize> {
+        None
+    }
+
+    /// Validate a port choice for this kind. The default enforces the
+    /// common rules (non-zero ports, ports divide FM counts); kinds with
+    /// extra constraints override and layer their own checks first.
+    fn validate(&self, name: &str, layer: &Layer, lp: LayerPorts) -> Result<(), String> {
+        let (in_fm, out_fm) = self.feature_maps(layer);
+        validate_ports(name, in_fm, out_fm, lp)
+    }
+
+    /// Derive the core's parameters (Eq. 4 II, weight count, accumulator
+    /// banks) and per-image stream volume.
+    fn plan(&self, layer: &Layer, lp: LayerPorts, config: &DesignConfig) -> CorePlan;
+
+    /// Analytical steady-state stage interval in cycles per image.
+    fn estimate_interval(&self, core: &CoreInfo, config: &DesignConfig) -> u64;
+
+    /// Fig. 4/5-style block label, e.g. `[conv1 5x5 1->6FM in:1 out:6 II=1]`.
+    fn block_label(&self, core: &CoreInfo) -> String;
+
+    /// Build the cycle-simulator actor for one instantiated core.
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor>;
+
+    /// Emit the Vivado HLS C++ translation unit for core `idx` of the
+    /// design.
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String;
+
+    /// The host pipeline stage for this layer, or `None` for kinds that
+    /// are pure port plumbing with no image-level effect (adapters).
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        lp: LayerPorts,
+        config: &DesignConfig,
+    ) -> Option<StageSpec>;
+
+    /// Candidate `OUT_PORTS` values for design-space exploration: divisors
+    /// of `OUT_FM` up to `max_ports` (single-port kinds are fixed at 1).
+    fn out_port_options(&self, layer: &Layer, max_ports: usize) -> Vec<usize> {
+        if self.forces_single_port() {
+            return vec![1];
+        }
+        divisor_port_options(self.feature_maps(layer).1)
+            .into_iter()
+            .filter(|&p| p <= max_ports)
+            .collect()
+    }
+}
+
+/// The §IV-A port rules shared by every kind: ports are non-zero and
+/// divide the FM counts (the FM-interleaving schedule needs exact
+/// round-robin groups).
+pub(crate) fn validate_ports(
+    name: &str,
+    in_fm: usize,
+    out_fm: usize,
+    lp: LayerPorts,
+) -> Result<(), String> {
+    if lp.in_ports == 0 || lp.out_ports == 0 {
+        return Err(format!("{name}: port counts must be non-zero"));
+    }
+    if !in_fm.is_multiple_of(lp.in_ports) {
+        return Err(format!(
+            "{name}: IN_PORTS {} does not divide IN_FM {in_fm}",
+            lp.in_ports
+        ));
+    }
+    if !out_fm.is_multiple_of(lp.out_ports) {
+        return Err(format!(
+            "{name}: OUT_PORTS {} does not divide OUT_FM {out_fm}",
+            lp.out_ports
+        ));
+    }
+    Ok(())
+}
+
+static CONV_MODEL: conv::ConvModel = conv::ConvModel;
+static POOL_MODEL: pool::PoolModel = pool::PoolModel;
+static FC_MODEL: fc::FcModel = fc::FcModel;
+static DEMUX_MODEL: adapter::DemuxModel = adapter::DemuxModel;
+static WIDEN_MODEL: adapter::WidenModel = adapter::WidenModel;
+static LOGSOFTMAX_MODEL: logsoftmax::LogSoftmaxModel = logsoftmax::LogSoftmaxModel;
+
+/// The model owning a [`CoreKind`] — the single dispatch point every
+/// consumer goes through.
+pub fn model_for(kind: CoreKind) -> &'static dyn CoreModel {
+    match kind {
+        CoreKind::Conv => &CONV_MODEL,
+        CoreKind::Pool => &POOL_MODEL,
+        CoreKind::Fc => &FC_MODEL,
+        CoreKind::Demux => &DEMUX_MODEL,
+        CoreKind::Widen => &WIDEN_MODEL,
+        CoreKind::LogSoftmax => &LOGSOFTMAX_MODEL,
+    }
+}
+
+/// The model implementing a *paper layer* (conv/pool/linear — the layers
+/// that carry a [`LayerPorts`] entry), or `None` for flatten and the
+/// normalisation operator.
+pub fn paper_layer_model(layer: &Layer) -> Option<&'static dyn CoreModel> {
+    match layer {
+        Layer::Conv(_) => Some(&CONV_MODEL),
+        Layer::Pool(_) => Some(&POOL_MODEL),
+        Layer::Linear(_) => Some(&FC_MODEL),
+        Layer::Flatten(_) | Layer::LogSoftmax(_) => None,
+    }
+}
+
+/// Whether a layer is the normalisation operator (host-side by default,
+/// on-fabric when [`DesignConfig::fabric_normalization`] is set).
+pub fn is_normalization(layer: &Layer) -> bool {
+    matches!(layer, Layer::LogSoftmax(_))
+}
+
+/// The model of the on-fabric normalisation core.
+pub fn normalization_model() -> &'static dyn CoreModel {
+    &LOGSOFTMAX_MODEL
+}
+
+/// Number of paper layers (the [`crate::graph::PortConfig`] entry count).
+pub fn paper_layer_count(network: &Network) -> usize {
+    network
+        .layers()
+        .iter()
+        .filter(|l| paper_layer_model(l).is_some())
+        .count()
+}
+
+/// Numbered core names per label: `conv1`, `conv2`, `pool1`, … in
+/// first-seen label order.
+pub(crate) fn next_name(counts: &mut Vec<(&'static str, usize)>, label: &'static str) -> String {
+    for (l, n) in counts.iter_mut() {
+        if *l == label {
+            *n += 1;
+            return format!("{label}{n}");
+        }
+    }
+    counts.push((label, 1));
+    format!("{label}1")
+}
+
+struct FlattenWorker;
+
+impl StageWorker for FlattenWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        // a pure reshape: stream order is already (y, x, c)
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+    }
+}
+
+/// The host pipeline of a design, one [`StageSpec`] per image-level stage:
+/// every paper layer, flatten (a reshape stage), and — when
+/// [`DesignConfig::fabric_normalization`] is set — the normalisation core.
+/// Adapters are port plumbing with no image-level effect and produce no
+/// stage. Consumed by [`crate::exec::ThreadedEngine`] and
+/// [`NetworkDesign::hw_forward`], which therefore stay bit-identical.
+pub fn pipeline_stages(design: &NetworkDesign) -> Vec<StageSpec> {
+    let mut stages = Vec::new();
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    let mut port_iter = design.ports().layers.iter();
+    let mut cur_shape = design.network().input_shape();
+    for layer in design.network().layers() {
+        if let Some(m) = paper_layer_model(layer) {
+            let lp = *port_iter.next().expect("port config exhausted");
+            let name = next_name(&mut counts, m.label());
+            let spec = m
+                .stage(name, layer, lp, design.config())
+                .expect("paper layers always have a pipeline stage");
+            cur_shape = spec.out_shape;
+            stages.push(spec);
+        } else if is_normalization(layer) {
+            if design.config().fabric_normalization {
+                let m = normalization_model();
+                let name = next_name(&mut counts, m.label());
+                let spec = m
+                    .stage(name, layer, LayerPorts::SINGLE, design.config())
+                    .expect("normalisation core has a pipeline stage");
+                cur_shape = spec.out_shape;
+                stages.push(spec);
+            }
+            // host-side by default: the sink collects pre-normalised scores
+        } else {
+            // flatten — the only remaining layer kind
+            cur_shape = Shape3::new(1, 1, cur_shape.len());
+            stages.push(StageSpec::new("flatten".to_string(), cur_shape, || {
+                Box::new(FlattenWorker)
+            }));
+        }
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DesignConfig, NetworkDesign, PortConfig};
+    use dfcnn_nn::topology::NetworkSpec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tc1_design() -> NetworkDesign {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let net = NetworkSpec::test_case_1().build(&mut rng);
+        NetworkDesign::new(
+            &net,
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_is_total_and_consistent() {
+        for kind in [
+            CoreKind::Conv,
+            CoreKind::Pool,
+            CoreKind::Fc,
+            CoreKind::Demux,
+            CoreKind::Widen,
+            CoreKind::LogSoftmax,
+        ] {
+            let m = model_for(kind);
+            assert_eq!(m.kind(), kind, "model registered under the wrong kind");
+            assert!(!m.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_layer_models_cover_the_port_carrying_layers() {
+        let design = tc1_design();
+        let models: Vec<_> = design
+            .network()
+            .layers()
+            .iter()
+            .filter_map(paper_layer_model)
+            .map(|m| m.label())
+            .collect();
+        assert_eq!(models, vec!["conv", "pool", "conv", "fc"]);
+        assert_eq!(paper_layer_count(design.network()), 4);
+    }
+
+    #[test]
+    fn stage_names_and_shapes_chain() {
+        let design = tc1_design();
+        let stages = pipeline_stages(&design);
+        let names: Vec<_> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["conv1", "pool1", "conv2", "flatten", "fc1"]);
+        // flatten preserves the element count, fc ends at the classes
+        assert_eq!(stages[2].out_shape.len(), stages[3].out_shape.len());
+        assert_eq!(stages.last().unwrap().out_shape.len(), 10);
+    }
+
+    #[test]
+    fn next_name_numbers_per_label() {
+        let mut counts = Vec::new();
+        assert_eq!(next_name(&mut counts, "conv"), "conv1");
+        assert_eq!(next_name(&mut counts, "pool"), "pool1");
+        assert_eq!(next_name(&mut counts, "conv"), "conv2");
+        assert_eq!(next_name(&mut counts, "fc"), "fc1");
+    }
+
+    #[test]
+    fn validate_ports_rules() {
+        let name = "x";
+        assert!(validate_ports(name, 6, 6, LayerPorts::SINGLE).is_ok());
+        let err = validate_ports(
+            name,
+            6,
+            6,
+            LayerPorts {
+                in_ports: 0,
+                out_ports: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("non-zero"));
+        let err = validate_ports(
+            name,
+            6,
+            6,
+            LayerPorts {
+                in_ports: 4,
+                out_ports: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("does not divide IN_FM"));
+        let err = validate_ports(
+            name,
+            6,
+            6,
+            LayerPorts {
+                in_ports: 1,
+                out_ports: 4,
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("does not divide OUT_FM"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The sub-sampling (pooling) layer kind (§IV-A).
+
+use super::conv::windowed_interval;
+use super::{CoreModel, CorePlan, StageSpec, StageWorker};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::kernel::{pool_forward_hw_into, PoolArena};
+use crate::layer::PoolCore;
+use crate::sim::Actor;
+use crate::stream::ChannelId;
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::{Layer, Pool2d, PoolKind};
+use dfcnn_tensor::Tensor3;
+use std::fmt::Write as _;
+
+/// The pooling [`CoreModel`].
+pub struct PoolModel;
+
+fn pool_layer(layer: &Layer) -> &Pool2d {
+    match layer {
+        Layer::Pool(p) => p,
+        _ => unreachable!("pool model handed a non-pool layer"),
+    }
+}
+
+struct PoolWorker {
+    layer: Pool2d,
+    arena: PoolArena,
+}
+
+impl StageWorker for PoolWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        pool_forward_hw_into(&self.layer, input, out, &mut self.arena);
+    }
+}
+
+impl CoreModel for PoolModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Pool
+    }
+
+    fn label(&self) -> &'static str {
+        "pool"
+    }
+
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize) {
+        let c = pool_layer(layer).geometry().input.c;
+        (c, c)
+    }
+
+    fn plan(&self, layer: &Layer, lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        let p = pool_layer(layer);
+        let g = p.geometry();
+        let fm = g.input.c;
+        CorePlan {
+            params: CoreParams {
+                kind: CoreKind::Pool,
+                in_fm: fm,
+                out_fm: fm,
+                in_ports: lp.in_ports,
+                out_ports: lp.out_ports,
+                kh: g.kh,
+                kw: g.kw,
+                image_w: g.input.w,
+                ii: pipeline_ii(fm, lp.in_ports, fm, lp.out_ports),
+                weights: 0,
+                accumulators: 1,
+            },
+            in_values_per_image: (g.input.h * g.input.w) as u64 * fm as u64,
+            positions: g.positions() as u64,
+        }
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, _config: &DesignConfig) -> u64 {
+        windowed_interval(core)
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        let p = &core.params;
+        format!(
+            "[{} {}x{} {}FM in:{} out:{}]",
+            core.name, p.kh, p.kw, p.in_fm, p.in_ports, p.out_ports
+        )
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        let idx = core.layer_index.expect("pool core has a layer");
+        let l = pool_layer(&design.network().layers()[idx]);
+        Box::new(PoolCore::new(
+            core.name.clone(),
+            l,
+            in_chs,
+            out_chs,
+            &design.config().ops,
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, interface_pragmas, stream_args};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let layer = pool_layer(&design.network().layers()[info.layer_index.unwrap()]);
+        let op_name = match layer.kind() {
+            PoolKind::Max => "fmaxf",
+            PoolKind::Mean => "mean",
+        };
+        let mut s = header();
+        let _ = write!(
+            s,
+            "// sub-sampling layer: {fm} FMs, {kh}x{kw} window, stride {st},\n\
+             // one parallel pooling core per port (perfect pipelining, SIV-C)\n\
+             void {name}({ins}, {outs}) {{\n{ipr}{opr}\
+             \x20   for (int y = 0; y < {oh}; ++y)\n\
+             \x20       for (int x = 0; x < {ow}; ++x)\n\
+             #pragma HLS PIPELINE II={ii}\n\
+             \x20           for (int c = 0; c < {chpp}; ++c)\n\
+             \x20               emit(window_{op_name}(/* per-channel {kh}x{kw} window */));\n\
+             }}\n",
+            fm = p.in_fm,
+            kh = p.kh,
+            kw = p.kw,
+            st = layer.geometry().stride,
+            name = info.name,
+            ins = stream_args("in", p.in_ports),
+            outs = stream_args("out", p.out_ports),
+            ipr = interface_pragmas("in", p.in_ports),
+            opr = interface_pragmas("out", p.out_ports),
+            oh = layer.geometry().out_h(),
+            ow = layer.geometry().out_w(),
+            ii = p.ii,
+            chpp = p.in_fm / p.in_ports,
+            op_name = op_name,
+        );
+        s
+    }
+
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        _lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        let p = pool_layer(layer).clone();
+        Some(StageSpec::new(name, p.output_shape(), move || {
+            Box::new(PoolWorker {
+                arena: PoolArena::new(&p),
+                layer: p.clone(),
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_pool() -> Layer {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let net = dfcnn_nn::topology::NetworkSpec::test_case_1().build(&mut rng);
+        net.layers()[1].clone()
+    }
+
+    #[test]
+    fn validate_enforces_divisibility_per_side() {
+        let m = PoolModel;
+        let layer = small_pool();
+        // TC1 pool has 6 FMs
+        assert!(m
+            .validate(
+                "pool1",
+                &layer,
+                LayerPorts {
+                    in_ports: 6,
+                    out_ports: 6,
+                },
+            )
+            .is_ok());
+        let err = m
+            .validate(
+                "pool1",
+                &layer,
+                LayerPorts {
+                    in_ports: 5,
+                    out_ports: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("does not divide IN_FM"), "{err}");
+        let err = m
+            .validate(
+                "pool1",
+                &layer,
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 0,
+                },
+            )
+            .unwrap_err();
+        assert!(err.contains("port counts must be non-zero"), "{err}");
+    }
+
+    #[test]
+    fn plan_is_weight_free_and_symmetric() {
+        let m = PoolModel;
+        let plan = m.plan(&small_pool(), LayerPorts::SINGLE, &DesignConfig::default());
+        assert_eq!(plan.params.weights, 0);
+        assert_eq!(plan.params.in_fm, plan.params.out_fm);
+        assert_eq!(plan.params.ii, 6, "single-port 6-FM pool: II = 6");
+    }
+}

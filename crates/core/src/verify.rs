@@ -50,17 +50,15 @@ impl VerifyReport {
     }
 }
 
-/// Reference pre-softmax scores for one image (the values the sink
-/// collects correspond to the layer before the host-side LogSoftMax).
+/// Reference scores for one image at the point where the fabric hands off
+/// to the host: pre-softmax when the normalisation runs on the host,
+/// post-softmax when the design carries an on-fabric normalisation core.
 pub fn reference_scores(design: &NetworkDesign, image: &Tensor3<f32>) -> Vec<f32> {
     let trace = design.network().forward_trace(image);
-    // last layer is LogSoftmax ⇒ scores are the second-to-last activation;
-    // if a network ends at a linear layer, use the final activation
-    let has_softmax = matches!(
-        design.network().layers().last(),
-        Some(dfcnn_nn::layer::Layer::LogSoftmax(_))
-    );
-    let idx = if has_softmax {
+    // when normalisation stays on the host, the sink collects the
+    // activation *before* it; otherwise (on-fabric, or no normalisation
+    // layer at all) the final activation is the right comparison point
+    let idx = if design.host_normalization() {
         trace.len() - 2
     } else {
         trace.len() - 1

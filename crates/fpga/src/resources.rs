@@ -108,6 +108,8 @@ pub enum CoreKind {
     Demux,
     /// Widened-filter merge adapter (`OUT_PORTS(i-1) > IN_PORTS(i)`).
     Widen,
+    /// Log-softmax normalisation core (single-port, weight-free).
+    LogSoftmax,
 }
 
 /// Design parameters of one generated core, as handed to the cost model by
@@ -436,6 +438,37 @@ impl CostModel {
                     dsp: 0,
                 };
             }
+            CoreKind::LogSoftmax => {
+                // single-input-port/single-output-port, no weights, no DSP:
+                // a running-max comparator, exp + ln activation units, a
+                // logic-only adder tree over K exponentials, and two
+                // completely-partitioned K-word buffers (values + exps)
+                let k = p.in_fm as u64;
+                r += Resources {
+                    lut: self.lut_per_fcmp,
+                    ff: self.ff_per_fcmp,
+                    bram18: 0,
+                    dsp: 0,
+                };
+                r += Resources {
+                    lut: 2 * self.lut_activation,
+                    ff: 2 * self.ff_activation,
+                    bram18: 0,
+                    dsp: 0,
+                };
+                r += Resources {
+                    lut: self.lut_per_fadd_logic * k.saturating_sub(1),
+                    ff: self.ff_per_fadd_logic * k.saturating_sub(1),
+                    bram18: 0,
+                    dsp: 0,
+                };
+                r += Resources {
+                    ff: self.ff_per_reg_word * 2 * k,
+                    lut: self.lut_per_reg_word * 2 * k,
+                    bram18: 0,
+                    dsp: 0,
+                };
+            }
         }
         r
     }
@@ -568,6 +601,31 @@ mod tests {
         // only the 10 multipliers consume DSPs
         assert_eq!(r.dsp, 30);
         assert!(r.ff > 0 && r.lut > 0);
+    }
+
+    #[test]
+    fn logsoftmax_core_is_dsp_free() {
+        let m = CostModel::default();
+        let p = CoreParams {
+            kind: CoreKind::LogSoftmax,
+            in_fm: 10,
+            out_fm: 10,
+            in_ports: 1,
+            out_ports: 1,
+            kh: 1,
+            kw: 1,
+            image_w: 1,
+            ii: 10,
+            weights: 0,
+            accumulators: 1,
+        };
+        assert_eq!(p.parallel_macs(), 0);
+        let r = m.core(&p);
+        assert_eq!(r.dsp, 0);
+        assert_eq!(r.bram18, 0);
+        // exp + ln units plus the 9-deep adder tree dominate the logic
+        assert!(r.lut > 2 * m.lut_activation);
+        assert!(r.ff > m.ff_core_ctrl);
     }
 
     #[test]

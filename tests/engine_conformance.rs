@@ -144,6 +144,50 @@ fn test_case_2_replicated_matches_sequential() {
     assert_eq!(res.outputs, seq.outputs);
 }
 
+/// LeNet-5 classifying **end to end on the fabric**: with
+/// `fabric_normalization` the design appends a LogSoftmax core after the
+/// last FC layer, so the sink collects final normalised scores instead of
+/// raw logits. All three engines must stay bit-identical through the new
+/// core, the host-side kernel path must match bit for bit, and the
+/// `dfcnn-nn` reference must agree within the usual verify tolerance.
+#[test]
+fn lenet5_classifies_end_to_end_on_the_fabric() {
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let net = NetworkSpec::lenet5().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::single_port(7),
+        DesignConfig {
+            fabric_normalization: true,
+            ..DesignConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(design.on_fabric_normalization());
+    let images: Vec<_> = (0..2)
+        .map(|_| dfcnn::tensor::init::random_volume(&mut rng, net.input_shape(), 0.0, 1.0))
+        .collect();
+    // sim (event + reference schedulers) == threaded engine, bit for bit
+    let event = check_engine_conformance(&design, &images);
+    let exec = ThreadedEngine::new(&design).run(&images);
+    for (i, (img, (s, e))) in images
+        .iter()
+        .zip(event.outputs.iter().zip(exec.outputs.iter()))
+        .enumerate()
+    {
+        assert_eq!(s.as_slice(), e.as_slice(), "image {i}: sim != threaded");
+        // and both == the sequential host kernel path
+        let hw = design.hw_forward(img);
+        assert_eq!(s.as_slice(), hw.as_slice(), "image {i}: sim != hw kernel");
+        // on-fabric scores are normalised log-probabilities
+        let prob_sum: f32 = s.as_slice().iter().map(|v| v.exp()).sum();
+        assert!((prob_sum - 1.0).abs() < 1e-4, "image {i}: Σp = {prob_sum}");
+    }
+    // reference closeness + decision equivalence through the softmax
+    let report = dfcnn::core::verify::compare_outputs(&design, &images, &event.outputs);
+    assert!(report.passes(1e-3), "report: {report:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(50))]
 

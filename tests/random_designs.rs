@@ -21,11 +21,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn any_design_simulates_exactly(spec in random_spec(), seed in 0u64..10_000) {
+    fn any_design_simulates_exactly(
+        spec in random_spec(),
+        seed in 0u64..10_000,
+        fabric_normalization in proptest::bool::ANY,
+    ) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let network = spec.build(&mut rng);
         let ports = random_ports(&spec, seed ^ 0xABCD);
-        let design = NetworkDesign::new(&network, ports, DesignConfig::default())
+        // half the runs also append the on-fabric LogSoftmax core
+        let config = DesignConfig { fabric_normalization, ..DesignConfig::default() };
+        let design = NetworkDesign::new(&network, ports, config)
             .expect("random divisor config must validate");
 
         let images: Vec<_> = (0..2)
