@@ -7,11 +7,21 @@
 //! state, all the different layers of the network will be concurrently
 //! active and computing."
 //!
+//! It then reads the full flight recording: the stall-taxonomy
+//! [`RunReport`] (written to `results/run_report.json`) and the
+//! [`DriftReport`] checking measured behaviour against the Eq. 4 model —
+//! both asserted, so CI catches a simulator that drifts from the paper's
+//! analysis. With `--chrome-trace [path]` the stall tracks are also
+//! exported as Perfetto/Chrome-trace JSON
+//! (default `results/pipeline_trace.chrome.json`; load at
+//! `ui.perfetto.dev`).
+//!
 //! ```text
-//! cargo run -p dfcnn-bench --release --bin pipeline_trace
+//! cargo run -p dfcnn-bench --release --bin pipeline_trace -- --chrome-trace
 //! ```
 
 use dfcnn_bench::{quick_test_case_1, write_json};
+use dfcnn_core::observe::{DriftReport, RunReport};
 use dfcnn_core::trace::EventKind;
 use serde::Serialize;
 
@@ -129,4 +139,36 @@ fn main() {
     );
     assert_eq!(dones, batch.len());
     write_json("pipeline_trace", &utils);
+
+    // the flight recording proper: where every actor's cycles went, and
+    // whether the measurement agrees with the analytical model
+    let report = RunReport::from_sim(&result, tc.design.config().clock_hz);
+    println!("\n{}", report.render());
+    write_json("run_report", &report);
+    let round_trip: RunReport =
+        serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+    assert_eq!(round_trip.stages.len(), report.stages.len());
+
+    let drift = DriftReport::new(&tc.design, &result, &trace);
+    println!("{}", drift.render());
+    if let Err(e) = drift.check() {
+        panic!("drift check failed: {e}");
+    }
+    println!("drift check: measured IIs and occupancy HWMs within model bounds");
+
+    // optional Perfetto export of the stall tracks
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--chrome-trace") {
+        let default = "results/pipeline_trace.chrome.json".to_string();
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with('-'))
+            .unwrap_or(&default);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).expect("chrome-trace dir");
+        }
+        let json = trace.to_chrome_json(tc.design.config().clock_hz);
+        std::fs::write(path, &json).expect("chrome-trace write");
+        println!("[written {path} — load at ui.perfetto.dev]");
+    }
 }

@@ -10,7 +10,7 @@
 
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_fpga::dma::DmaChannel;
 
 /// Image source: streams a batch, one value per DMA beat, routing channel
@@ -143,6 +143,18 @@ impl Actor for Source {
         }
         Quiescence::Active
     }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        if self.cursor >= self.data.len() {
+            return Stall::Idle; // batch fully streamed
+        }
+        let index = self.cursor % self.image_len;
+        let port = (index % self.channels) % self.out_ports.len();
+        if !chans.can_push(self.out_ports[port]) {
+            return Stall::Backpressured(port);
+        }
+        Stall::Computing // DMA credit/setup throttle: the link is busy
+    }
 }
 
 /// What the sink has collected, shared with the engine.
@@ -246,6 +258,18 @@ impl Actor for Sink {
             return Quiescence::Wait(Some(now + self.dma.cycles_until_ready()));
         }
         Quiescence::Active
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        let idx = self.current.len() % self.in_ports.len();
+        if chans.peek(self.in_ports[idx]).is_some() {
+            return Stall::Computing; // S2MM beat-rate throttle
+        }
+        if self.current.is_empty() {
+            Stall::Idle // between images
+        } else {
+            Stall::Starved(idx) // mid-image, the pipeline ran dry
+        }
     }
 }
 

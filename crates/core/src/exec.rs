@@ -131,6 +131,9 @@ pub struct StageProfile {
     pub max_interval_ns: u64,
     /// Mean time a worker spent blocked waiting for input, per image.
     pub mean_queue_wait_ns: u64,
+    /// Mean time a worker spent blocked sending its output downstream,
+    /// per image — the host analogue of fabric backpressure.
+    pub mean_send_wait_ns: u64,
 }
 
 impl StageProfile {
@@ -170,17 +173,19 @@ impl PipelineProfile {
 
     /// Fixed-width text table (one row per stage) for console output.
     pub fn render_table(&self) -> String {
-        let mut out =
-            String::from("stage      repl  images  mean_us    max_us     wait_us    eff_us\n");
+        let mut out = String::from(
+            "stage      repl  images  mean_us    max_us     wait_us    send_us    eff_us\n",
+        );
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<10} {:>4} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
+                "{:<10} {:>4} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}\n",
                 s.name,
                 s.replication,
                 s.images,
                 s.mean_interval_ns as f64 / 1e3,
                 s.max_interval_ns as f64 / 1e3,
                 s.mean_queue_wait_ns as f64 / 1e3,
+                s.mean_send_wait_ns as f64 / 1e3,
                 s.effective_interval_ns() as f64 / 1e3,
             ));
         }
@@ -219,6 +224,7 @@ impl Msg<'_> {
 struct WorkerStats {
     busy: IntervalStats,
     wait: IntervalStats,
+    send: IntervalStats,
 }
 
 /// Channel matrix for one stage boundary: `pc` producers × `cc` consumers.
@@ -260,6 +266,7 @@ fn worker_loop(
     let (free_tx, free_rx) = sync_channel::<Tensor3<f32>>(r_next * (channel_depth + 1) + 1);
     let mut busy = IntervalStats::new();
     let mut wait = IntervalStats::new();
+    let mut send = IntervalStats::new();
     let mut k = 0u64;
     loop {
         let j = w as u64 + k * r_mine as u64;
@@ -276,14 +283,16 @@ fn worker_loop(
         worker.apply_into(msg.tensor(), &mut out);
         busy.record(t1.elapsed().as_nanos() as u64);
         msg.recycle();
+        let t2 = Instant::now();
         let sent =
             tx_row[(j % r_next as u64) as usize].send(Msg::Owned(out, Some(free_tx.clone())));
         if sent.is_err() {
             break; // downstream done
         }
+        send.record(t2.elapsed().as_nanos() as u64);
         k += 1;
     }
-    WorkerStats { busy, wait }
+    WorkerStats { busy, wait, send }
 }
 
 /// The engine itself; construct per design, run per batch.
@@ -435,9 +444,11 @@ impl ThreadedEngine {
         drop(stats_tx);
         let mut busy = vec![IntervalStats::new(); n];
         let mut wait = vec![IntervalStats::new(); n];
+        let mut send = vec![IntervalStats::new(); n];
         while let Ok((s, ws)) = stats_rx.try_recv() {
             busy[s].merge(&ws.busy);
             wait[s].merge(&ws.wait);
+            send[s].merge(&ws.send);
         }
         let profile = PipelineProfile {
             stages: self
@@ -451,6 +462,7 @@ impl ThreadedEngine {
                     mean_interval_ns: busy[s].mean_ns(),
                     max_interval_ns: busy[s].max_ns,
                     mean_queue_wait_ns: wait[s].mean_ns(),
+                    mean_send_wait_ns: send[s].mean_ns(),
                 })
                 .collect(),
             batch: images.len(),

@@ -1,11 +1,11 @@
 //! The convolutional layer core (§IV-A, Algorithm 1) as a cycle actor.
 
 use crate::kernel::{conv_window_packed, PackedFilters};
-use crate::layer::{core_quiescence, OutputQueue};
+use crate::layer::{core_quiescence, core_stall, OutputQueue};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::pipeline::LoopNest;
 use dfcnn_nn::act::Activation;
@@ -158,6 +158,16 @@ impl Actor for ConvCore {
             self.next_initiation,
             self.out_per_port,
         )
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        core_stall(chans, &self.out_q, &self.in_chs, &self.engine)
+    }
+
+    fn buffer_hwm(&self) -> Option<(usize, usize)> {
+        // peak per-port line-buffer occupancy vs the SST full-buffering
+        // bound (both per port)
+        Some((self.engine.max_occupancy(), self.engine.capacity_per_port()))
     }
 }
 

@@ -16,7 +16,7 @@
 use crate::kernel::{fc_forward_into, FcArena};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_hls::accum::InterleavedAccumulator;
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::reduce::TreeAdder;
@@ -192,6 +192,27 @@ impl Actor for FcCore {
                     Quiescence::Wait(Some(ready)) // drain latency
                 } else {
                     Quiescence::Active
+                }
+            }
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        match self.phase {
+            Phase::Accumulate(count) => {
+                if chans.peek(self.in_ch).is_some() {
+                    Stall::Computing // input present: paced by the II timer
+                } else if count > 0 {
+                    Stall::Starved(0) // mid-image, upstream ran dry
+                } else {
+                    Stall::Idle // between images
+                }
+            }
+            Phase::Drain { .. } => {
+                if chans.can_push(self.out_ch) {
+                    Stall::Computing // drain latency elapsing
+                } else {
+                    Stall::Backpressured(0)
                 }
             }
         }

@@ -17,6 +17,7 @@ pub use pool_core::PoolCore;
 use crate::sim::Quiescence;
 use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::Stall;
 
 /// Per-output-port emission queue with pipeline-latency timestamps.
 ///
@@ -113,12 +114,13 @@ impl OutputQueue {
         &self.chs
     }
 
-    /// `(ready_cycle, channel)` of each non-empty port's head value.
-    pub(crate) fn heads(&self) -> impl Iterator<Item = (u64, ChannelId)> + '_ {
+    /// `(port, ready_cycle, channel)` of each non-empty port's head value.
+    pub(crate) fn heads(&self) -> impl Iterator<Item = (usize, u64, ChannelId)> + '_ {
         self.queues
             .iter()
             .zip(self.chs.iter())
-            .filter_map(|(q, &ch)| q.front().map(|&(ready, _)| (ready, ch)))
+            .enumerate()
+            .filter_map(|(p, (q, &ch))| q.front().map(|&(ready, _)| (p, ready, ch)))
     }
 }
 
@@ -145,7 +147,7 @@ pub(crate) fn core_quiescence(
     let merge = |wake: &mut Option<u64>, t: u64| {
         *wake = Some(wake.map_or(t, |w| w.min(t)));
     };
-    for (ready, ch) in out_q.heads() {
+    for (_, ready, ch) in out_q.heads() {
         if chans.can_push(ch) {
             if ready <= now + 1 {
                 return Quiescence::Active;
@@ -168,6 +170,40 @@ pub(crate) fn core_quiescence(
         merge(&mut wake, next_initiation);
     }
     Quiescence::Wait(wake)
+}
+
+/// The shared flight-recorder stall classification of the windowed cores,
+/// evaluated post-tick on cycles with no observable work.
+///
+/// Deliberately a pure function of actor + wired-channel state — never the
+/// cycle number — so it stays constant over any quiescent span and the
+/// event-driven engine's synthesized stall spans match the dense sweep
+/// cycle for cycle (see [`crate::sim::Actor::stall`]). Priority order:
+/// a blocked emission head is `Backpressured` (regardless of whether the
+/// pipeline latency has elapsed — the output path is what's jammed), an
+/// acceptable-but-empty input port is `Starved`, any in-flight result or
+/// buffered window is `Computing` (pipeline latency / II pacing), and a
+/// core with nothing anywhere is `Idle`.
+pub(crate) fn core_stall(
+    chans: &ChannelSet,
+    out_q: &OutputQueue,
+    in_chs: &[ChannelId],
+    engine: &WindowEngine,
+) -> Stall {
+    for (port, _, ch) in out_q.heads() {
+        if !chans.can_push(ch) {
+            return Stall::Backpressured(port);
+        }
+    }
+    for (p, &ch) in in_chs.iter().enumerate() {
+        if engine.can_accept(p) && chans.peek(ch).is_none() {
+            return Stall::Starved(p);
+        }
+    }
+    if !out_q.is_empty() || engine.window_ready() {
+        return Stall::Computing;
+    }
+    Stall::Idle
 }
 
 #[cfg(test)]

@@ -14,11 +14,11 @@
 //! different port count.
 
 use crate::kernel::pool_window;
-use crate::layer::{core_quiescence, OutputQueue};
+use crate::layer::{core_quiescence, core_stall, OutputQueue};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::sst::WindowEngine;
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::layer::{Pool2d, PoolKind};
@@ -150,6 +150,16 @@ impl Actor for PoolCore {
             self.next_initiation,
             self.out_per_port,
         )
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        core_stall(chans, &self.out_q, &self.in_chs, &self.engine)
+    }
+
+    fn buffer_hwm(&self) -> Option<(usize, usize)> {
+        // peak per-port line-buffer occupancy vs the SST full-buffering
+        // bound (both per port)
+        Some((self.engine.max_occupancy(), self.engine.capacity_per_port()))
     }
 }
 

@@ -22,7 +22,8 @@
 //! | Functional verification against the `dfcnn-nn` reference | [`verify`] |
 //! | Design-space exploration over port configurations (the paper's future work) | [`dse`] |
 //! | Multi-FPGA pipeline partitioning (§VI future work) | [`multi`] |
-//! | Event tracing / stage occupancy reports | [`trace`] |
+//! | Event tracing, stall taxonomy, Perfetto export | [`trace`] |
+//! | Flight-recorder analysis: drift & run reports | [`observe`] |
 //!
 //! ## Two engines, one graph
 //!
@@ -51,6 +52,7 @@ pub mod kernel;
 pub mod layer;
 pub mod model;
 pub mod multi;
+pub mod observe;
 pub mod port;
 pub mod sim;
 pub mod sst;
@@ -60,4 +62,5 @@ pub mod verify;
 
 pub use exec::{ExecResult, PipelineProfile, ReplicationPlan, StageProfile, ThreadedEngine};
 pub use graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+pub use observe::{DriftReport, RunReport};
 pub use sim::{SimResult, Simulator};

@@ -19,7 +19,7 @@ use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
 use crate::kernel::{logsoftmax_forward_into, LogSoftmaxArena};
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_hls::latency::OpLatency;
@@ -184,6 +184,27 @@ impl Actor for LogSoftmaxCore {
                     Quiescence::Wait(Some(ready)) // drain latency
                 } else {
                     Quiescence::Active
+                }
+            }
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        match self.phase {
+            Phase::Accumulate(count) => {
+                if chans.peek(self.in_ch).is_some() {
+                    Stall::Computing
+                } else if count > 0 {
+                    Stall::Starved(0) // mid-image, upstream ran dry
+                } else {
+                    Stall::Idle // between images
+                }
+            }
+            Phase::Drain { .. } => {
+                if chans.can_push(self.out_ch) {
+                    Stall::Computing // drain latency elapsing
+                } else {
+                    Stall::Backpressured(0)
                 }
             }
         }

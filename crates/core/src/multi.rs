@@ -312,6 +312,19 @@ impl crate::sim::Actor for LinkActor {
     fn initiations(&self) -> u64 {
         self.moved
     }
+
+    fn stall(&self, chans: &crate::stream::ChannelSet) -> crate::trace::Stall {
+        if let Some(&(_, lane, _)) = self.in_flight.front() {
+            if !chans.can_push(self.out_chs[lane]) {
+                return crate::trace::Stall::Backpressured(lane);
+            }
+            return crate::trace::Stall::Computing; // words in flight
+        }
+        if self.in_chs.iter().any(|&ch| chans.peek(ch).is_some()) {
+            return crate::trace::Stall::Computing; // accepting under credit
+        }
+        crate::trace::Stall::Starved(0) // wire empty, upstream dry
+    }
 }
 
 /// Simulate a partitioned chain end to end: every device-boundary edge is

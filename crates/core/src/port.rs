@@ -22,7 +22,7 @@
 
 use crate::sim::{Actor, Quiescence, Wiring};
 use crate::stream::{ChannelId, ChannelSet};
-use crate::trace::{EventKind, Trace};
+use crate::trace::{EventKind, Stall, Trace};
 
 /// Which FMs travel on which port under the round-robin interleave.
 #[inline]
@@ -131,6 +131,21 @@ impl Actor for PortAdapter {
             Quiescence::Active
         } else {
             Quiescence::Wait(None)
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        // strict global order: the next value in sequence determines the
+        // blocking side
+        let f = (self.seq % self.fm as u64) as usize;
+        let ip = fm_port(f, self.in_chs.len());
+        let op = fm_port(f, self.out_chs.len());
+        if chans.peek(self.in_chs[ip]).is_none() {
+            Stall::Starved(ip)
+        } else if !chans.can_push(self.out_chs[op]) {
+            Stall::Backpressured(op)
+        } else {
+            Stall::Computing // both sides ready: the move happens next tick
         }
     }
 }

@@ -40,7 +40,7 @@
 //! only need their sleep conditions to be *sound*, not tight.
 
 use crate::stream::{ChannelId, ChannelSet, FifoStats};
-use crate::trace::{Event, EventKind, Trace};
+use crate::trace::{ActorStallStats, EventKind, Stall, StallRecorder, Trace};
 
 /// Cycles without channel activity after which a run is declared
 /// deadlocked — generous: deeper than any pipeline in the designs.
@@ -102,6 +102,24 @@ pub trait Actor {
     fn quiescence(&self, _now: u64, _chans: &ChannelSet) -> Quiescence {
         Quiescence::Active
     }
+
+    /// Flight-recorder classification of a cycle with no observable work
+    /// (no value moved, no initiation), evaluated post-tick. Must be a
+    /// pure function of the actor's own state and its *wired* channels —
+    /// never of the cycle number — so that it stays constant over any
+    /// quiescent span and the event-driven engine can bill skipped cycles
+    /// with the classification captured when the actor went to sleep.
+    /// The default suits always-[`Quiescence::Active`] helper actors.
+    fn stall(&self, _chans: &ChannelSet) -> Stall {
+        Stall::Idle
+    }
+
+    /// Internal window/line-buffer occupancy high-water mark and its
+    /// capacity bound (the `sst` full-buffering bound), for cores that
+    /// keep one. `None` for actors without internal buffering.
+    fn buffer_hwm(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// Engine configuration.
@@ -120,6 +138,9 @@ pub struct ActorStats {
     pub name: String,
     /// Initiations performed.
     pub initiations: u64,
+    /// Internal buffer occupancy high-water mark and its capacity bound,
+    /// for actors that keep a window/line buffer.
+    pub buffer_hwm: Option<(usize, usize)>,
 }
 
 /// Result of simulating one batch.
@@ -136,6 +157,9 @@ pub struct SimResult {
     pub actor_stats: Vec<ActorStats>,
     /// Per-channel FIFO statistics.
     pub fifo_stats: Vec<FifoStats>,
+    /// Per-actor stall taxonomy counters (flight recorder). Empty when
+    /// tracing is disabled; identical between the two schedulers.
+    pub stalls: Vec<ActorStallStats>,
 }
 
 impl SimResult {
@@ -228,7 +252,28 @@ impl Simulator {
         );
     }
 
-    fn finish(mut self, cycles: u64) -> (SimResult, Trace) {
+    /// A stall recorder when tracing is on; `None` keeps the flight
+    /// recorder strictly zero-cost on untraced runs.
+    fn make_recorder(&self) -> Option<StallRecorder> {
+        self.trace
+            .is_enabled()
+            .then(|| StallRecorder::new(self.actors.iter().map(|a| a.name().to_string()).collect()))
+    }
+
+    fn finish(mut self, cycles: u64, recorder: Option<StallRecorder>) -> (SimResult, Trace) {
+        let (stalls, tracks) = match recorder {
+            Some(r) => {
+                let (stats, tracks) = r.finish(cycles);
+                let named = self
+                    .actors
+                    .iter()
+                    .zip(tracks)
+                    .map(|(a, t)| (a.name().to_string(), t))
+                    .collect();
+                (stats, named)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         let sink = self.sink_state.borrow();
         let result = SimResult {
             completions: sink.completions.clone(),
@@ -240,28 +285,42 @@ impl Simulator {
                 .map(|a| ActorStats {
                     name: a.name().to_string(),
                     initiations: a.initiations(),
+                    buffer_hwm: a.buffer_hwm(),
                 })
                 .collect(),
             fifo_stats: self.channels.all_stats(),
+            stalls,
         };
         drop(sink);
         let mut trace = std::mem::replace(&mut self.trace, Trace::disabled());
-        trace.push(Event {
-            cycle: cycles,
-            actor: "engine".to_string(),
-            kind: EventKind::Done,
-        });
+        trace.record(cycles, "engine", EventKind::Done);
+        trace.set_stall_tracks(tracks);
         (result, trace)
     }
 
     /// The dense sweep: every actor, every cycle, in actor order.
     fn run_reference(mut self) -> (SimResult, Trace) {
+        let mut recorder = self.make_recorder();
         let mut cycle: u64 = 0;
         let mut last_activity_cycle: u64 = 0;
         let mut last_activity = 0u64;
         loop {
-            for a in self.actors.iter_mut() {
-                a.tick(cycle, &mut self.channels, &mut self.trace);
+            for (i, a) in self.actors.iter_mut().enumerate() {
+                if let Some(rec) = recorder.as_mut() {
+                    let before_act = self.channels.activity();
+                    let before_inits = a.initiations();
+                    a.tick(cycle, &mut self.channels, &mut self.trace);
+                    let worked =
+                        self.channels.activity() != before_act || a.initiations() != before_inits;
+                    let class = if worked {
+                        Stall::Computing
+                    } else {
+                        a.stall(&self.channels)
+                    };
+                    rec.note(i, cycle, class);
+                } else {
+                    a.tick(cycle, &mut self.channels, &mut self.trace);
+                }
             }
             self.channels.commit_all();
             cycle += 1;
@@ -277,7 +336,7 @@ impl Simulator {
                 self.deadlock_panic(cycle);
             }
         }
-        self.finish(cycle)
+        self.finish(cycle, recorder)
     }
 
     /// The event-driven scheduler.
@@ -299,6 +358,7 @@ impl Simulator {
     /// (non-skipped cycles and actual ticks vs the dense sweep's
     /// `cycles × actors`) to stderr after the run.
     fn run_event(mut self) -> (SimResult, Trace) {
+        let mut recorder = self.make_recorder();
         let n = self.actors.len();
         for (i, a) in self.actors.iter().enumerate() {
             let w = a.wiring();
@@ -355,7 +415,22 @@ impl Simulator {
                     let i = (w << 6) | bit as usize;
                     ticks += 1;
                     self.channels.begin_tick(i);
-                    self.actors[i].tick(cycle, &mut self.channels, &mut self.trace);
+                    if let Some(rec) = recorder.as_mut() {
+                        let before_act = self.channels.activity();
+                        let before_inits = self.actors[i].initiations();
+                        self.actors[i].tick(cycle, &mut self.channels, &mut self.trace);
+                        // the post-tick classification both labels this
+                        // tick (when it did no observable work) and is
+                        // captured as the class skipped cycles will be
+                        // billed to if the actor now sleeps
+                        let st = self.actors[i].stall(&self.channels);
+                        let worked = self.channels.activity() != before_act
+                            || self.actors[i].initiations() != before_inits;
+                        rec.note(i, cycle, if worked { Stall::Computing } else { st });
+                        rec.set_sleep(i, st);
+                    } else {
+                        self.actors[i].tick(cycle, &mut self.channels, &mut self.trace);
+                    }
                     match self.actors[i].quiescence(cycle, &self.channels) {
                         Quiescence::Active => *aw |= 1u64 << bit,
                         Quiescence::Wait(hint) => {
@@ -414,7 +489,7 @@ impl Simulator {
                 cycle * n as u64
             );
         }
-        self.finish(cycle)
+        self.finish(cycle, recorder)
     }
 }
 
@@ -653,6 +728,19 @@ mod tests {
         let (rf_res, rf_trace) = build(12, 3, 9).with_trace().reference_mode().run();
         assert_eq!(ev_res, rf_res);
         assert_eq!(ev_trace.events(), rf_trace.events());
+        assert_eq!(ev_trace.stall_tracks(), rf_trace.stall_tracks());
+        // every cycle of every actor is classified exactly once
+        assert_eq!(ev_res.stalls.len(), 3);
+        for s in &ev_res.stalls {
+            assert_eq!(s.total(), ev_res.cycles, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn untraced_runs_skip_the_flight_recorder() {
+        let (res, trace) = pipeline(8, 2, 1);
+        assert!(res.stalls.is_empty());
+        assert!(trace.stall_tracks().is_empty());
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub struct FifoStats {
     pub pops: u64,
     /// High-water mark of committed occupancy.
     pub max_occupancy: usize,
+    /// Capacity of the FIFO (so the drift report can bound the HWM).
+    pub capacity: usize,
 }
 
 /// A bounded, two-phase FIFO of 32-bit values.
@@ -49,7 +51,10 @@ impl Fifo {
             buf: std::collections::VecDeque::with_capacity(capacity),
             staged: Vec::new(),
             capacity,
-            stats: FifoStats::default(),
+            stats: FifoStats {
+                capacity,
+                ..FifoStats::default()
+            },
         }
     }
 

@@ -109,8 +109,11 @@ pub fn verify_simulated(design: &NetworkDesign, images: &[Tensor3<f32>]) -> Veri
 /// Run a batch under both the event-driven scheduler and the dense
 /// reference sweep and assert they are indistinguishable: identical
 /// [`crate::sim::SimResult`]s (completion cycles, bit-identical outputs,
-/// total cycles, actor and FIFO statistics) and identical traces. Returns
-/// the event-driven result.
+/// total cycles, actor/FIFO statistics and stall-taxonomy counters) and
+/// identical traces including the per-actor stall span tracks. Also checks
+/// the flight recorder's internal invariants (per-actor accounting
+/// identity, buffer and FIFO high-water marks within their bounds).
+/// Returns the event-driven result.
 ///
 /// # Panics
 /// With a diagnostic naming the first differing field if the schedulers
@@ -146,10 +149,46 @@ pub fn check_engine_conformance(
         "FIFO statistics diverge between schedulers"
     );
     assert_eq!(
+        event.stalls, reference.stalls,
+        "stall taxonomy counters diverge between schedulers"
+    );
+    assert_eq!(
         event_trace.events(),
         reference_trace.events(),
         "trace events diverge between schedulers"
     );
+    assert_eq!(
+        event_trace.stall_tracks(),
+        reference_trace.stall_tracks(),
+        "stall span tracks diverge between schedulers"
+    );
+    // flight-recorder internal consistency: every cycle of every actor is
+    // classified exactly once, and occupancy never exceeds its bound
+    for s in &event.stalls {
+        assert_eq!(
+            s.total(),
+            event.cycles,
+            "stall accounting identity violated for {}",
+            s.name
+        );
+    }
+    for a in &event.actor_stats {
+        if let Some((hwm, bound)) = a.buffer_hwm {
+            assert!(
+                hwm <= bound,
+                "{}: line-buffer HWM {hwm} exceeds the full-buffering bound {bound}",
+                a.name
+            );
+        }
+    }
+    for (i, f) in event.fifo_stats.iter().enumerate() {
+        assert!(
+            f.max_occupancy <= f.capacity,
+            "fifo {i}: occupancy HWM {} exceeds capacity {}",
+            f.max_occupancy,
+            f.capacity
+        );
+    }
     event
 }
 
