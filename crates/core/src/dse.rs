@@ -7,9 +7,12 @@
 //! For each candidate the explorer:
 //!
 //! 1. builds the design (adapters inserted automatically),
-//! 2. estimates its resources with the calibrated cost model,
-//! 3. discards configurations that do not fit the device,
-//! 4. estimates the steady-state bottleneck interval analytically.
+//! 2. proves it safe with the static verifier ([`crate::check`]) —
+//!    candidates with rate, buffer or II errors are discarded before any
+//!    estimate is spent on them,
+//! 3. estimates its resources with the calibrated cost model,
+//! 4. discards configurations that do not fit the device,
+//! 5. estimates the steady-state bottleneck interval analytically.
 //!
 //! The result is the full feasible set, its Pareto front
 //! (interval vs. DSP usage), and the fastest feasible design. On the
@@ -148,6 +151,9 @@ pub fn explore(
             Ok(d) => d,
             Err(_) => continue,
         };
+        if !crate::check::check_design(&design).is_clean() {
+            continue; // statically broken: would deadlock or mis-rate
+        }
         let resources = design.resources(cost);
         let fits = device.fits(&resources);
         let bottleneck = design.estimated_bottleneck();

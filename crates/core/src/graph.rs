@@ -120,6 +120,18 @@ pub struct DesignConfig {
     /// the host. Off by default: the paper's designs end at the last
     /// linear layer and normalise on the CPU.
     pub fabric_normalization: bool,
+    /// Fault injection: override every windowed core's per-port line
+    /// buffer to this many values instead of the SST full-buffering bound.
+    /// A value below the bound is a statically-provable deadlock — the
+    /// [`crate::check`] verifier rejects it and the cycle simulator
+    /// confirms by stalling out. `None` (the default) keeps the bound.
+    pub line_buffer_cap: Option<usize>,
+    /// Fault injection: skip the demux/widen adapters the builder would
+    /// insert at port-width mismatches, leaving the boundary rates
+    /// unreconciled. The [`crate::check`] verifier flags the mismatch as a
+    /// rate-conservation error; the cycle simulator confirms by
+    /// deadlocking on the unfed (or undrained) ports.
+    pub omit_adapters: bool,
 }
 
 impl Default for DesignConfig {
@@ -132,6 +144,8 @@ impl Default for DesignConfig {
             dma: DmaConfig::paper(),
             clock_hz: 100_000_000,
             fabric_normalization: false,
+            line_buffer_cap: None,
+            omit_adapters: false,
         }
     }
 }
@@ -197,15 +211,18 @@ impl NetworkDesign {
             m.validate(&name, layer, lp)?;
             let plan = m.plan(layer, lp, &config);
             // adapter between the previous layer's output and this input
+            // (unless fault injection asked for the raw mismatch)
             if let Some(prev) = *prev_out_ports {
-                if let Some(adapter) = model::adapter::plan_between(
-                    prev,
-                    lp.in_ports,
-                    plan.params.in_fm,
-                    plan.in_values_per_image,
-                    cores.len(),
-                ) {
-                    cores.push(adapter);
+                if !config.omit_adapters {
+                    if let Some(adapter) = model::adapter::plan_between(
+                        prev,
+                        lp.in_ports,
+                        plan.params.in_fm,
+                        plan.in_values_per_image,
+                        cores.len(),
+                    ) {
+                        cores.push(adapter);
+                    }
                 }
             }
             cores.push(CoreInfo {
@@ -281,6 +298,14 @@ impl NetworkDesign {
     /// Every generated core (layer cores and adapters, pipeline order).
     pub fn cores(&self) -> &[CoreInfo] {
         &self.cores
+    }
+
+    /// Mutable core list, for in-crate tests that tamper with derived
+    /// parameters (e.g. seeding an Eq. 4 II violation for the static
+    /// checker to catch).
+    #[cfg(test)]
+    pub(crate) fn cores_mut(&mut self) -> &mut Vec<CoreInfo> {
+        &mut self.cores
     }
 
     /// Number of classifier outputs the sink collects per image.
@@ -415,6 +440,22 @@ impl NetworkDesign {
 
         for (core_idx, c) in self.cores.iter().enumerate() {
             let p = &c.params;
+            // Adapters normally guarantee the producer's port count equals
+            // the consumer's; with omit_adapters the boundary is left
+            // mismatched, and the hardware analogue is wires tied off: the
+            // consumer's surplus ports are fed by never-written channels
+            // (it starves) and a producer's surplus ports drive undrained
+            // channels (it backpressures). Either way the chain deadlocks,
+            // which is exactly what the static checker predicts.
+            match cur_chs.len().cmp(&p.in_ports) {
+                std::cmp::Ordering::Less => {
+                    while cur_chs.len() < p.in_ports {
+                        cur_chs.push(chans.alloc(depth));
+                    }
+                }
+                std::cmp::Ordering::Greater => cur_chs.truncate(p.in_ports),
+                std::cmp::Ordering::Equal => {}
+            }
             let out_chs: Vec<_> = (0..p.out_ports).map(|_| chans.alloc(depth)).collect();
             actors.push(model::model_for(p.kind).make_actor(
                 self,

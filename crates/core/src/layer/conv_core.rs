@@ -78,6 +78,16 @@ impl ConvCore {
         }
     }
 
+    /// Override the line-buffer capacity per port (fault injection; see
+    /// [`crate::graph::DesignConfig::line_buffer_cap`]). `None` keeps the
+    /// SST full-buffering bound.
+    pub fn with_line_buffer_cap(mut self, cap: Option<usize>) -> Self {
+        if let Some(c) = cap {
+            self.engine = self.engine.with_capacity_per_port(c);
+        }
+        self
+    }
+
     /// The Eq. 4 initiation interval this core runs at.
     pub fn ii(&self) -> u64 {
         self.ii

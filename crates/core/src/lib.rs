@@ -24,6 +24,7 @@
 //! | Multi-FPGA pipeline partitioning (§VI future work) | [`multi`] |
 //! | Event tracing, stall taxonomy, Perfetto export | [`trace`] |
 //! | Flight-recorder analysis: drift & run reports | [`observe`] |
+//! | Static design verifier (deadlock, buffers, rates, replication) | [`check`] |
 //!
 //! ## Two engines, one graph
 //!
@@ -42,6 +43,7 @@
 //!    demonstrates the high-level pipeline as real wall-clock speedup on
 //!    batches.
 
+pub mod check;
 pub mod codegen;
 pub mod dse;
 pub mod endpoints;
@@ -60,7 +62,11 @@ pub mod stream;
 pub mod trace;
 pub mod verify;
 
+pub use check::{
+    check_design, check_drift, check_network, check_replication, CheckReport, DesignDiagnostic,
+    RuleId, Severity,
+};
 pub use exec::{ExecResult, PipelineProfile, ReplicationPlan, StageProfile, ThreadedEngine};
 pub use graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
 pub use observe::{DriftReport, RunReport};
-pub use sim::{SimResult, Simulator};
+pub use sim::{DeadlockReport, SimError, SimResult, Simulator};

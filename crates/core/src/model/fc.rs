@@ -1,7 +1,7 @@
 //! The fully-connected layer kind (§IV-B): a single-input-port /
 //! single-output-port 1×1 convolution with interleaved accumulators.
 
-use super::{validate_ports, CoreModel, CorePlan, StageSpec, StageWorker};
+use super::{validate_ports, CoreModel, CorePlan, StageSpec, StageWorker, StaticProfile};
 use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
 use crate::kernel::{fc_forward_hw_into, FcArena};
 use crate::layer::FcCore;
@@ -94,6 +94,21 @@ impl CoreModel for FcModel {
             .div_ceil(p.accumulators as u64)
             .max(1);
         p.in_fm as u64 * in_ii + p.out_fm as u64
+    }
+
+    fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
+        let idx = core.layer_index.expect("fc core has a layer");
+        let layer = &design.network().layers()[idx];
+        let f = fc_layer(layer);
+        let lp = LayerPorts {
+            in_ports: core.params.in_ports,
+            out_ports: core.params.out_ports,
+        };
+        StaticProfile {
+            out_values_per_image: f.outputs() as u64,
+            expected_ii: self.plan(layer, lp, design.config()).params.ii,
+            line_buffer: None,
+        }
     }
 
     fn block_label(&self, core: &CoreInfo) -> String {

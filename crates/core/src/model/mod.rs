@@ -37,6 +37,35 @@ use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
 use dfcnn_tensor::{Shape3, Tensor3};
 
+/// Line-buffer facts of a windowed core, for the static checker's buffer
+/// sufficiency rule: the capacity the design will instantiate per port and
+/// the SST full-buffering bound ([`crate::sst::full_buffer_bound_per_port`])
+/// it must meet for the window sweep to stream without deadlock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineBufferSpec {
+    /// Per-port capacity the design instantiates (the bound, unless
+    /// [`DesignConfig::line_buffer_cap`] overrides it).
+    pub capacity_per_port: usize,
+    /// The SST full-buffering bound per port.
+    pub required_per_port: usize,
+}
+
+/// Statically-derivable facts about one instantiated core, recomputed from
+/// geometry by [`CoreModel::static_profile`] for the [`crate::check`]
+/// verifier — independent of the values stored in
+/// [`crate::graph::CoreInfo`], so tampered or inconsistent designs are
+/// detectable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaticProfile {
+    /// Values leaving the core per image (across all output ports).
+    pub out_values_per_image: u64,
+    /// The Eq. 4 initiation interval recomputed from the layer geometry
+    /// and port choice (1 for adapters, which forward at line rate).
+    pub expected_ii: usize,
+    /// Line-buffer capacity vs the SST bound, for windowed kinds.
+    pub line_buffer: Option<LineBufferSpec>,
+}
+
 /// Everything [`NetworkDesign::new`] derives for one core of a kind.
 #[derive(Clone, Debug)]
 pub struct CorePlan {
@@ -140,6 +169,33 @@ pub trait CoreModel: Sync {
 
     /// Analytical steady-state stage interval in cycles per image.
     fn estimate_interval(&self, core: &CoreInfo, config: &DesignConfig) -> u64;
+
+    /// Recompute this core's statically-checkable facts from the layer
+    /// geometry (not from the possibly-stale values in `core`): per-image
+    /// output volume, the Eq. 4 II, and — for windowed kinds — the line
+    /// buffer capacity vs the SST full-buffering bound. The default covers
+    /// rate-transparent kinds (adapters, normalisation): output volume
+    /// equals input volume, no line buffer, and the II re-derived via
+    /// [`CoreModel::plan`] for layer-backed cores (fixed at 1 otherwise).
+    fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
+        let expected_ii = match core.layer_index {
+            Some(idx) => {
+                let lp = LayerPorts {
+                    in_ports: core.params.in_ports,
+                    out_ports: core.params.out_ports,
+                };
+                self.plan(&design.network().layers()[idx], lp, design.config())
+                    .params
+                    .ii
+            }
+            None => 1,
+        };
+        StaticProfile {
+            out_values_per_image: core.in_values_per_image,
+            expected_ii,
+            line_buffer: None,
+        }
+    }
 
     /// Fig. 4/5-style block label, e.g. `[conv1 5x5 1->6FM in:1 out:6 II=1]`.
     fn block_label(&self, core: &CoreInfo) -> String;

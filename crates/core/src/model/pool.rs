@@ -1,11 +1,12 @@
 //! The sub-sampling (pooling) layer kind (§IV-A).
 
 use super::conv::windowed_interval;
-use super::{CoreModel, CorePlan, StageSpec, StageWorker};
+use super::{CoreModel, CorePlan, LineBufferSpec, StageSpec, StageWorker, StaticProfile};
 use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
 use crate::kernel::{pool_forward_hw_into, PoolArena};
 use crate::layer::PoolCore;
 use crate::sim::Actor;
+use crate::sst::full_buffer_bound_per_port;
 use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
@@ -75,6 +76,25 @@ impl CoreModel for PoolModel {
         windowed_interval(core)
     }
 
+    fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
+        let idx = core.layer_index.expect("pool core has a layer");
+        let layer = &design.network().layers()[idx];
+        let g = *pool_layer(layer).geometry();
+        let lp = LayerPorts {
+            in_ports: core.params.in_ports,
+            out_ports: core.params.out_ports,
+        };
+        let required = full_buffer_bound_per_port(&g, core.params.in_ports);
+        StaticProfile {
+            out_values_per_image: g.positions() as u64 * g.input.c as u64,
+            expected_ii: self.plan(layer, lp, design.config()).params.ii,
+            line_buffer: Some(LineBufferSpec {
+                capacity_per_port: design.config().line_buffer_cap.unwrap_or(required),
+                required_per_port: required,
+            }),
+        }
+    }
+
     fn block_label(&self, core: &CoreInfo) -> String {
         let p = &core.params;
         format!(
@@ -92,13 +112,10 @@ impl CoreModel for PoolModel {
     ) -> Box<dyn Actor> {
         let idx = core.layer_index.expect("pool core has a layer");
         let l = pool_layer(&design.network().layers()[idx]);
-        Box::new(PoolCore::new(
-            core.name.clone(),
-            l,
-            in_chs,
-            out_chs,
-            &design.config().ops,
-        ))
+        Box::new(
+            PoolCore::new(core.name.clone(), l, in_chs, out_chs, &design.config().ops)
+                .with_line_buffer_cap(design.config().line_buffer_cap),
+        )
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {

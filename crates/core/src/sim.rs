@@ -143,6 +143,50 @@ pub struct ActorStats {
     pub buffer_hwm: Option<(usize, usize)>,
 }
 
+/// Everything known at the moment a run was declared deadlocked: the
+/// cycle, collection progress, which actors still held work, and the
+/// stall taxonomy gathered so far (empty on untraced runs).
+#[derive(Clone, Debug)]
+pub struct DeadlockReport {
+    /// Cycle at which the stall limit expired.
+    pub cycle: u64,
+    /// Images collected before the stall.
+    pub collected: usize,
+    /// Images the batch expected.
+    pub expected: usize,
+    /// Names of the actors still holding work in flight.
+    pub busy: Vec<String>,
+    /// Per-actor stall taxonomy up to the deadlock (traced runs only).
+    pub stalls: Vec<ActorStallStats>,
+}
+
+/// A failed simulation. Both schedulers produce the same error at the
+/// same cycle; the message is stable and pinned by tests.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// No channel activity for [`STALL_LIMIT`] cycles with images still
+    /// outstanding.
+    Deadlock(DeadlockReport),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(
+                f,
+                "dataflow deadlock at cycle {}: {} of {} images collected, \
+                 no channel activity for {STALL_LIMIT} cycles; busy actors: {:?} \
+                 — most deadlocks are statically provable: run the design \
+                 verifier (`pipeline_check`, crate::check::check_design) for a \
+                 pre-simulation diagnosis",
+                d.cycle, d.collected, d.expected, d.busy
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Result of simulating one batch.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
@@ -221,11 +265,21 @@ impl Simulator {
     /// Run to completion and return the measurements.
     ///
     /// # Panics
-    /// If the design deadlocks (no channel activity, no busy progress, and
-    /// the expected image count not yet collected) — with a diagnostic of
-    /// which actors were still busy. Both schedulers panic at the same
-    /// cycle with the same message.
+    /// If the design deadlocks (see [`Simulator::try_run`]) — the panic
+    /// payload is the rendered [`SimError`] message. Both schedulers
+    /// panic at the same cycle with the same message.
     pub fn run(self) -> (SimResult, Trace) {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run to completion, returning a typed [`SimError`] instead of
+    /// panicking when the design deadlocks (no channel activity for the
+    /// stall limit with images still outstanding). The error carries a
+    /// [`DeadlockReport`] with the busy-actor list and the stall taxonomy
+    /// collected so far; its message points at the static checker
+    /// ([`crate::check::check_design`]), which proves most deadlock
+    /// classes before a cycle runs.
+    pub fn try_run(self) -> Result<(SimResult, Trace), SimError> {
         if self.config.reference_mode {
             self.run_reference()
         } else {
@@ -237,19 +291,20 @@ impl Simulator {
         self.sink_state.borrow().completions.len() >= self.expected_images
     }
 
-    fn deadlock_panic(&self, cycle: u64) -> ! {
-        let busy: Vec<&str> = self
+    fn deadlock_error(&self, cycle: u64, recorder: Option<StallRecorder>) -> SimError {
+        let busy: Vec<String> = self
             .actors
             .iter()
             .filter(|a| a.busy())
-            .map(|a| a.name())
+            .map(|a| a.name().to_string())
             .collect();
-        panic!(
-            "dataflow deadlock at cycle {cycle}: {} of {} images collected, \
-             no channel activity for {STALL_LIMIT} cycles; busy actors: {busy:?}",
-            self.sink_state.borrow().completions.len(),
-            self.expected_images
-        );
+        SimError::Deadlock(DeadlockReport {
+            cycle,
+            collected: self.sink_state.borrow().completions.len(),
+            expected: self.expected_images,
+            busy,
+            stalls: recorder.map(|r| r.finish(cycle).0).unwrap_or_default(),
+        })
     }
 
     /// A stall recorder when tracing is on; `None` keeps the flight
@@ -299,7 +354,7 @@ impl Simulator {
     }
 
     /// The dense sweep: every actor, every cycle, in actor order.
-    fn run_reference(mut self) -> (SimResult, Trace) {
+    fn run_reference(mut self) -> Result<(SimResult, Trace), SimError> {
         let mut recorder = self.make_recorder();
         let mut cycle: u64 = 0;
         let mut last_activity_cycle: u64 = 0;
@@ -333,10 +388,10 @@ impl Simulator {
                 last_activity = act;
                 last_activity_cycle = cycle;
             } else if cycle - last_activity_cycle > STALL_LIMIT {
-                self.deadlock_panic(cycle);
+                return Err(self.deadlock_error(cycle, recorder));
             }
         }
-        self.finish(cycle, recorder)
+        Ok(self.finish(cycle, recorder))
     }
 
     /// The event-driven scheduler.
@@ -357,7 +412,7 @@ impl Simulator {
     /// Set `DFCNN_SCHED_STATS=1` to print scheduler efficiency counters
     /// (non-skipped cycles and actual ticks vs the dense sweep's
     /// `cycles × actors`) to stderr after the run.
-    fn run_event(mut self) -> (SimResult, Trace) {
+    fn run_event(mut self) -> Result<(SimResult, Trace), SimError> {
         let mut recorder = self.make_recorder();
         let n = self.actors.len();
         for (i, a) in self.actors.iter().enumerate() {
@@ -460,7 +515,7 @@ impl Simulator {
                 last_activity = act;
                 last_activity_cycle = post;
             } else if post - last_activity_cycle > STALL_LIMIT {
-                self.deadlock_panic(post);
+                return Err(self.deadlock_error(post, recorder));
             }
 
             let has_next = active.iter().any(|&a| a != 0) || self.channels.wake_next_any();
@@ -472,13 +527,15 @@ impl Simulator {
                 // unless the reference sweep would have hit the stall limit
                 // first, in which case deadlock at the cycle it would.
                 if t - last_activity_cycle > STALL_LIMIT {
-                    self.deadlock_panic(last_activity_cycle + STALL_LIMIT + 1);
+                    return Err(
+                        self.deadlock_error(last_activity_cycle + STALL_LIMIT + 1, recorder)
+                    );
                 }
                 cycle = t;
             } else {
                 // nothing will ever run again; the reference sweep would
-                // spin quietly to the stall limit and panic there
-                self.deadlock_panic(last_activity_cycle + STALL_LIMIT + 1);
+                // spin quietly to the stall limit and fail there
+                return Err(self.deadlock_error(last_activity_cycle + STALL_LIMIT + 1, recorder));
             }
             self.channels.advance_wakes();
         }
@@ -489,7 +546,7 @@ impl Simulator {
                 cycle * n as u64
             );
         }
-        self.finish(cycle, recorder)
+        Ok(self.finish(cycle, recorder))
     }
 }
 

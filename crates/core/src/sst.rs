@@ -30,6 +30,27 @@
 
 use dfcnn_tensor::ConvGeometry;
 
+/// The SST full-buffering bound per port, in values: the minimum line
+/// buffer that keeps the window sweep streaming without stalls,
+/// `((KH-1+pad)·W + KW) · channels-per-port`. Exported so the static
+/// checker ([`crate::check`]) can prove buffer sufficiency against the
+/// exact capacity [`WindowEngine::new`] allocates.
+///
+/// # Panics
+/// If `in_ports` does not divide the channel count.
+pub fn full_buffer_bound_per_port(geo: &ConvGeometry, in_ports: usize) -> usize {
+    assert!(in_ports >= 1, "need at least one input port");
+    assert_eq!(
+        geo.input.c % in_ports,
+        0,
+        "IN_PORTS {} must divide IN_FM {}",
+        in_ports,
+        geo.input.c
+    );
+    let ch_per_port = geo.input.c / in_ports;
+    ((geo.kh - 1 + geo.pad) * geo.input.w + geo.kw) * ch_per_port
+}
+
 /// One port's line buffer: a window of the value stream with absolute
 /// indexing, so readiness and freeing are O(1) index comparisons.
 #[derive(Clone, Debug)]
@@ -82,6 +103,10 @@ pub struct WindowEngine {
     in_ports: usize,
     ch_per_port: usize,
     ports: Vec<PortBuffer>,
+    /// Per-port line-buffer capacity in values. Defaults to the SST
+    /// full-buffering bound; overridable (fault injection) via
+    /// [`WindowEngine::with_capacity_per_port`].
+    capacity: usize,
     /// Global window counter (monotone across images).
     next_window: u64,
     /// Peak per-port occupancy observed (for the full-buffering assertion).
@@ -95,26 +120,29 @@ impl WindowEngine {
     /// If `in_ports` does not divide the channel count (the paper's designs
     /// always interleave a whole number of FMs per port).
     pub fn new(geo: ConvGeometry, in_ports: usize) -> Self {
-        assert!(in_ports >= 1, "need at least one input port");
-        assert_eq!(
-            geo.input.c % in_ports,
-            0,
-            "IN_PORTS {} must divide IN_FM {}",
-            in_ports,
-            geo.input.c
-        );
-        let ch_per_port = geo.input.c / in_ports;
         // full-buffering bound (see capacity_per_port), preallocated so the
         // line buffers never grow on the steady-state path
-        let cap = ((geo.kh - 1 + geo.pad) * geo.input.w + geo.kw) * ch_per_port;
+        let cap = full_buffer_bound_per_port(&geo, in_ports);
+        let ch_per_port = geo.input.c / in_ports;
         WindowEngine {
             geo,
             in_ports,
             ch_per_port,
             ports: (0..in_ports).map(|_| PortBuffer::new(cap)).collect(),
+            capacity: cap,
             next_window: 0,
             max_occupancy: 0,
         }
+    }
+
+    /// Replace the per-port line-buffer capacity (fault injection: a
+    /// capacity below [`full_buffer_bound_per_port`] provably prevents
+    /// some window from ever completing, which the static checker flags
+    /// and the cycle simulator confirms by deadlocking).
+    pub fn with_capacity_per_port(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "line buffer needs at least one slot");
+        self.capacity = capacity;
+        self
     }
 
     /// The geometry this engine serves.
@@ -142,14 +170,16 @@ impl WindowEngine {
         self.geo.window_volume()
     }
 
-    /// Full-buffering capacity per port, in values.
+    /// Line-buffer capacity per port, in values.
     ///
     /// For the paper's zero-padding designs this is exactly the SST
     /// minimum `((KH-1)·W + KW)` per interleaved channel; with top/bottom
     /// padding the live span can reach one extra padded row per side, so a
-    /// `pad·W` margin is added (zero when `pad == 0`).
+    /// `pad·W` margin is added (zero when `pad == 0`). See
+    /// [`full_buffer_bound_per_port`]; differs only after a
+    /// [`WindowEngine::with_capacity_per_port`] override.
     pub fn capacity_per_port(&self) -> usize {
-        ((self.geo.kh - 1 + self.geo.pad) * self.geo.input.w + self.geo.kw) * self.ch_per_port
+        self.capacity
     }
 
     /// Peak per-port occupancy observed so far.
@@ -478,5 +508,34 @@ mod tests {
     fn non_dividing_ports_rejected() {
         let geo = ConvGeometry::new(Shape3::new(4, 4, 3), 2, 2, 1, 0);
         WindowEngine::new(geo, 2);
+    }
+
+    #[test]
+    fn bound_helper_matches_engine_capacity() {
+        let geo = ConvGeometry::new(Shape3::new(16, 16, 6), 5, 5, 1, 0);
+        for ports in [1, 2, 3, 6] {
+            assert_eq!(
+                full_buffer_bound_per_port(&geo, ports),
+                WindowEngine::new(geo, ports).capacity_per_port()
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_capacity_blocks_the_first_window_forever() {
+        let geo = ConvGeometry::new(Shape3::new(4, 4, 1), 2, 2, 1, 0);
+        // the full-buffering bound is 6; one value short of it
+        let mut eng = WindowEngine::new(geo, 1).with_capacity_per_port(5);
+        let mut fed = 0;
+        while eng.can_accept(0) {
+            eng.accept(0, fed as f32);
+            fed += 1;
+        }
+        assert_eq!(fed, 5, "acceptance stops at the overridden capacity");
+        assert!(
+            !eng.window_ready(),
+            "an undersized line buffer can never complete a window — \
+             the statically-provable deadlock"
+        );
     }
 }

@@ -122,6 +122,14 @@ pub fn check_engine_conformance(
     design: &NetworkDesign,
     images: &[Tensor3<f32>],
 ) -> crate::sim::SimResult {
+    // the static verifier must prove the design safe before either
+    // scheduler runs a cycle — a conformant design is a checked design
+    let check = crate::check::check_design(design);
+    assert!(
+        check.is_clean(),
+        "design fails the static check:\n{}",
+        check.render()
+    );
     let (event, event_trace) = design.instantiate(images).with_trace().run();
     let (reference, reference_trace) = design
         .instantiate(images)

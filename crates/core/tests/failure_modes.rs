@@ -114,12 +114,39 @@ fn every_invalid_port_config_yields_a_named_error() {
         ),
     ];
     for (cfg, needle) in cases {
-        let err = NetworkDesign::new(&net, cfg, DesignConfig::default()).unwrap_err();
+        let err = NetworkDesign::new(&net, cfg.clone(), DesignConfig::default()).unwrap_err();
         assert!(
             err.contains(needle),
             "error {err:?} should mention {needle:?}"
         );
+        // the static checker must agree with the builder: the same config
+        // yields a port-legality diagnostic for the same reason, carrying
+        // the offending core's name
+        let report = dfcnn_core::check::check_network(&net, &cfg, &DesignConfig::default());
+        assert!(
+            report.has(
+                dfcnn_core::check::Severity::Error,
+                dfcnn_core::check::RuleId::PortLegality
+            ),
+            "checker missed a config the builder rejects: {}",
+            report.render()
+        );
+        assert!(
+            report
+                .errors()
+                .iter()
+                .any(|d| d.message.contains(needle) && !d.core.is_empty()),
+            "no diagnostic mentions {needle:?}: {}",
+            report.render()
+        );
     }
+    // and the converse: the config the builder accepts checks clean
+    let good = dfcnn_core::check::check_network(
+        &net,
+        &PortConfig::paper_test_case_1(),
+        &DesignConfig::default(),
+    );
+    assert!(good.is_clean(), "{}", good.render());
 }
 
 #[test]

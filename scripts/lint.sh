@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# The repository's whole lint gate in one script, so CI and a developer's
+# pre-push hook run exactly the same checks:
+#
+#   1. rustfmt        — formatting is canonical.
+#   2. per-kind lint  — the CoreModel contract: layer kinds are defined in
+#                       exactly one place. Outside the model registry
+#                       (crates/core/src/model/) and the resource cost
+#                       model (crates/fpga/src/resources.rs), no consumer
+#                       may match on CoreKind or on Layer variants — adding
+#                       a layer kind must never require touching
+#                       graph/sim/exec/verify/codegen/dse/multi/flow/check
+#                       again.
+#   3. clippy         — warnings are errors, across every target.
+#
+# Usage: scripts/lint.sh   (exits non-zero on the first failing phase)
+set -u
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all -- --check || exit 1
+
+echo "== per-kind dispatch lint =="
+fail=0
+
+# CoreKind must not appear in crates/core outside the model registry.
+hits=$(grep -rn 'CoreKind' crates/core/src --include='*.rs' \
+    | grep -v '^crates/core/src/model/' || true)
+if [ -n "$hits" ]; then
+    echo "error: CoreKind referenced outside crates/core/src/model/:" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+# No per-variant Layer dispatch in the consumer modules. (The model
+# registry and per-kind modules are the only legitimate match sites;
+# consumers go through model_for / paper_layer_model instead.)
+consumers="crates/core/src/graph.rs crates/core/src/sim.rs \
+    crates/core/src/exec.rs crates/core/src/verify.rs \
+    crates/core/src/codegen.rs crates/core/src/dse.rs \
+    crates/core/src/multi.rs crates/core/src/flow.rs \
+    crates/core/src/check.rs"
+hits=$(grep -nE 'Layer::(Conv|Pool|Linear|Flatten|LogSoftmax)\(' $consumers || true)
+if [ -n "$hits" ]; then
+    echo "error: per-variant Layer dispatch in a consumer module:" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo >&2
+    echo "Layer-kind behaviour belongs in crates/core/src/model/ (one module" >&2
+    echo "per kind); see DESIGN.md s2d for the CoreModel contract." >&2
+    exit 1
+fi
+echo "per-kind dispatch confined to model/ and resources.rs"
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings || exit 1
+
+echo "lint: OK"

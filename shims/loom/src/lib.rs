@@ -1,0 +1,52 @@
+//! Offline stand-in for the subset of `loom` this workspace uses.
+//!
+//! The real loom exhaustively enumerates thread interleavings of a model
+//! closure under the C11 memory model. This build environment has no
+//! registry access, so this shim keeps the API surface (`model`,
+//! `loom::thread`, `loom::sync`) but verifies by **stress iteration**
+//! instead: the closure runs `LOOM_ITERATIONS` times (default 64) on real
+//! OS threads, relying on scheduler jitter to vary interleavings between
+//! iterations. That is a strictly weaker guarantee — a rare interleaving
+//! an exhaustive search would reach can be missed — but it repeatedly
+//! exercises the same protocol code paths, and tests written against this
+//! shim compile and run unchanged under the real loom.
+
+/// Run a concurrency model repeatedly (see the crate docs for how this
+/// differs from the real loom's exhaustive exploration).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iterations: u64 = std::env::var("LOOM_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for _ in 0..iterations {
+        f();
+    }
+}
+
+/// Thread primitives inside a model.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Synchronisation primitives inside a model.
+pub mod sync {
+    pub use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomics inside a model.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+
+    /// Channels inside a model.
+    pub mod mpsc {
+        pub use std::sync::mpsc::{
+            channel, sync_channel, Receiver, RecvError, SendError, Sender, SyncSender,
+            TryRecvError, TrySendError,
+        };
+    }
+}

@@ -53,6 +53,7 @@ pub use dfcnn_tensor as tensor;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use dfcnn_core::check::{check_design, CheckReport, RuleId, Severity};
     pub use dfcnn_core::dse;
     pub use dfcnn_core::exec::ThreadedEngine;
     pub use dfcnn_core::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
