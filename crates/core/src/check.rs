@@ -8,13 +8,15 @@
 //! makes the three classic dataflow safety questions decidable here
 //! without running the simulator:
 //!
-//! 1. **Rate conservation** (`rate-conservation`): along the pipeline
-//!    every producer/consumer boundary must agree on port count and
-//!    per-image token volume, the DMA source volume must match the first
-//!    core, and the last core must emit exactly the classifier width the
-//!    sink collects. A violated boundary is a starved or permanently
-//!    backpressured channel — a deadlock the simulator can only find by
-//!    stalling out.
+//! 1. **Rate conservation** (`rate-conservation`): on every edge of the
+//!    core graph — linear chains and fork/join DAGs alike — producer and
+//!    consumer must agree on port count and per-image token volume (a
+//!    fork's output volume splits evenly over its branches; a join's
+//!    input volume over its operands), the DMA source volume must match
+//!    the first core, and the classifier head must emit exactly the
+//!    width the sink collects. A violated edge is a starved or
+//!    permanently backpressured channel — a deadlock the simulator can
+//!    only find by stalling out.
 //! 2. **Buffer sufficiency** (`buffer-sufficiency`): each windowed core's
 //!    per-port line buffer must hold at least the full-buffering bound
 //!    `((KH-1+pad)·W + KW) · CH/port` ([`crate::sst`]); below it the first
@@ -32,6 +34,15 @@
 //!    stage and every factor ≥ 1 (worker `j mod r` must exist for every
 //!    residue class), and factors beyond the host planner's cap of 4 are
 //!    flagged.
+//!
+//! 5. **Reconvergence buffering** (`reconvergence-buffering`): in a
+//!    fork/join design, while the windowed path of a reconvergent pair
+//!    fills its line buffers the join consumes nothing, so every value
+//!    the fork pushes down the sibling path in that window must fit in
+//!    that path's FIFOs — `capacity(A) ≥ holdback(B)` for each ordered
+//!    path pair entering the join on different edges
+//!    ([`crate::graph::GraphBuilder`] auto-sizes skip FIFOs to satisfy
+//!    this; `DesignConfig::skip_fifo_cap` seeds the violation).
 //!
 //! Port-divisibility legality (`port-legality`) is reported by
 //! [`check_network`], which maps each layer model's validation errors onto
@@ -91,6 +102,9 @@ pub enum RuleId {
     ReplicationSoundness,
     /// Port counts must be non-zero divisors of the FM counts.
     PortLegality,
+    /// Reconvergent fork/join path pairs must buffer the sibling path's
+    /// line-buffer holdback.
+    ReconvergenceBuffering,
 }
 
 impl RuleId {
@@ -102,6 +116,7 @@ impl RuleId {
             RuleId::IiConsistency => "ii-consistency",
             RuleId::ReplicationSoundness => "replication-soundness",
             RuleId::PortLegality => "port-legality",
+            RuleId::ReconvergenceBuffering => "reconvergence-buffering",
         }
     }
 }
@@ -211,84 +226,102 @@ pub fn check_design(design: &NetworkDesign) -> CheckReport {
     rate_conservation(design, &mut diagnostics);
     buffer_sufficiency(design, &mut diagnostics);
     ii_consistency(design, &mut diagnostics);
+    reconvergence_buffering(design, &mut diagnostics);
     CheckReport { diagnostics }
 }
 
-/// Rule 1: token rates must balance on every edge of the chain.
+/// Rule 1: token rates must balance on every edge of the core graph.
 ///
-/// For each producer→consumer boundary the producer's port count must
-/// equal the consumer's (the builder inserts demux/widen adapters to
-/// guarantee this; [`DesignConfig::omit_adapters`] seeds the violation)
-/// and the producer's per-image output volume — recomputed from geometry
-/// by [`model::CoreModel::static_profile`] — must equal the consumer's
-/// per-image input volume. The source must supply exactly the first
-/// core's volume and the last core must emit the classifier width.
+/// For each producer→consumer edge the producer's port count must equal
+/// the consumer's (the builder inserts demux/widen adapters to guarantee
+/// this; [`DesignConfig::omit_adapters`] seeds the violation) and the
+/// producer's per-image per-edge output volume — recomputed from
+/// geometry by [`model::CoreModel::static_profile`], split evenly over
+/// its out-edges — must equal the consumer's per-edge input volume (its
+/// per-image volume split over its in-edges). On linear chains both
+/// degrees are 1 and this reduces to the classic boundary check. The
+/// source must supply exactly the first core's volume and the classifier
+/// head must emit the width the sink collects.
 fn rate_conservation(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
     let cores = design.cores();
     if cores.is_empty() {
         return;
     }
+    use crate::graph::NodeRef;
     let input_volume = design.network().input_shape().len() as u64;
-    let first = &cores[0];
-    if first.in_values_per_image != input_volume {
-        out.push(diag(
-            Severity::Error,
-            RuleId::RateConservation,
-            format!("dma-source\u{2192}{}", first.name),
-            format!(
-                "the DMA source streams {input_volume} values per image but {} \
-                 consumes {} per image",
-                first.name, first.in_values_per_image
-            ),
-            "the first layer's input geometry must match the network input shape",
-        ));
-    }
-    for pair in cores.windows(2) {
-        let (a, b) = (&pair[0], &pair[1]);
-        let profile = model::model_for(a.params.kind).static_profile(design, a);
-        if a.params.out_ports != b.params.in_ports {
-            out.push(diag(
-                Severity::Error,
-                RuleId::RateConservation,
-                format!("{}\u{2192}{}", a.name, b.name),
-                format!(
-                    "{} emits on {} port(s) but {} reads {} port(s): the surplus \
-                     side starves or backpressures forever (deadlock)",
-                    a.name, a.params.out_ports, b.name, b.params.in_ports
-                ),
-                "insert a demux/widen adapter at the boundary (clear omit_adapters)",
-            ));
-        }
-        if profile.out_values_per_image != b.in_values_per_image {
-            out.push(diag(
-                Severity::Error,
-                RuleId::RateConservation,
-                format!("{}\u{2192}{}", a.name, b.name),
-                format!(
-                    "{} produces {} values per image but {} consumes {}",
-                    a.name, profile.out_values_per_image, b.name, b.in_values_per_image
-                ),
-                "the consumer's input geometry must equal the producer's output geometry",
-            ));
-        }
-    }
-    let last = cores.last().expect("non-empty");
-    let last_out = model::model_for(last.params.kind)
-        .static_profile(design, last)
-        .out_values_per_image;
     let classes = design.classes() as u64;
-    if classes != 0 && last_out != classes {
-        out.push(diag(
-            Severity::Error,
-            RuleId::RateConservation,
-            format!("{}\u{2192}sink", last.name),
-            format!(
-                "{} emits {last_out} values per image but the sink collects \
-                 {classes} classifier scores",
-                last.name
-            ),
-            "the classifier head must emit exactly the sink's class count",
-        ));
+    for e in design.edges() {
+        match (e.from, e.to) {
+            (NodeRef::Source, NodeRef::Core(i)) => {
+                let first = &cores[i];
+                if first.in_values_per_image != input_volume {
+                    out.push(diag(
+                        Severity::Error,
+                        RuleId::RateConservation,
+                        format!("dma-source\u{2192}{}", first.name),
+                        format!(
+                            "the DMA source streams {input_volume} values per image but {} \
+                             consumes {} per image",
+                            first.name, first.in_values_per_image
+                        ),
+                        "the first layer's input geometry must match the network input shape",
+                    ));
+                }
+            }
+            (NodeRef::Core(i), NodeRef::Core(j)) => {
+                let (a, b) = (&cores[i], &cores[j]);
+                let profile = model::model_for(a.params.kind).static_profile(design, a);
+                if a.params.out_ports != b.params.in_ports {
+                    out.push(diag(
+                        Severity::Error,
+                        RuleId::RateConservation,
+                        format!("{}\u{2192}{}", a.name, b.name),
+                        format!(
+                            "{} emits on {} port(s) but {} reads {} port(s): the surplus \
+                             side starves or backpressures forever (deadlock)",
+                            a.name, a.params.out_ports, b.name, b.params.in_ports
+                        ),
+                        "insert a demux/widen adapter at the boundary (clear omit_adapters)",
+                    ));
+                }
+                let a_share =
+                    profile.out_values_per_image / design.core_out_degree(i).max(1) as u64;
+                let b_share = b.in_values_per_image / design.core_in_degree(j).max(1) as u64;
+                if a_share != b_share {
+                    out.push(diag(
+                        Severity::Error,
+                        RuleId::RateConservation,
+                        format!("{}\u{2192}{}", a.name, b.name),
+                        format!(
+                            "{} produces {} values per image but {} consumes {}",
+                            a.name, a_share, b.name, b_share
+                        ),
+                        "the consumer's input geometry must equal the producer's output geometry",
+                    ));
+                }
+            }
+            (NodeRef::Core(i), NodeRef::Sink) => {
+                let last = &cores[i];
+                let last_out = model::model_for(last.params.kind)
+                    .static_profile(design, last)
+                    .out_values_per_image
+                    / design.core_out_degree(i).max(1) as u64;
+                if classes != 0 && last_out != classes {
+                    out.push(diag(
+                        Severity::Error,
+                        RuleId::RateConservation,
+                        format!("{}\u{2192}sink", last.name),
+                        format!(
+                            "{} emits {last_out} values per image but the sink collects \
+                             {classes} classifier scores",
+                            last.name
+                        ),
+                        "the classifier head must emit exactly the sink's class count",
+                    ));
+                }
+            }
+            _ => {}
+        }
     }
     // interleave legality of every core, adapters included: the FM
     // round-robin dealing needs exact groups on both sides
@@ -406,6 +439,36 @@ fn ii_consistency(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
                 "recompute the II via Eq. 4 (max(IN_FM/IN_PORTS, OUT_FM/OUT_PORTS))",
             ));
         }
+    }
+}
+
+/// Rule 5: every reconvergent fork/join path pair must buffer the
+/// sibling path's holdback.
+///
+/// While the windowed path of a reconvergent pair fills its line buffers
+/// it emits nothing, so the join consumes nothing — and every value the
+/// fork pushes down the *other* path in that window must fit in that
+/// path's FIFOs and line buffers. If the sibling path's capacity is
+/// below the windowed path's SST holdback, the fork backpressures, the
+/// windowed path starves mid-fill and the graph provably deadlocks
+/// ([`crate::graph`] derives both numbers statically; the builder
+/// auto-sizes skip FIFOs to satisfy the bound unless
+/// [`DesignConfig::skip_fifo_cap`] clamps them).
+fn reconvergence_buffering(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
+    for d in crate::graph::reconvergence_deficits(design) {
+        out.push(diag(
+            Severity::Error,
+            RuleId::ReconvergenceBuffering,
+            format!("{}\u{2192}{}", d.fork, d.join),
+            format!(
+                "the path from {} to {} buffers only {} values but its sibling \
+                 path holds back {} values while filling line buffers: the fork \
+                 backpressures before the join sees a token (deadlock)",
+                d.fork, d.join, d.capacity, d.required
+            ),
+            "deepen the skip-path FIFO to cover the sibling's line-buffer holdback \
+             (clear skip_fifo_cap)",
+        ));
     }
 }
 
@@ -728,6 +791,38 @@ mod tests {
         };
         let diags = check_replication(&oversub, 3);
         assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn residual_graph_is_clean() {
+        let d = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let report = check_design(&d);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn clamped_skip_fifo_breaks_reconvergence_buffering() {
+        let d = crate::graph::fixtures::residual_graph(DesignConfig {
+            skip_fifo_cap: Some(2),
+            ..DesignConfig::default()
+        });
+        let report = check_design(&d);
+        assert!(report.has(Severity::Error, RuleId::ReconvergenceBuffering));
+        let errs = report.errors();
+        assert!(
+            errs.iter()
+                .any(|e| e.core == "fork1\u{2192}add4" && e.message.contains("deadlock")),
+            "{}",
+            report.render()
+        );
+        assert!(
+            report.render().contains("error[reconvergence-buffering]"),
+            "{}",
+            report.render()
+        );
+        // chains never trip the rule (no fork/join to pair up)
+        let chain = check_design(&tc1_design(DesignConfig::default()));
+        assert!(!chain.has(Severity::Error, RuleId::ReconvergenceBuffering));
     }
 
     #[test]

@@ -40,9 +40,21 @@
 //! return channel, the consumer sends the spent buffer back, and the
 //! producer reuses it for a later image (a ping-pong pool threaded through
 //! the channel chain).
+//!
+//! # Fork/join designs
+//!
+//! A fork/join [`NetworkDesign`] still runs as a *linear* thread
+//! pipeline: stages execute in topological order and each message
+//! carries a **bundle** — the set of still-live stage outputs — instead
+//! of a single volume. A [`StagePlan`] precomputed per stage says which
+//! bundle slots feed the stage ([`StageWorker::apply_multi`]) and which
+//! survive downstream (e.g. the skip operand of a residual block rides
+//! the bundle past the branch stages until the eltwise-add consumes it).
+//! On linear chains every bundle has exactly one slot and the engine
+//! degenerates to the classic one-volume-per-message pipeline.
 
-use crate::graph::NetworkDesign;
-use crate::model::{self, StageSpec, StageWorker};
+use crate::graph::{NetworkDesign, StageInput};
+use crate::model::{self, HostStage, StageWorker};
 use crate::trace::IntervalStats;
 use dfcnn_tensor::Tensor3;
 use serde::{Deserialize, Serialize};
@@ -193,31 +205,63 @@ impl PipelineProfile {
     }
 }
 
-/// A volume travelling down the pipeline. Owned messages carry the return
-/// channel of the worker whose buffer pool they came from, so the consumer
-/// can recycle the buffer once it has read it.
+/// A bundle of volumes travelling down the pipeline. Owned messages carry
+/// the return channel of the worker whose buffer pool they came from, so
+/// the consumer can recycle spent buffers once it has read them.
 enum Msg<'a> {
-    /// A borrowed input image (zero-copy feed of the first stage).
+    /// A borrowed input image (zero-copy feed of the first stage); the
+    /// bundle is implicitly `[Image]`.
     Borrowed(&'a Tensor3<f32>),
-    /// A stage output, plus the producing worker's free-list.
-    Owned(Tensor3<f32>, Option<SyncSender<Tensor3<f32>>>),
+    /// The live bundle after some stage, plus that worker's free-list.
+    Owned(Vec<Tensor3<f32>>, Option<SyncSender<Tensor3<f32>>>),
 }
 
-impl Msg<'_> {
-    fn tensor(&self) -> &Tensor3<f32> {
-        match self {
-            Msg::Borrowed(t) => t,
-            Msg::Owned(t, _) => t,
-        }
-    }
+/// How one stage reads and rewrites the bundle: which slots feed
+/// [`StageWorker::apply_multi`], and which slots are still needed by a
+/// later stage and therefore survive (the stage's own output is always
+/// appended last). Precomputed once per engine by [`bundle_plans`].
+struct StagePlan {
+    /// Bundle slot index per stage input, in operand order.
+    in_slots: Vec<usize>,
+    /// Incoming-bundle slots that survive into the outgoing bundle,
+    /// in order. Slots not kept are recycled to their last carrier.
+    keep: Vec<usize>,
+}
 
-    /// Hand the buffer back to its producer (best effort: a full or
-    /// disconnected free-list just drops the buffer — never blocks).
-    fn recycle(self) {
-        if let Msg::Owned(t, Some(ret)) = self {
-            let _ = ret.try_send(t);
-        }
+/// Walk the stage list once, tracking the live bundle, and derive each
+/// stage's [`StagePlan`]. The bundle starts as `[Image]`; after stage `s`
+/// it holds every earlier output some stage `> s` still reads, plus
+/// `Stage(s)` itself. The builder guarantees only stage 0 reads the
+/// image, so borrowed inputs never need to survive a hop.
+fn bundle_plans(stages: &[HostStage]) -> Vec<StagePlan> {
+    let n = stages.len();
+    let mut bundle: Vec<StageInput> = vec![StageInput::Image];
+    let mut plans = Vec::with_capacity(n);
+    for s in 0..n {
+        let in_slots = stages[s]
+            .inputs
+            .iter()
+            .map(|inp| {
+                bundle
+                    .iter()
+                    .position(|b| b == inp)
+                    .expect("stage input must be live in the bundle (topological order)")
+            })
+            .collect();
+        let needed = |x: &StageInput| stages[s + 1..].iter().any(|st| st.inputs.contains(x));
+        let keep: Vec<usize> = (0..bundle.len())
+            .filter(|&i| bundle[i] != StageInput::Image && needed(&bundle[i]))
+            .collect();
+        assert!(
+            !needed(&StageInput::Image),
+            "only the first stage may read the input image"
+        );
+        let mut next: Vec<StageInput> = keep.iter().map(|&i| bundle[i]).collect();
+        next.push(StageInput::Stage(s));
+        plans.push(StagePlan { in_slots, keep });
+        bundle = next;
     }
+    plans
 }
 
 /// Timing gathered by one worker thread.
@@ -252,18 +296,19 @@ fn boundary<'a>(pc: usize, cc: usize, depth: usize) -> (TxRows<'a>, RxCols<'a>) 
 /// and leaves on the channel to consumer `j mod r_next`. That fixed
 /// dealing rule is what keeps outputs in input order with no tags.
 fn worker_loop(
-    stage: &StageSpec,
+    stage: &HostStage,
+    plan: &StagePlan,
     w: usize,
     r_mine: usize,
     rx_col: Vec<Receiver<Msg<'_>>>,
     tx_row: Vec<SyncSender<Msg<'_>>>,
     channel_depth: usize,
 ) -> WorkerStats {
-    let mut worker = stage.make_worker();
+    let mut worker = stage.spec.make_worker();
     let (r_prev, r_next) = (rx_col.len(), tx_row.len());
     // buffers in flight from this worker: channel depth per consumer link
-    // plus one being read at each consumer
-    let (free_tx, free_rx) = sync_channel::<Tensor3<f32>>(r_next * (channel_depth + 1) + 1);
+    // plus one being read at each consumer, plus bundle survivors
+    let (free_tx, free_rx) = sync_channel::<Tensor3<f32>>(2 * r_next * (channel_depth + 1) + 2);
     let mut busy = IntervalStats::new();
     let mut wait = IntervalStats::new();
     let mut send = IntervalStats::new();
@@ -276,16 +321,52 @@ fn worker_loop(
             Err(_) => break, // upstream done
         };
         wait.record(t0.elapsed().as_nanos() as u64);
-        let mut out = free_rx
-            .try_recv()
-            .unwrap_or_else(|_| Tensor3::zeros(stage.out_shape));
+        // reuse a recycled buffer — but only one of our own shape: a
+        // bundle survivor recycles to its *last carrier*, which may not
+        // be its creator, so foreign-shaped buffers are simply dropped
+        let mut out = loop {
+            match free_rx.try_recv() {
+                Ok(t) if t.shape() == stage.spec.out_shape => break t,
+                Ok(_) => continue,
+                Err(_) => break Tensor3::zeros(stage.spec.out_shape),
+            }
+        };
         let t1 = Instant::now();
-        worker.apply_into(msg.tensor(), &mut out);
+        match &msg {
+            Msg::Borrowed(t) => {
+                let refs: Vec<&Tensor3<f32>> = plan.in_slots.iter().map(|_| *t).collect();
+                worker.apply_multi(&refs, &mut out);
+            }
+            Msg::Owned(bundle, _) => {
+                let refs: Vec<&Tensor3<f32>> = plan.in_slots.iter().map(|&i| &bundle[i]).collect();
+                worker.apply_multi(&refs, &mut out);
+            }
+        }
         busy.record(t1.elapsed().as_nanos() as u64);
-        msg.recycle();
+        // rebuild the bundle: survivors in plan order, own output last;
+        // everything else goes back to the producer's pool (best effort:
+        // a full or disconnected free-list just drops the buffer)
+        let next = match msg {
+            Msg::Borrowed(_) => vec![out],
+            Msg::Owned(bundle, ret) => {
+                let mut slots: Vec<Option<Tensor3<f32>>> = bundle.into_iter().map(Some).collect();
+                let mut next: Vec<Tensor3<f32>> = plan
+                    .keep
+                    .iter()
+                    .map(|&i| slots[i].take().expect("kept slot is live"))
+                    .collect();
+                if let Some(ret) = ret {
+                    for t in slots.into_iter().flatten() {
+                        let _ = ret.try_send(t);
+                    }
+                }
+                next.push(out);
+                next
+            }
+        };
         let t2 = Instant::now();
         let sent =
-            tx_row[(j % r_next as u64) as usize].send(Msg::Owned(out, Some(free_tx.clone())));
+            tx_row[(j % r_next as u64) as usize].send(Msg::Owned(next, Some(free_tx.clone())));
         if sent.is_err() {
             break; // downstream done
         }
@@ -297,18 +378,24 @@ fn worker_loop(
 
 /// The engine itself; construct per design, run per batch.
 pub struct ThreadedEngine {
-    stages: Vec<StageSpec>,
+    stages: Vec<HostStage>,
+    plans: Vec<StagePlan>,
     channel_depth: usize,
 }
 
 impl ThreadedEngine {
-    /// Build stages from a design via [`model::pipeline_stages`] (one per
+    /// Build stages from a design via [`model::host_pipeline`] (one per
     /// layer incl. flatten; adapters are port plumbing with no image-level
     /// effect; LogSoftMax stays on the host unless
     /// [`crate::graph::DesignConfig::fabric_normalization`] is set).
+    /// Fork/join designs yield the same linear stage list in topological
+    /// order, with multi-input stages wired through [`bundle_plans`].
     pub fn new(design: &NetworkDesign) -> Self {
+        let stages = model::host_pipeline(design);
+        let plans = bundle_plans(&stages);
         ThreadedEngine {
-            stages: model::pipeline_stages(design),
+            stages,
+            plans,
             channel_depth: 2,
         }
     }
@@ -320,7 +407,7 @@ impl ThreadedEngine {
 
     /// Stage names in pipeline order.
     pub fn stage_names(&self) -> Vec<&str> {
-        self.stages.iter().map(|s| s.name.as_str()).collect()
+        self.stages.iter().map(|s| s.spec.name.as_str()).collect()
     }
 
     /// Stream a batch through the plain pipeline (one worker per stage).
@@ -356,19 +443,26 @@ impl ThreadedEngine {
     /// [`ReplicationPlan::balanced`].
     pub fn profile_stages(&self, sample: &[Tensor3<f32>]) -> Vec<IntervalStats> {
         let mut workers: Vec<Box<dyn StageWorker>> =
-            self.stages.iter().map(|s| s.make_worker()).collect();
+            self.stages.iter().map(|s| s.spec.make_worker()).collect();
         let mut bufs: Vec<Tensor3<f32>> = self
             .stages
             .iter()
-            .map(|s| Tensor3::zeros(s.out_shape))
+            .map(|s| Tensor3::zeros(s.spec.out_shape))
             .collect();
         let mut stats = vec![IntervalStats::new(); self.stages.len()];
         for img in sample {
             for s in 0..self.stages.len() {
                 let (done, rest) = bufs.split_at_mut(s);
-                let input = if s == 0 { img } else { &done[s - 1] };
+                let refs: Vec<&Tensor3<f32>> = self.stages[s]
+                    .inputs
+                    .iter()
+                    .map(|inp| match inp {
+                        StageInput::Image => img,
+                        StageInput::Stage(t) => &done[*t],
+                    })
+                    .collect();
                 let t = Instant::now();
-                workers[s].apply_into(input, &mut rest[0]);
+                workers[s].apply_multi(&refs, &mut rest[0]);
                 stats[s].record(t.elapsed().as_nanos() as u64);
             }
         }
@@ -405,10 +499,11 @@ impl ThreadedEngine {
                 let in_cols = std::mem::replace(&mut cur_cols, next_cols);
                 for (w, (rx_col, tx_row)) in in_cols.into_iter().zip(next_rows).enumerate() {
                     let stage = &self.stages[s];
+                    let plan = &self.plans[s];
                     let r_mine = r[s];
                     let stats_tx = stats_tx.clone();
                     scope.spawn(move || {
-                        let ws = worker_loop(stage, w, r_mine, rx_col, tx_row, depth);
+                        let ws = worker_loop(stage, plan, w, r_mine, rx_col, tx_row, depth);
                         let _ = stats_tx.send((s, ws));
                     });
                 }
@@ -422,7 +517,14 @@ impl ThreadedEngine {
                 let mut times = Vec::with_capacity(batch);
                 for j in 0..batch {
                     match coll_col[j % r_last].recv() {
-                        Ok(Msg::Owned(t, _)) => outs.push(t),
+                        Ok(Msg::Owned(mut bundle, ret)) => {
+                            outs.push(bundle.pop().expect("final bundle has the output"));
+                            if let Some(ret) = ret {
+                                for t in bundle {
+                                    let _ = ret.try_send(t);
+                                }
+                            }
+                        }
                         Ok(Msg::Borrowed(t)) => outs.push(t.clone()),
                         Err(_) => break, // a worker died; surface short batch
                     }
@@ -456,7 +558,7 @@ impl ThreadedEngine {
                 .iter()
                 .enumerate()
                 .map(|(s, st)| StageProfile {
-                    name: st.name.clone(),
+                    name: st.spec.name.clone(),
                     replication: r[s],
                     images: busy[s].count,
                     mean_interval_ns: busy[s].mean_ns(),
@@ -487,19 +589,26 @@ impl ThreadedEngine {
         assert!(!images.is_empty(), "empty batch");
         let start = Instant::now();
         let mut workers: Vec<Box<dyn StageWorker>> =
-            self.stages.iter().map(|s| s.make_worker()).collect();
+            self.stages.iter().map(|s| s.spec.make_worker()).collect();
         let mut bufs: Vec<Tensor3<f32>> = self
             .stages
             .iter()
-            .map(|s| Tensor3::zeros(s.out_shape))
+            .map(|s| Tensor3::zeros(s.spec.out_shape))
             .collect();
         let mut outputs = Vec::with_capacity(images.len());
         let mut completion_times = Vec::with_capacity(images.len());
         for img in images {
-            for s in 0..self.stages.len() {
+            for (s, worker) in workers.iter_mut().enumerate() {
                 let (done, rest) = bufs.split_at_mut(s);
-                let input = if s == 0 { img } else { &done[s - 1] };
-                workers[s].apply_into(input, &mut rest[0]);
+                let refs: Vec<&Tensor3<f32>> = self.stages[s]
+                    .inputs
+                    .iter()
+                    .map(|inp| match inp {
+                        StageInput::Image => img,
+                        StageInput::Stage(t) => &done[*t],
+                    })
+                    .collect();
+                worker.apply_multi(&refs, &mut rest[0]);
             }
             outputs.push(bufs.last().expect("at least one stage").clone());
             completion_times.push(start.elapsed());
@@ -684,6 +793,54 @@ mod tests {
         assert_eq!(even.workers(), 4);
         // uniform is all ones
         assert_eq!(ReplicationPlan::uniform(3).factors, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn residual_graph_runs_bit_identical_to_hw_forward() {
+        let design = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let imgs = batch(&design, 6, 21);
+        let engine = ThreadedEngine::new(&design);
+        assert_eq!(
+            engine.stage_names(),
+            vec!["conv1", "conv2", "scaleshift1", "add4", "flatten", "fc1"]
+        );
+        let res = engine.run(&imgs);
+        for (img, out) in imgs.iter().zip(res.outputs.iter()) {
+            assert_eq!(out, &design.hw_forward(img), "engine must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn residual_graph_replication_preserves_order() {
+        // the skip operand rides the bundle across three stages; dealing
+        // must keep operand pairs together under any replication plan
+        let design = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let imgs = batch(&design, 9, 22);
+        let engine = ThreadedEngine::new(&design);
+        let seq = engine.run_sequential(&imgs);
+        for factors in [vec![1, 1, 1, 1, 1, 1], vec![2, 3, 1, 2, 1, 2]] {
+            let plan = ReplicationPlan { factors };
+            let (res, profile) = engine.run_with_plan(&imgs, &plan);
+            assert_eq!(res.outputs, seq.outputs, "plan {:?}", plan.factors);
+            assert!(profile.stages.iter().all(|s| s.images == 9));
+        }
+    }
+
+    #[test]
+    fn bundle_plans_keep_the_skip_operand_alive() {
+        let design = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let engine = ThreadedEngine::new(&design);
+        // stage order: conv1, conv2, scaleshift1, add4, flatten, fc1.
+        // conv1's output must survive conv2 and scaleshift1 (slot 0) so
+        // add4 can read both operands from its bundle
+        assert_eq!(engine.plans[1].keep, vec![0], "conv2 keeps the trunk");
+        assert_eq!(engine.plans[2].keep, vec![0], "scaleshift keeps the trunk");
+        assert_eq!(engine.plans[3].in_slots.len(), 2, "add reads two slots");
+        assert!(engine.plans[3].keep.is_empty(), "add consumes both");
+        // chains degenerate to single-slot bundles
+        let chain = ThreadedEngine::new(&tc1_design());
+        assert!(chain.plans.iter().all(|p| p.keep.is_empty()));
+        assert!(chain.plans.iter().all(|p| p.in_slots == vec![0]));
     }
 
     #[test]

@@ -37,7 +37,7 @@ use dfcnn_fpga::resources::{CoreParams, CostModel, Resources};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
-use dfcnn_tensor::Tensor3;
+use dfcnn_tensor::{Shape3, Tensor3};
 use serde::{Deserialize, Serialize};
 
 /// Port counts of one paper layer.
@@ -132,6 +132,13 @@ pub struct DesignConfig {
     /// rate-conservation error; the cycle simulator confirms by
     /// deadlocking on the unfed (or undrained) ports.
     pub omit_adapters: bool,
+    /// Fault injection: clamp every fork out-edge FIFO to at most this
+    /// depth *after* [`GraphBuilder::finish`]'s reconvergence auto-sizing.
+    /// An undersized skip path is a statically-provable deadlock — the
+    /// [`crate::check`] verifier rejects it (reconvergence-buffering) and
+    /// the cycle simulator confirms by stalling out. `None` (the default)
+    /// keeps the auto-sized depths.
+    pub skip_fifo_cap: Option<usize>,
 }
 
 impl Default for DesignConfig {
@@ -146,6 +153,7 @@ impl Default for DesignConfig {
             fabric_normalization: false,
             line_buffer_cap: None,
             omit_adapters: false,
+            skip_fifo_cap: None,
         }
     }
 }
@@ -165,6 +173,61 @@ pub struct CoreInfo {
     pub positions: u64,
 }
 
+/// A node of the core graph: the DMA source, one generated core (by index
+/// into [`NetworkDesign::cores`]), or the DMA sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    /// The DMA source feeding the first core(s).
+    Source,
+    /// Core `i` of [`NetworkDesign::cores`].
+    Core(usize),
+    /// The DMA sink collecting the classifier scores.
+    Sink,
+}
+
+/// One directed stream bundle of the core graph. A chain design has the
+/// obvious linear edge list; fork/join designs have fan-out edges leaving
+/// a fork core and two operand edges entering an eltwise-add join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeInfo {
+    /// Producer node.
+    pub from: NodeRef,
+    /// Consumer node.
+    pub to: NodeRef,
+    /// Parallel FIFO channels in the bundle (the boundary's port count).
+    pub ports: usize,
+    /// Values per image crossing the bundle (across all its ports).
+    pub values_per_image: u64,
+    /// Per-channel FIFO depth. Chain edges use
+    /// [`DesignConfig::inter_fifo_depth`]; fork out-edges may be deepened
+    /// by the reconvergence auto-sizing (or clamped by
+    /// [`DesignConfig::skip_fifo_cap`]).
+    pub depth: usize,
+}
+
+/// Where a host pipeline stage's input operand comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageInput {
+    /// The batch image itself (only the first stage reads it).
+    Image,
+    /// The output of an earlier stage, by stage index.
+    Stage(usize),
+}
+
+/// One node of a graph design's *stage* topology: the image-level compute
+/// order the host engines follow. Forks and adapters are port plumbing
+/// and have no stage — a branch's first stage taps the fork's producer
+/// directly.
+#[derive(Clone, Debug)]
+pub struct StageNode {
+    /// The core computing this stage, or `None` for the flatten reshape.
+    pub core: Option<usize>,
+    /// Stage name (`conv1`, `flatten`, `add3`, …).
+    pub name: String,
+    /// The stage's input operands, in core input-edge order.
+    pub inputs: Vec<StageInput>,
+}
+
 /// A fully-validated accelerator design for one trained network.
 #[derive(Clone, Debug)]
 pub struct NetworkDesign {
@@ -173,6 +236,11 @@ pub struct NetworkDesign {
     config: DesignConfig,
     cores: Vec<CoreInfo>,
     classes: usize,
+    edges: Vec<EdgeInfo>,
+    /// `Some` for fork/join graph designs (built by [`GraphBuilder`]);
+    /// `None` for chains, which derive their stage order from the layer
+    /// list.
+    stage_topo: Option<Vec<StageNode>>,
 }
 
 impl NetworkDesign {
@@ -271,12 +339,15 @@ impl NetworkDesign {
                 )?;
             }
         }
+        let edges = chain_edges(&cores, classes, config.inter_fifo_depth);
         Ok(NetworkDesign {
             network: network.clone(),
             ports,
             config,
             cores,
             classes,
+            edges,
+            stage_topo: None,
         })
     }
 
@@ -311,6 +382,41 @@ impl NetworkDesign {
     /// Number of classifier outputs the sink collects per image.
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// The core graph's edges (source, core-to-core and sink bundles, in
+    /// creation order). A chain design's edges are the obvious linear
+    /// list.
+    pub fn edges(&self) -> &[EdgeInfo] {
+        &self.edges
+    }
+
+    /// The stage topology of a fork/join graph design, or `None` for
+    /// chains (whose stage order is the layer list).
+    pub fn stage_topo(&self) -> Option<&[StageNode]> {
+        self.stage_topo.as_deref()
+    }
+
+    /// Whether this design is a fork/join graph (built by
+    /// [`GraphBuilder`]) rather than a linear chain.
+    pub fn is_graph(&self) -> bool {
+        self.stage_topo.is_some()
+    }
+
+    /// Number of edges entering core `idx`.
+    pub fn core_in_degree(&self, idx: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.to == NodeRef::Core(idx))
+            .count()
+    }
+
+    /// Number of edges leaving core `idx` (including a sink edge).
+    pub fn core_out_degree(&self, idx: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| e.from == NodeRef::Core(idx))
+            .count()
     }
 
     /// Whether the design normalises (LogSoftMax) on the fabric: opted in
@@ -394,15 +500,26 @@ impl NetworkDesign {
     /// Run the hardware-order forward pass on the host (no timing):
     /// exactly what the accelerator computes for one image, ending at the
     /// values the sink collects (classifier scores, or log-probabilities
-    /// when normalisation is on the fabric).
+    /// when normalisation is on the fabric). Works for chains and
+    /// fork/join graphs alike by walking the host pipeline's stage
+    /// topology.
     pub fn hw_forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
-        let mut cur = input.clone();
-        for spec in model::pipeline_stages(self) {
-            let mut out = Tensor3::zeros(spec.out_shape);
-            spec.make_worker().apply_into(&cur, &mut out);
-            cur = out;
+        let stages = model::host_pipeline(self);
+        let mut outs: Vec<Tensor3<f32>> = Vec::with_capacity(stages.len());
+        for hs in &stages {
+            let ins: Vec<&Tensor3<f32>> = hs
+                .inputs
+                .iter()
+                .map(|si| match si {
+                    StageInput::Image => input,
+                    StageInput::Stage(j) => &outs[*j],
+                })
+                .collect();
+            let mut out = Tensor3::zeros(hs.spec.out_shape);
+            hs.spec.make_worker().apply_multi(&ins, &mut out);
+            outs.push(out);
         }
-        cur
+        outs.pop().expect("design has stages")
     }
 
     /// Build the cycle simulator for a batch of images.
@@ -429,17 +546,35 @@ impl NetworkDesign {
         let mut chans = ChannelSet::new();
         let mut actors: Vec<Box<dyn Actor>> = Vec::new();
 
-        // channels feeding the first core
-        let first_in = self.cores[0].params.in_ports;
-        let mut cur_chs: Vec<_> = (0..first_in).map(|_| chans.alloc(depth)).collect();
+        // one channel bundle per edge, allocated producer-side
+        let mut edge_chs: Vec<Option<Vec<crate::stream::ChannelId>>> = vec![None; self.edges.len()];
+
+        // the source's out-edges feed the first core(s)
+        let mut src_chs = Vec::new();
+        for (ei, e) in self.edges.iter().enumerate() {
+            if e.from == NodeRef::Source {
+                let bundle: Vec<_> = (0..e.ports).map(|_| chans.alloc(e.depth)).collect();
+                src_chs.extend(bundle.iter().copied());
+                edge_chs[ei] = Some(bundle);
+            }
+        }
         actors.push(Box::new(Source::new(
             images,
-            cur_chs.clone(),
+            src_chs,
             DmaChannel::new(self.config.dma),
         )));
 
         for (core_idx, c) in self.cores.iter().enumerate() {
             let p = &c.params;
+            let model = model::model_for(p.kind);
+            // gather input channels from this core's in-edges, in edge order
+            let mut in_chs: Vec<_> = self
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.to == NodeRef::Core(core_idx))
+                .flat_map(|(ei, _)| edge_chs[ei].clone().expect("producer allocated first"))
+                .collect();
             // Adapters normally guarantee the producer's port count equals
             // the consumer's; with omit_adapters the boundary is left
             // mismatched, and the hardware analogue is wires tied off: the
@@ -447,46 +582,605 @@ impl NetworkDesign {
             // (it starves) and a producer's surplus ports drive undrained
             // channels (it backpressures). Either way the chain deadlocks,
             // which is exactly what the static checker predicts.
-            match cur_chs.len().cmp(&p.in_ports) {
+            let want = model.input_channel_count(c);
+            match in_chs.len().cmp(&want) {
                 std::cmp::Ordering::Less => {
-                    while cur_chs.len() < p.in_ports {
-                        cur_chs.push(chans.alloc(depth));
+                    while in_chs.len() < want {
+                        in_chs.push(chans.alloc(depth));
                     }
                 }
-                std::cmp::Ordering::Greater => cur_chs.truncate(p.in_ports),
+                std::cmp::Ordering::Greater => in_chs.truncate(want),
                 std::cmp::Ordering::Equal => {}
             }
-            let out_chs: Vec<_> = (0..p.out_ports).map(|_| chans.alloc(depth)).collect();
-            actors.push(model::model_for(p.kind).make_actor(
-                self,
-                c,
-                cur_chs.clone(),
-                out_chs.clone(),
-            ));
-            cur_chs = out_chs;
+            // allocate this core's out-edges (sink edges included)
+            let mut out_chs = Vec::new();
+            let mut out_edges = Vec::new();
+            for (ei, e) in self.edges.iter().enumerate() {
+                if e.from == NodeRef::Core(core_idx) {
+                    let bundle: Vec<_> = (0..e.ports).map(|_| chans.alloc(e.depth)).collect();
+                    out_chs.extend(bundle.iter().copied());
+                    edge_chs[ei] = Some(bundle);
+                    out_edges.push(ei);
+                }
+            }
+            actors.push(model.make_actor(self, c, in_chs, out_chs.clone()));
 
             // optional inter-FPGA link after this core
             if let Some(&(_, (wpc, lat))) = links.iter().find(|(i, _)| *i == core_idx) {
-                let link_out: Vec<_> = cur_chs.iter().map(|_| chans.alloc(depth)).collect();
+                let link_out: Vec<_> = out_chs.iter().map(|_| chans.alloc(depth)).collect();
                 actors.push(Box::new(crate::multi::LinkActor::new(
                     format!("link-after-{}", c.name),
-                    cur_chs.clone(),
+                    out_chs,
                     link_out.clone(),
                     wpc,
                     lat,
                 )));
-                cur_chs = link_out;
+                // consumers read the link's output side of each edge
+                let mut off = 0;
+                for ei in out_edges {
+                    let n = self.edges[ei].ports;
+                    edge_chs[ei] = Some(link_out[off..off + n].to_vec());
+                    off += n;
+                }
             }
         }
 
+        let sink_chs: Vec<_> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.to == NodeRef::Sink)
+            .flat_map(|(ei, _)| edge_chs[ei].clone().expect("producer allocated first"))
+            .collect();
         let state = std::rc::Rc::new(std::cell::RefCell::new(SinkState::default()));
         actors.push(Box::new(Sink::new(
-            cur_chs,
+            sink_chs,
             self.classes,
             state.clone(),
             DmaChannel::new(self.config.dma),
         )));
         Simulator::new(actors, chans, images.len(), state)
+    }
+}
+
+/// The linear edge list of a chain design: source → cores in order → sink,
+/// every FIFO at `depth`.
+fn chain_edges(cores: &[CoreInfo], classes: usize, depth: usize) -> Vec<EdgeInfo> {
+    let Some(first) = cores.first() else {
+        return Vec::new();
+    };
+    let mut edges = vec![EdgeInfo {
+        from: NodeRef::Source,
+        to: NodeRef::Core(0),
+        ports: first.params.in_ports,
+        values_per_image: first.in_values_per_image,
+        depth,
+    }];
+    for i in 1..cores.len() {
+        edges.push(EdgeInfo {
+            from: NodeRef::Core(i - 1),
+            to: NodeRef::Core(i),
+            ports: cores[i - 1].params.out_ports,
+            values_per_image: cores[i].in_values_per_image,
+            depth,
+        });
+    }
+    edges.push(EdgeInfo {
+        from: NodeRef::Core(cores.len() - 1),
+        to: NodeRef::Sink,
+        ports: cores.last().unwrap().params.out_ports,
+        values_per_image: classes as u64,
+        depth,
+    });
+    edges
+}
+
+/// A live stream endpoint during graph construction: the node producing
+/// it, the volume shape and port count it carries, and the host stage
+/// computing it. Deliberately *not* `Clone` — every stream must be
+/// consumed exactly once (use [`GraphBuilder::fork`] to duplicate one).
+#[derive(Debug)]
+pub struct Tap {
+    node: NodeRef,
+    shape: Shape3,
+    ports: usize,
+    stage: StageInput,
+}
+
+impl Tap {
+    /// The volume shape this stream carries per image.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// The stream's port count.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+}
+
+/// Incremental construction of a fork/join [`NetworkDesign`].
+///
+/// ```text
+/// let (mut g, x) = GraphBuilder::new(input_shape, config);
+/// let x = g.layer(x, conv, lp)?;          // trunk
+/// let [a, b] = g.fork(x, 2)?...;          // tee
+/// let a = g.layer(a, conv2, lp2)?;        // transform path
+/// let a = g.layer(a, scaleshift, lp3)?;   //   …with frozen batchnorm
+/// let x = g.add(a, b)?;                   // re-converge (b = identity skip)
+/// let x = g.layer(x, flatten, …)?;
+/// let x = g.layer(x, linear, lp4)?;
+/// let design = g.finish(x)?;
+/// ```
+///
+/// [`GraphBuilder::finish`] auto-sizes every fork out-edge FIFO so the
+/// fastest reconvergent path can buffer the slowest path's holdback (the
+/// line-buffer fill of windowed cores) — see the static checker's
+/// reconvergence-buffering rule for the latency math.
+pub struct GraphBuilder {
+    input: Shape3,
+    config: DesignConfig,
+    layers: Vec<Layer>,
+    port_entries: Vec<LayerPorts>,
+    cores: Vec<CoreInfo>,
+    edges: Vec<EdgeInfo>,
+    topo: Vec<StageNode>,
+    counts: Vec<(&'static str, usize)>,
+}
+
+impl GraphBuilder {
+    /// Start a graph over `input`-shaped images; the returned [`Tap`] is
+    /// the DMA source stream.
+    pub fn new(input: Shape3, config: DesignConfig) -> (Self, Tap) {
+        let builder = GraphBuilder {
+            input,
+            config,
+            layers: Vec::new(),
+            port_entries: Vec::new(),
+            cores: Vec::new(),
+            edges: Vec::new(),
+            topo: Vec::new(),
+            counts: Vec::new(),
+        };
+        let tap = Tap {
+            node: NodeRef::Source,
+            shape: input,
+            ports: 0, // the first core decides; the source adapts
+            stage: StageInput::Image,
+        };
+        (builder, tap)
+    }
+
+    fn edge(&mut self, from: NodeRef, to: NodeRef, ports: usize, values: u64) {
+        self.edges.push(EdgeInfo {
+            from,
+            to,
+            ports,
+            values_per_image: values,
+            depth: self.config.inter_fifo_depth,
+        });
+    }
+
+    /// Apply a network layer to a stream. Paper layers (conv, pool,
+    /// linear, scale-shift) instantiate a core — with a demux/widen
+    /// adapter at a port mismatch, exactly like the chain builder —
+    /// flatten is a core-less reshape stage, and the normalisation
+    /// operator is rejected (graph designs keep LogSoftMax on the host).
+    pub fn layer(
+        &mut self,
+        tap: Tap,
+        layer: impl Into<Layer>,
+        lp: LayerPorts,
+    ) -> Result<Tap, String> {
+        let layer: Layer = layer.into();
+        if model::is_reshape(&layer) {
+            if layer.input_shape() != tap.shape {
+                return Err(format!(
+                    "flatten expects {} but the stream carries {}",
+                    layer.input_shape(),
+                    tap.shape
+                ));
+            }
+            let out_shape = layer.output_shape();
+            self.layers.push(layer);
+            let t_idx = self.topo.len();
+            self.topo.push(StageNode {
+                core: None,
+                name: "flatten".to_string(),
+                inputs: vec![tap.stage],
+            });
+            return Ok(Tap {
+                node: tap.node,
+                shape: out_shape,
+                ports: tap.ports,
+                stage: StageInput::Stage(t_idx),
+            });
+        }
+        let Some(m) = model::paper_layer_model(&layer) else {
+            return Err(format!(
+                "graph designs keep the {} operator on the host",
+                layer.kind_name()
+            ));
+        };
+        if layer.input_shape() != tap.shape {
+            return Err(format!(
+                "{} expects {} but the stream carries {}",
+                layer.kind_name(),
+                layer.input_shape(),
+                tap.shape
+            ));
+        }
+        let name = model::next_name(&mut self.counts, m.label());
+        m.validate(&name, &layer, lp)?;
+        let plan = m.plan(&layer, lp, &self.config);
+
+        // adapter at a port mismatch (the source always adapts itself)
+        let mut from = tap.node;
+        let mut from_ports = tap.ports;
+        if from != NodeRef::Source && from_ports != lp.in_ports {
+            let a_idx = self.cores.len();
+            let adapter = model::adapter::plan_between(
+                from_ports,
+                lp.in_ports,
+                plan.params.in_fm,
+                plan.in_values_per_image,
+                a_idx,
+            )
+            .expect("ports differ");
+            self.edge(
+                from,
+                NodeRef::Core(a_idx),
+                from_ports,
+                plan.in_values_per_image,
+            );
+            self.cores.push(adapter);
+            from = NodeRef::Core(a_idx);
+            from_ports = lp.in_ports;
+        }
+        let _ = from_ports;
+
+        let out_shape = layer.output_shape();
+        let layer_index = self.layers.len();
+        self.layers.push(layer);
+        let core_idx = self.cores.len();
+        self.edge(
+            from,
+            NodeRef::Core(core_idx),
+            lp.in_ports,
+            plan.in_values_per_image,
+        );
+        self.cores.push(CoreInfo {
+            name: name.clone(),
+            params: plan.params,
+            layer_index: Some(layer_index),
+            in_values_per_image: plan.in_values_per_image,
+            positions: plan.positions,
+        });
+        self.port_entries.push(lp);
+        let t_idx = self.topo.len();
+        self.topo.push(StageNode {
+            core: Some(core_idx),
+            name,
+            inputs: vec![tap.stage],
+        });
+        Ok(Tap {
+            node: NodeRef::Core(core_idx),
+            shape: out_shape,
+            ports: lp.out_ports,
+            stage: StageInput::Stage(t_idx),
+        })
+    }
+
+    /// Tee a stream into `n ≥ 2` identical branches via a fork core.
+    pub fn fork(&mut self, tap: Tap, n: usize) -> Result<Vec<Tap>, String> {
+        if n < 2 {
+            return Err("a fork needs at least two branches".to_string());
+        }
+        if tap.node == NodeRef::Source {
+            return Err("the DMA source stream cannot be forked".to_string());
+        }
+        let fm = tap.shape.c;
+        if !fm.is_multiple_of(tap.ports) {
+            return Err(format!(
+                "fork ports {} do not divide the stream's {} FMs",
+                tap.ports, fm
+            ));
+        }
+        let idx = self.cores.len();
+        let values = tap.shape.len() as u64;
+        let info = model::fork::plan_fork(fm, tap.ports, values, idx);
+        self.edge(tap.node, NodeRef::Core(idx), tap.ports, values);
+        self.cores.push(info);
+        Ok((0..n)
+            .map(|_| Tap {
+                node: NodeRef::Core(idx),
+                shape: tap.shape,
+                ports: tap.ports,
+                stage: tap.stage, // the tee has no stage: branches share it
+            })
+            .collect())
+    }
+
+    /// Join two streams with an element-wise add core (`out = a + b`).
+    pub fn add(&mut self, a: Tap, b: Tap) -> Result<Tap, String> {
+        if a.node == NodeRef::Source || b.node == NodeRef::Source {
+            return Err("the DMA source stream cannot feed a join".to_string());
+        }
+        if a.shape != b.shape {
+            return Err(format!(
+                "eltwise-add operands must share a shape ({} vs {})",
+                a.shape, b.shape
+            ));
+        }
+        if a.ports != b.ports {
+            return Err(format!(
+                "eltwise-add operands must share a port count ({} vs {})",
+                a.ports, b.ports
+            ));
+        }
+        let idx = self.cores.len();
+        let info = model::eltwise::plan_add(a.shape, a.ports, idx);
+        let name = info.name.clone();
+        let values = a.shape.len() as u64;
+        self.edge(a.node, NodeRef::Core(idx), a.ports, values);
+        self.edge(b.node, NodeRef::Core(idx), b.ports, values);
+        self.cores.push(info);
+        let t_idx = self.topo.len();
+        self.topo.push(StageNode {
+            core: Some(idx),
+            name,
+            inputs: vec![a.stage, b.stage],
+        });
+        Ok(Tap {
+            node: NodeRef::Core(idx),
+            shape: a.shape,
+            ports: a.ports,
+            stage: StageInput::Stage(t_idx),
+        })
+    }
+
+    /// Terminate the graph at `tap` (the sink collects its full volume as
+    /// classifier scores), auto-size reconvergent-path FIFOs, and apply
+    /// the [`DesignConfig::skip_fifo_cap`] fault clamp if set.
+    pub fn finish(self, tap: Tap) -> Result<NetworkDesign, String> {
+        let mut me = self;
+        if me.cores.is_empty() || tap.node == NodeRef::Source {
+            return Err("a graph design needs at least one core".to_string());
+        }
+        let classes = tap.shape.len();
+        me.edge(tap.node, NodeRef::Sink, tap.ports, classes as u64);
+        let mut network = Network::new();
+        for l in me.layers {
+            network.push_unchecked(l);
+        }
+        assert_eq!(
+            network.input_shape(),
+            me.input,
+            "the first layer reads the graph input"
+        );
+        let mut design = NetworkDesign {
+            network,
+            ports: PortConfig {
+                layers: me.port_entries,
+            },
+            config: me.config,
+            cores: me.cores,
+            classes,
+            edges: me.edges,
+            stage_topo: Some(me.topo),
+        };
+        design.autosize_reconvergence();
+        if let Some(cap) = design.config.skip_fifo_cap {
+            // a fork is exactly a core with fan-out > 1 — clamp its
+            // out-edges (no per-kind dispatch; topology decides)
+            let fork_cores: Vec<usize> = (0..design.cores.len())
+                .filter(|&i| design.core_out_degree(i) > 1)
+                .collect();
+            for e in design.edges.iter_mut() {
+                if let NodeRef::Core(i) = e.from {
+                    if fork_cores.contains(&i) {
+                        e.depth = e.depth.min(cap);
+                    }
+                }
+            }
+        }
+        Ok(design)
+    }
+}
+
+impl NetworkDesign {
+    /// Deepen deficient fork out-edges until every reconvergent path pair
+    /// satisfies the buffering bound (fixpoint; each round recomputes the
+    /// deficits with the new depths).
+    fn autosize_reconvergence(&mut self) {
+        const SLACK: u64 = 8;
+        for _ in 0..16 {
+            let deficits = reconvergence_deficits(self);
+            if deficits.is_empty() {
+                break;
+            }
+            for d in deficits {
+                let e = &mut self.edges[d.first_edge];
+                let need = (d.required + SLACK).saturating_sub(d.capacity);
+                e.depth += need.div_ceil(e.ports as u64) as usize;
+            }
+        }
+    }
+}
+
+/// One violated reconvergence-buffering bound: the path starting at
+/// `first_edge` cannot buffer the sibling path's holdback.
+#[derive(Clone, Debug)]
+pub(crate) struct ReconvergenceDeficit {
+    /// The fork core where the paths diverge.
+    pub fork: String,
+    /// The join core where they re-converge.
+    pub join: String,
+    /// Edge index of the deficient path's first hop (a fork out-edge).
+    pub first_edge: usize,
+    /// The deficient path's total buffering capacity, in values.
+    pub capacity: u64,
+    /// The sibling path's holdback (line-buffer fill), in values.
+    pub required: u64,
+}
+
+/// Check every fork/join path pair of the design: while the slow path of
+/// a reconvergent pair holds back its first output (filling line
+/// buffers), the join keeps consuming nothing — so every value the fork
+/// pushes down the *other* path in that window must fit in that path's
+/// FIFOs and line buffers, or the fork blocks, the slow path starves and
+/// the graph deadlocks. Statically: for each ordered pair `(A, B)` of
+/// fork→join paths entering the join on different edges,
+/// `capacity(A) ≥ holdback(B)` where `capacity` sums FIFO depths × ports
+/// plus interior line-buffer capacity, and `holdback` sums the interior
+/// cores' SST line-buffer fill.
+pub(crate) fn reconvergence_deficits(design: &NetworkDesign) -> Vec<ReconvergenceDeficit> {
+    let mut out = Vec::new();
+    let n = design.cores.len();
+    for f in 0..n {
+        if design.core_out_degree(f) < 2 {
+            continue;
+        }
+        for j in 0..n {
+            if design.core_in_degree(j) < 2 {
+                continue;
+            }
+            let paths = fork_join_paths(design, f, j);
+            for a in &paths {
+                for b in &paths {
+                    if a.last() == b.last() {
+                        continue; // same join edge: same operand, not a pair
+                    }
+                    let capacity = path_capacity(design, a);
+                    let required = path_holdback(design, b);
+                    if capacity < required {
+                        out.push(ReconvergenceDeficit {
+                            fork: design.cores[f].name.clone(),
+                            join: design.cores[j].name.clone(),
+                            first_edge: a[0],
+                            capacity,
+                            required,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All simple core-to-core paths from core `from` to core `to`, as edge
+/// index lists (capped at 64 paths — graphs here are small).
+fn fork_join_paths(design: &NetworkDesign, from: usize, to: usize) -> Vec<Vec<usize>> {
+    fn dfs(
+        design: &NetworkDesign,
+        cur: usize,
+        to: usize,
+        stack: &mut Vec<usize>,
+        paths: &mut Vec<Vec<usize>>,
+    ) {
+        if paths.len() >= 64 {
+            return;
+        }
+        if cur == to && !stack.is_empty() {
+            paths.push(stack.clone());
+            return;
+        }
+        for (ei, e) in design.edges.iter().enumerate() {
+            if e.from != NodeRef::Core(cur) {
+                continue;
+            }
+            let NodeRef::Core(next) = e.to else { continue };
+            let revisits = stack
+                .iter()
+                .any(|&pe| design.edges[pe].to == NodeRef::Core(next));
+            if revisits {
+                continue;
+            }
+            stack.push(ei);
+            dfs(design, next, to, stack, paths);
+            stack.pop();
+        }
+    }
+    let mut paths = Vec::new();
+    dfs(design, from, to, &mut Vec::new(), &mut paths);
+    paths
+}
+
+/// Values a path can buffer: FIFO depth × ports of every edge, plus the
+/// line-buffer capacity of every interior core.
+fn path_capacity(design: &NetworkDesign, path: &[usize]) -> u64 {
+    let mut cap: u64 = path
+        .iter()
+        .map(|&ei| (design.edges[ei].depth * design.edges[ei].ports) as u64)
+        .sum();
+    for &ei in &path[..path.len() - 1] {
+        if let NodeRef::Core(c) = design.edges[ei].to {
+            let core = &design.cores[c];
+            let profile = model::model_for(core.params.kind).static_profile(design, core);
+            if let Some(lb) = profile.line_buffer {
+                cap += (lb.capacity_per_port * core.params.in_ports) as u64;
+            }
+        }
+    }
+    cap
+}
+
+/// Values a path consumes before emitting its first output: the SST
+/// line-buffer fill of every interior windowed core.
+fn path_holdback(design: &NetworkDesign, path: &[usize]) -> u64 {
+    let mut hold = 0u64;
+    for &ei in &path[..path.len() - 1] {
+        if let NodeRef::Core(c) = design.edges[ei].to {
+            let core = &design.cores[c];
+            let profile = model::model_for(core.params.kind).static_profile(design, core);
+            if let Some(lb) = profile.line_buffer {
+                hold += (lb.required_per_port * core.params.in_ports) as u64;
+            }
+        }
+    }
+    hold
+}
+
+/// Shared in-crate test fixture: an 8×8×2 residual block
+/// (conv → fork → { conv → scaleshift | identity } → add → flatten →
+/// linear), the canonical fork/join design the checker, simulator and
+/// engines are all exercised against.
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+    use dfcnn_nn::act::Activation;
+    use dfcnn_nn::layer::{Conv2d, Flatten, Linear, ScaleShift};
+    use dfcnn_tensor::{ConvGeometry, Tensor1, Tensor4};
+
+    pub(crate) fn residual_graph(config: DesignConfig) -> NetworkDesign {
+        let input = Shape3::new(8, 8, 2);
+        let geo = ConvGeometry::new(input, 3, 3, 1, 1); // shape-preserving
+        let trunk_f = Tensor4::from_fn(2, 3, 3, 2, |k, y, x, c| {
+            ((k + 2 * y + x + c) as f32) * 0.05 - 0.1
+        });
+        let trunk = Conv2d::new(geo, trunk_f, Tensor1::zeros(2), Activation::Identity);
+        let branch_f = Tensor4::from_fn(2, 3, 3, 2, |k, y, x, c| {
+            ((3 * k + y + x + 2 * c) as f32) * 0.04 - 0.15
+        });
+        let branch = Conv2d::new(geo, branch_f, Tensor1::zeros(2), Activation::Identity);
+        let bn = ScaleShift::new(input, vec![0.9, 1.2], vec![0.05, -0.1]);
+        let fc_w = Tensor4::from_fn(4, 1, 1, 128, |j, _, _, i| {
+            ((j * 31 + i) % 17) as f32 * 0.02 - 0.16
+        });
+        let fc = Linear::new(fc_w, Tensor1::zeros(4), Activation::Identity);
+
+        let (mut g, x) = GraphBuilder::new(input, config);
+        let x = g.layer(x, trunk, LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let skip = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        let a = g.layer(a, branch, LayerPorts::SINGLE).unwrap();
+        let a = g.layer(a, bn, LayerPorts::SINGLE).unwrap();
+        let x = g.add(a, skip).unwrap();
+        let x = g.layer(x, Flatten::new(input), LayerPorts::SINGLE).unwrap();
+        let x = g.layer(x, fc, LayerPorts::SINGLE).unwrap();
+        g.finish(x).unwrap()
     }
 }
 
@@ -766,6 +1460,200 @@ mod tests {
             hw.max_abs_diff(reference) < 1e-4,
             "diff = {}",
             hw.max_abs_diff(reference)
+        );
+    }
+
+    #[test]
+    fn chain_edges_are_the_linear_list() {
+        let d = NetworkDesign::new(
+            &tc1_network(),
+            PortConfig::paper_test_case_1(),
+            DesignConfig::default(),
+        )
+        .unwrap();
+        assert!(!d.is_graph());
+        assert!(d.stage_topo().is_none());
+        let edges = d.edges();
+        assert_eq!(edges.len(), d.cores().len() + 1);
+        assert_eq!(edges[0].from, NodeRef::Source);
+        assert_eq!(edges[0].to, NodeRef::Core(0));
+        assert_eq!(edges[0].ports, 1, "conv1 reads one port");
+        assert_eq!(edges.last().unwrap().to, NodeRef::Sink);
+        assert_eq!(edges.last().unwrap().values_per_image, 10);
+        for (i, e) in edges.iter().enumerate().skip(1).take(edges.len() - 2) {
+            assert_eq!(e.from, NodeRef::Core(i - 1));
+            assert_eq!(e.to, NodeRef::Core(i));
+            assert_eq!(e.depth, d.config().inter_fifo_depth);
+        }
+        for i in 0..d.cores().len() {
+            assert_eq!(d.core_in_degree(i), 1);
+            assert_eq!(d.core_out_degree(i), 1);
+        }
+    }
+
+    // --- fork/join graph construction ---
+
+    use super::fixtures::residual_graph;
+    use dfcnn_nn::act::Activation;
+    use dfcnn_nn::layer::Conv2d;
+    use dfcnn_tensor::{ConvGeometry, Tensor1, Tensor4};
+
+    #[test]
+    fn residual_graph_topology() {
+        let d = residual_graph(DesignConfig::default());
+        assert!(d.is_graph());
+        let names: Vec<_> = d.cores().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["conv1", "fork1", "conv2", "scaleshift1", "add4", "fc1"]
+        );
+        // fork fans out to the branch conv and the join; the join reads two
+        assert_eq!(d.core_out_degree(1), 2);
+        assert_eq!(d.core_in_degree(4), 2);
+        assert_eq!(d.classes(), 4);
+        let topo = d.stage_topo().unwrap();
+        let stage_names: Vec<_> = topo.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(
+            stage_names,
+            vec!["conv1", "conv2", "scaleshift1", "add4", "flatten", "fc1"]
+        );
+        // both add operands resolve: scaleshift stage and the trunk conv
+        assert_eq!(
+            topo[3].inputs,
+            vec![StageInput::Stage(2), StageInput::Stage(0)]
+        );
+        // the fork has no stage: the skip operand taps the trunk directly
+        let diag = d.render_block_diagram();
+        for n in ["fork1 tee", "eltwise-add", "scaleshift1"] {
+            assert!(diag.contains(n), "missing {n} in: {diag}");
+        }
+    }
+
+    #[test]
+    fn skip_fifo_is_auto_sized_for_the_conv_holdback() {
+        let d = residual_graph(DesignConfig::default());
+        // fork -> add edge: must hold the branch conv's line-buffer fill
+        // ((3-1)*8 + 3) * 2 = 38 values > the default depth of 8
+        let skip = d
+            .edges()
+            .iter()
+            .find(|e| e.from == NodeRef::Core(1) && e.to == NodeRef::Core(4))
+            .expect("skip edge exists");
+        assert!(
+            skip.depth * skip.ports >= 38,
+            "skip FIFO too shallow: {} x {}",
+            skip.depth,
+            skip.ports
+        );
+        assert!(reconvergence_deficits(&d).is_empty());
+        // the fork -> branch-conv edge keeps the default depth
+        let branch = d
+            .edges()
+            .iter()
+            .find(|e| e.from == NodeRef::Core(1) && e.to == NodeRef::Core(2))
+            .unwrap();
+        assert_eq!(branch.depth, d.config().inter_fifo_depth);
+    }
+
+    #[test]
+    fn skip_fifo_cap_reintroduces_the_deficit() {
+        let d = residual_graph(DesignConfig {
+            skip_fifo_cap: Some(2),
+            ..DesignConfig::default()
+        });
+        let deficits = reconvergence_deficits(&d);
+        assert!(!deficits.is_empty(), "clamped skip FIFO must be deficient");
+        assert_eq!(deficits[0].fork, "fork1");
+        assert_eq!(deficits[0].join, "add4");
+        assert!(deficits[0].capacity < deficits[0].required);
+    }
+
+    #[test]
+    fn residual_reference_forward_composes_the_layers() {
+        let d = residual_graph(DesignConfig::default());
+        let x = Tensor3::from_fn(Shape3::new(8, 8, 2), |y, xx, c| {
+            ((y * 8 + xx) as f32) * 0.01 + c as f32 * 0.3
+        });
+        let layers = d.network().layers();
+        let trunk = layers[0].forward(&x);
+        let branch = layers[2].forward(&layers[1].forward(&trunk));
+        let sum = Tensor3::from_vec(
+            trunk.shape(),
+            branch
+                .as_slice()
+                .iter()
+                .zip(trunk.as_slice())
+                .map(|(a, b)| a + b)
+                .collect(),
+        );
+        let flat = Tensor3::from_vec(Shape3::new(1, 1, 128), sum.as_slice().to_vec());
+        let expect = layers[4].forward(&flat);
+        let got = model::reference_forward(&d, &x);
+        assert_eq!(got.as_slice(), expect.as_slice());
+        // the hardware-order forward agrees within kernel rounding
+        let hw = d.hw_forward(&x);
+        assert!(
+            hw.max_abs_diff(&expect) < 1e-4,
+            "diff = {}",
+            hw.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn graph_builder_rejects_bad_wiring() {
+        let input = Shape3::new(8, 8, 2);
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let err = g.fork(x, 2).unwrap_err();
+        assert!(err.contains("source"), "{err}");
+
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let geo = ConvGeometry::new(input, 3, 3, 1, 1);
+        let f = Tensor4::from_fn(2, 3, 3, 2, |_, _, _, _| 0.1);
+        let conv = Conv2d::new(geo, f, Tensor1::zeros(2), Activation::Identity);
+        let x = g.layer(x, conv, LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let b = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        // pool one branch so shapes diverge: the join must reject it
+        let pgeo = ConvGeometry::new(input, 2, 2, 2, 0);
+        let pool = dfcnn_nn::layer::Pool2d::new(pgeo, dfcnn_nn::layer::PoolKind::Max);
+        let a = g.layer(a, pool, LayerPorts::SINGLE).unwrap();
+        let err = g.add(a, b).unwrap_err();
+        assert!(err.contains("share a shape"), "{err}");
+    }
+
+    #[test]
+    fn graph_with_port_mismatch_inserts_an_adapter() {
+        let input = Shape3::new(8, 8, 2);
+        let geo = ConvGeometry::new(input, 3, 3, 1, 1);
+        let mk_conv = |seed: usize| {
+            let f = Tensor4::from_fn(2, 3, 3, 2, move |k, y, x, c| {
+                ((seed + k + y + x + c) as f32) * 0.03
+            });
+            Conv2d::new(geo, f, Tensor1::zeros(2), Activation::Identity)
+        };
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let x = g.layer(x, mk_conv(0), LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let skip = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        // branch conv reads 2 ports while the fork emits 1: demux needed
+        let a = g
+            .layer(
+                a,
+                mk_conv(1),
+                LayerPorts {
+                    in_ports: 2,
+                    out_ports: 1,
+                },
+            )
+            .unwrap();
+        let x = g.add(a, skip).unwrap();
+        let d = g.finish(x).unwrap();
+        assert!(
+            d.cores().iter().any(|c| c.name.starts_with("demux")),
+            "missing demux: {:?}",
+            d.cores().iter().map(|c| &c.name).collect::<Vec<_>>()
         );
     }
 }

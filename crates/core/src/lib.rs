@@ -67,6 +67,10 @@ pub use check::{
     RuleId, Severity,
 };
 pub use exec::{ExecResult, PipelineProfile, ReplicationPlan, StageProfile, ThreadedEngine};
-pub use graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+pub use graph::{
+    DesignConfig, EdgeInfo, GraphBuilder, LayerPorts, NetworkDesign, NodeRef, PortConfig,
+    StageInput, StageNode, Tap,
+};
+pub use model::{host_pipeline, reference_forward, HostStage};
 pub use observe::{DriftReport, RunReport};
 pub use sim::{DeadlockReport, SimError, SimResult, Simulator};

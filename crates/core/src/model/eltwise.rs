@@ -1,0 +1,424 @@
+//! The element-wise add core — the join point of a fork/join graph.
+//!
+//! A residual block re-converges its transform path and its identity skip
+//! path by adding them value for value: both operands arrive in the same
+//! stream order (`(y, x, c)` pixel-major, FM-minor), so the join is a
+//! two-operand zip with one floating add per output value — no window, no
+//! reduction, no weights. It is the one core kind whose actor reads *two*
+//! full port groups ([`CoreModel::input_channel_count`] is `2·IN_PORTS`):
+//! operand `o`'s port `p` is input channel `o·P + p`.
+//!
+//! The actor consumes in strict global FM order and only moves a value
+//! when both operand FIFOs have it and the output has room — a dry skip
+//! path stalls the join, which is what makes undersized skip FIFOs
+//! deadlock (see the static checker's reconvergence-buffering rule).
+
+use super::{CoreModel, CorePlan, StageSpec, StageWorker, StaticProfile};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::port::fm_port;
+use crate::sim::{Actor, Quiescence, Wiring};
+use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::{EventKind, Stall, Trace};
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::Layer;
+use dfcnn_tensor::{Shape3, Tensor3};
+use std::fmt::Write as _;
+
+/// The element-wise add [`CoreModel`].
+pub struct EltwiseAddModel;
+
+/// Plan an eltwise-add core joining two `shape`-sized streams on `ports`
+/// ports per operand; `index` numbers the core in pipeline order.
+pub(crate) fn plan_add(shape: Shape3, ports: usize, index: usize) -> CoreInfo {
+    let c = shape.c;
+    CoreInfo {
+        name: format!("add{index}"),
+        params: CoreParams {
+            kind: CoreKind::EltwiseAdd,
+            in_fm: c,
+            out_fm: c,
+            in_ports: ports,
+            out_ports: ports,
+            kh: 1,
+            kw: 1,
+            image_w: shape.w,
+            ii: pipeline_ii(c, ports, c, ports),
+            weights: 0,
+            accumulators: 1,
+        },
+        layer_index: None,
+        in_values_per_image: 2 * shape.len() as u64,
+        positions: (shape.h * shape.w) as u64,
+    }
+}
+
+/// The join actor: `out[p] = a[p] + b[p]` in strict global FM order.
+/// Input channels hold operand A's ports then operand B's.
+pub struct EltwiseCore {
+    name: String,
+    in_chs: Vec<ChannelId>,
+    out_chs: Vec<ChannelId>,
+    fm: usize,
+    seq: u64,
+    moved: u64,
+}
+
+impl EltwiseCore {
+    /// Build the join over `fm` interleaved FMs; `in_chs` is `2·P` wide.
+    pub fn new(
+        name: impl Into<String>,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+        fm: usize,
+    ) -> Self {
+        assert_eq!(
+            in_chs.len(),
+            2 * out_chs.len(),
+            "eltwise-add reads two operand port groups"
+        );
+        assert!(!out_chs.is_empty(), "eltwise-add needs ports");
+        assert_eq!(fm % out_chs.len(), 0, "ports must divide FM count");
+        EltwiseCore {
+            name: name.into(),
+            in_chs,
+            out_chs,
+            fm,
+            seq: 0,
+            moved: 0,
+        }
+    }
+}
+
+impl Actor for EltwiseCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
+        let p_count = self.out_chs.len();
+        let mut used = vec![false; p_count];
+        // strict global order; stop at the first value either operand
+        // cannot supply or the output cannot accept
+        for _ in 0..p_count {
+            let f = (self.seq % self.fm as u64) as usize;
+            let p = fm_port(f, p_count);
+            if used[p] {
+                break;
+            }
+            let (src_a, src_b) = (self.in_chs[p], self.in_chs[p_count + p]);
+            if chans.peek(src_a).is_none()
+                || chans.peek(src_b).is_none()
+                || !chans.can_push(self.out_chs[p])
+            {
+                break;
+            }
+            let a = chans.pop(src_a).unwrap();
+            let b = chans.pop(src_b).unwrap();
+            chans.push(self.out_chs[p], a + b);
+            used[p] = true;
+            self.seq += 1;
+            self.moved += 1;
+            trace.record(cycle, &self.name, EventKind::Emit);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        false // the zip holds no state between cycles
+    }
+
+    fn initiations(&self) -> u64 {
+        self.moved
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_chs.clone(),
+        }
+    }
+
+    fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+        let p_count = self.out_chs.len();
+        let f = (self.seq % self.fm as u64) as usize;
+        let p = fm_port(f, p_count);
+        if chans.peek(self.in_chs[p]).is_some()
+            && chans.peek(self.in_chs[p_count + p]).is_some()
+            && chans.can_push(self.out_chs[p])
+        {
+            Quiescence::Active
+        } else {
+            Quiescence::Wait(None)
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        let p_count = self.out_chs.len();
+        let f = (self.seq % self.fm as u64) as usize;
+        let p = fm_port(f, p_count);
+        if chans.peek(self.in_chs[p]).is_none() {
+            Stall::Starved(p)
+        } else if chans.peek(self.in_chs[p_count + p]).is_none() {
+            Stall::Starved(p_count + p)
+        } else if !chans.can_push(self.out_chs[p]) {
+            Stall::Backpressured(p)
+        } else {
+            Stall::Computing // the move happens next tick
+        }
+    }
+}
+
+struct EltwiseWorker;
+
+impl StageWorker for EltwiseWorker {
+    fn apply_into(&mut self, _input: &Tensor3<f32>, _out: &mut Tensor3<f32>) {
+        unreachable!("eltwise-add is a two-operand stage; use apply_multi")
+    }
+
+    fn apply_multi(&mut self, inputs: &[&Tensor3<f32>], out: &mut Tensor3<f32>) {
+        let (a, b) = (inputs[0].as_slice(), inputs[1].as_slice());
+        for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(a.iter().zip(b)) {
+            *o = x + y;
+        }
+    }
+}
+
+impl CoreModel for EltwiseAddModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::EltwiseAdd
+    }
+
+    fn label(&self) -> &'static str {
+        "add"
+    }
+
+    fn feature_maps(&self, _layer: &Layer) -> (usize, usize) {
+        unreachable!("eltwise-add cores are planned from graph joins, not layers")
+    }
+
+    fn plan(&self, _layer: &Layer, _lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        unreachable!("eltwise-add cores are planned from graph joins, not layers")
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, _config: &DesignConfig) -> u64 {
+        core.positions * core.params.ii as u64
+    }
+
+    fn static_profile(&self, _design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
+        let p = &core.params;
+        StaticProfile {
+            // the two operand streams collapse into one
+            out_values_per_image: core.in_values_per_image / 2,
+            expected_ii: pipeline_ii(p.in_fm, p.in_ports, p.out_fm, p.out_ports),
+            line_buffer: None,
+        }
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        format!(
+            "[{} eltwise-add {}FM in:2x{} out:{} II={}]",
+            core.name,
+            core.params.in_fm,
+            core.params.in_ports,
+            core.params.out_ports,
+            core.params.ii
+        )
+    }
+
+    fn make_actor(
+        &self,
+        _design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        Box::new(EltwiseCore::new(
+            core.name.clone(),
+            in_chs,
+            out_chs,
+            core.params.in_fm,
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, interface_pragmas, stream_args};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let mut s = header();
+        let _ = write!(
+            s,
+            "// element-wise add core: joins the two branches of a fork/join\n\
+             // graph value for value (both operands arrive in the same\n\
+             // stream order). One floating add per output value.\n\
+             void {name}({a}, {b}, {outs}) {{\n{apr}{bpr}{opr}\
+             \x20   add: for (int i = 0; ; ++i) {{\n\
+             #pragma HLS PIPELINE II={ii}\n",
+            name = info.name,
+            a = stream_args("a", p.in_ports),
+            b = stream_args("b", p.in_ports),
+            outs = stream_args("out", p.out_ports),
+            apr = interface_pragmas("a", p.in_ports),
+            bpr = interface_pragmas("b", p.in_ports),
+            opr = interface_pragmas("out", p.out_ports),
+            ii = p.ii,
+        );
+        for port in 0..p.out_ports {
+            let _ = writeln!(
+                s,
+                "        out{port}.write(a{port}.read() + b{port}.read());"
+            );
+        }
+        s.push_str("    }\n}\n");
+        s
+    }
+
+    fn stage(
+        &self,
+        _name: String,
+        _layer: &Layer,
+        _lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        None // not layer-backed; graph_stage builds the join stage
+    }
+
+    fn input_channel_count(&self, core: &CoreInfo) -> usize {
+        2 * core.params.in_ports
+    }
+
+    fn graph_stage(
+        &self,
+        _design: &NetworkDesign,
+        core: &CoreInfo,
+        in_shapes: &[Shape3],
+    ) -> Option<StageSpec> {
+        assert_eq!(in_shapes.len(), 2, "eltwise-add joins exactly two operands");
+        assert_eq!(in_shapes[0], in_shapes[1], "operand shapes must match");
+        Some(StageSpec::new(core.name.clone(), in_shapes[0], || {
+            Box::new(EltwiseWorker)
+        }))
+    }
+
+    fn reference_apply(
+        &self,
+        _design: &NetworkDesign,
+        _core: &CoreInfo,
+        inputs: &[&Tensor3<f32>],
+    ) -> Option<Tensor3<f32>> {
+        let (a, b) = (inputs[0], inputs[1]);
+        assert_eq!(a.shape(), b.shape(), "operand shapes must match");
+        Some(Tensor3::from_vec(
+            a.shape(),
+            a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| x + y)
+                .collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(core: &mut EltwiseCore, chans: &mut ChannelSet, cycles: usize) {
+        let mut trace = Trace::disabled();
+        for c in 0..cycles {
+            core.tick(c as u64, chans, &mut trace);
+            chans.commit_all();
+        }
+    }
+
+    fn drain(chans: &mut ChannelSet, id: ChannelId) -> Vec<f32> {
+        let mut v = Vec::new();
+        while let Some(x) = chans.pop(id) {
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn adds_value_for_value() {
+        let mut chans = ChannelSet::new();
+        let a0 = chans.alloc(16);
+        let b0 = chans.alloc(16);
+        let o0 = chans.alloc(16);
+        for f in 0..4 {
+            chans.push(a0, f as f32);
+            chans.push(b0, (10 * f) as f32);
+        }
+        chans.commit_all();
+        let mut core = EltwiseCore::new("add", vec![a0, b0], vec![o0], 2);
+        drive(&mut core, &mut chans, 8);
+        assert_eq!(drain(&mut chans, o0), vec![0.0, 11.0, 22.0, 33.0]);
+        assert_eq!(core.initiations(), 4);
+    }
+
+    #[test]
+    fn dry_operand_stalls_the_join() {
+        let mut chans = ChannelSet::new();
+        let a0 = chans.alloc(16);
+        let b0 = chans.alloc(16);
+        let o0 = chans.alloc(16);
+        chans.push(a0, 1.0);
+        chans.commit_all();
+        let mut core = EltwiseCore::new("add", vec![a0, b0], vec![o0], 1);
+        drive(&mut core, &mut chans, 4);
+        assert!(chans.get(o0).is_empty(), "no output without both operands");
+        // the second operand group starts at index P
+        assert!(matches!(core.stall(&chans), Stall::Starved(1)));
+        chans.push(b0, 2.0);
+        chans.commit_all();
+        drive(&mut core, &mut chans, 4);
+        assert_eq!(drain(&mut chans, o0), vec![3.0]);
+    }
+
+    #[test]
+    fn two_ports_move_in_parallel() {
+        let mut chans = ChannelSet::new();
+        let a: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        let b: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        let o: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        // 2 FMs on 2 ports: f=0 on port 0, f=1 on port 1
+        chans.push(a[0], 1.0);
+        chans.push(a[1], 2.0);
+        chans.push(b[0], 10.0);
+        chans.push(b[1], 20.0);
+        chans.commit_all();
+        let mut core = EltwiseCore::new("add", [a, b].concat(), o.clone(), 2);
+        let mut trace = Trace::disabled();
+        core.tick(0, &mut chans, &mut trace);
+        chans.commit_all();
+        // both FMs of the pixel move in the same cycle on distinct ports
+        assert_eq!(drain(&mut chans, o[0]), vec![11.0]);
+        assert_eq!(drain(&mut chans, o[1]), vec![22.0]);
+    }
+
+    #[test]
+    fn worker_matches_reference_apply() {
+        let shape = Shape3::new(2, 2, 2);
+        let a = Tensor3::from_fn(shape, |y, x, c| (y * 4 + x * 2 + c) as f32 * 0.25);
+        let b = Tensor3::from_fn(shape, |y, x, c| (y + x + c) as f32 * -0.5);
+        let mut out = Tensor3::zeros(shape);
+        EltwiseWorker.apply_multi(&[&a, &b], &mut out);
+        let expect: Vec<f32> = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x + y)
+            .collect();
+        assert_eq!(out.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn plan_add_shape() {
+        let info = plan_add(Shape3::new(4, 4, 6), 2, 5);
+        assert_eq!(info.name, "add5");
+        assert_eq!(info.params.kind, CoreKind::EltwiseAdd);
+        assert_eq!(info.params.ii, 3); // 6 FMs over 2 ports
+        assert_eq!(info.in_values_per_image, 2 * 96);
+        assert_eq!(info.positions, 16);
+        assert!(info.layer_index.is_none());
+    }
+}

@@ -24,11 +24,14 @@
 
 pub mod adapter;
 pub mod conv;
+pub mod eltwise;
 pub mod fc;
+pub mod fork;
 pub mod logsoftmax;
 pub mod pool;
+pub mod scaleshift;
 
-use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign, StageInput};
 use crate::sim::Actor;
 use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
@@ -83,6 +86,13 @@ pub struct CorePlan {
 pub trait StageWorker: Send {
     /// Forward one image through the stage (no allocation at steady state).
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>);
+
+    /// Forward one image through a stage with several input operands
+    /// (fork/join designs). Single-input stages ignore all but the first
+    /// operand; multi-input kinds (the eltwise-add join) override.
+    fn apply_multi(&mut self, inputs: &[&Tensor3<f32>], out: &mut Tensor3<f32>) {
+        self.apply_into(inputs[0], out);
+    }
 }
 
 /// One stage of the host pipeline ([`crate::exec::ThreadedEngine`] and
@@ -223,6 +233,50 @@ pub trait CoreModel: Sync {
         config: &DesignConfig,
     ) -> Option<StageSpec>;
 
+    /// How many input channels the instantiated actor consumes. The
+    /// default is one channel per input port; two-operand joins (the
+    /// eltwise-add core) read a full port group per operand and override.
+    fn input_channel_count(&self, core: &CoreInfo) -> usize {
+        core.params.in_ports
+    }
+
+    /// The host pipeline stage of one core in a *graph* (fork/join)
+    /// design, given the shapes of its input operands. The default serves
+    /// layer-backed cores through [`CoreModel::stage`]; plumbing kinds
+    /// (adapters, fork) have no stage and multi-input kinds override.
+    fn graph_stage(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        _in_shapes: &[Shape3],
+    ) -> Option<StageSpec> {
+        let idx = core.layer_index?;
+        let lp = LayerPorts {
+            in_ports: core.params.in_ports,
+            out_ports: core.params.out_ports,
+        };
+        self.stage(
+            core.name.clone(),
+            &design.network().layers()[idx],
+            lp,
+            design.config(),
+        )
+    }
+
+    /// Reference-numerics forward of one core in a graph design (the
+    /// independent check the conformance suite compares the engines
+    /// against). Layer-backed cores run their network layer's forward;
+    /// plumbing kinds return `None`; multi-input kinds override.
+    fn reference_apply(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        inputs: &[&Tensor3<f32>],
+    ) -> Option<Tensor3<f32>> {
+        core.layer_index
+            .map(|idx| design.network().layers()[idx].forward(inputs[0]))
+    }
+
     /// Candidate `OUT_PORTS` values for design-space exploration: divisors
     /// of `OUT_FM` up to `max_ports` (single-port kinds are fixed at 1).
     fn out_port_options(&self, layer: &Layer, max_ports: usize) -> Vec<usize> {
@@ -269,6 +323,9 @@ static FC_MODEL: fc::FcModel = fc::FcModel;
 static DEMUX_MODEL: adapter::DemuxModel = adapter::DemuxModel;
 static WIDEN_MODEL: adapter::WidenModel = adapter::WidenModel;
 static LOGSOFTMAX_MODEL: logsoftmax::LogSoftmaxModel = logsoftmax::LogSoftmaxModel;
+static FORK_MODEL: fork::ForkModel = fork::ForkModel;
+static ELTWISE_MODEL: eltwise::EltwiseAddModel = eltwise::EltwiseAddModel;
+static SCALESHIFT_MODEL: scaleshift::ScaleShiftModel = scaleshift::ScaleShiftModel;
 
 /// The model owning a [`CoreKind`] — the single dispatch point every
 /// consumer goes through.
@@ -280,6 +337,9 @@ pub fn model_for(kind: CoreKind) -> &'static dyn CoreModel {
         CoreKind::Demux => &DEMUX_MODEL,
         CoreKind::Widen => &WIDEN_MODEL,
         CoreKind::LogSoftmax => &LOGSOFTMAX_MODEL,
+        CoreKind::Fork => &FORK_MODEL,
+        CoreKind::EltwiseAdd => &ELTWISE_MODEL,
+        CoreKind::ScaleShift => &SCALESHIFT_MODEL,
     }
 }
 
@@ -291,6 +351,7 @@ pub fn paper_layer_model(layer: &Layer) -> Option<&'static dyn CoreModel> {
         Layer::Conv(_) => Some(&CONV_MODEL),
         Layer::Pool(_) => Some(&POOL_MODEL),
         Layer::Linear(_) => Some(&FC_MODEL),
+        Layer::ScaleShift(_) => Some(&SCALESHIFT_MODEL),
         Layer::Flatten(_) | Layer::LogSoftmax(_) => None,
     }
 }
@@ -299,6 +360,13 @@ pub fn paper_layer_model(layer: &Layer) -> Option<&'static dyn CoreModel> {
 /// on-fabric when [`DesignConfig::fabric_normalization`] is set).
 pub fn is_normalization(layer: &Layer) -> bool {
     matches!(layer, Layer::LogSoftmax(_))
+}
+
+/// Whether a layer is the core-less reshape (flatten): the graph builder
+/// gives it a stage node but no fabric core — the stream is already in
+/// (y, x, c) order, so on the wire it is a no-op.
+pub fn is_reshape(layer: &Layer) -> bool {
+    matches!(layer, Layer::Flatten(_))
 }
 
 /// The model of the on-fabric normalisation core.
@@ -379,6 +447,109 @@ pub fn pipeline_stages(design: &NetworkDesign) -> Vec<StageSpec> {
     stages
 }
 
+/// One stage of the host pipeline together with where its input operands
+/// come from — the graph-aware generalisation of a bare [`StageSpec`]
+/// list. Chains degenerate to `inputs = [previous stage]`.
+#[derive(Debug)]
+pub struct HostStage {
+    /// The stage's name, output geometry and worker factory.
+    pub spec: StageSpec,
+    /// The stage's input operands, in core input-edge order.
+    pub inputs: Vec<StageInput>,
+}
+
+/// The host pipeline of any design — chain or fork/join graph — as
+/// [`HostStage`]s in topological order. Chain designs reuse
+/// [`pipeline_stages`] verbatim (each stage reads its predecessor), so
+/// [`crate::exec::ThreadedEngine`] and [`NetworkDesign::hw_forward`] stay
+/// bit-identical to before; graph designs walk the recorded stage
+/// topology and resolve each core's stage via
+/// [`CoreModel::graph_stage`].
+pub fn host_pipeline(design: &NetworkDesign) -> Vec<HostStage> {
+    let Some(topo) = design.stage_topo() else {
+        return pipeline_stages(design)
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| HostStage {
+                spec,
+                inputs: vec![if i == 0 {
+                    StageInput::Image
+                } else {
+                    StageInput::Stage(i - 1)
+                }],
+            })
+            .collect();
+    };
+    let mut shapes: Vec<Shape3> = Vec::with_capacity(topo.len());
+    let mut stages = Vec::with_capacity(topo.len());
+    for node in topo {
+        let in_shapes: Vec<Shape3> = node
+            .inputs
+            .iter()
+            .map(|si| match si {
+                StageInput::Image => design.network().input_shape(),
+                StageInput::Stage(j) => shapes[*j],
+            })
+            .collect();
+        let spec = match node.core {
+            Some(ci) => {
+                let core = &design.cores()[ci];
+                model_for(core.params.kind)
+                    .graph_stage(design, core, &in_shapes)
+                    .expect("graph stage nodes always map to a host stage")
+            }
+            None => {
+                // flatten — the only core-less stage node
+                let flat = Shape3::new(1, 1, in_shapes[0].len());
+                StageSpec::new(node.name.clone(), flat, || Box::new(FlattenWorker))
+            }
+        };
+        shapes.push(spec.out_shape);
+        stages.push(HostStage {
+            spec,
+            inputs: node.inputs.clone(),
+        });
+    }
+    stages
+}
+
+/// Reference-numerics forward pass of a *graph* design: every stage
+/// evaluated with the network layers' own forward (left-to-right
+/// summation etc.), independent of the hardware-order kernels — the
+/// tolerance baseline the conformance suite compares all three engines
+/// against. Chain designs use [`dfcnn_nn::Network::forward_trace`]
+/// instead.
+pub fn reference_forward(design: &NetworkDesign, input: &Tensor3<f32>) -> Tensor3<f32> {
+    let topo = design
+        .stage_topo()
+        .expect("reference_forward is for graph designs");
+    let mut outs: Vec<Tensor3<f32>> = Vec::with_capacity(topo.len());
+    for node in topo {
+        let ins: Vec<&Tensor3<f32>> = node
+            .inputs
+            .iter()
+            .map(|si| match si {
+                StageInput::Image => input,
+                StageInput::Stage(j) => &outs[*j],
+            })
+            .collect();
+        let out = match node.core {
+            Some(ci) => {
+                let core = &design.cores()[ci];
+                model_for(core.params.kind)
+                    .reference_apply(design, core, &ins)
+                    .expect("graph stage nodes have a reference map")
+            }
+            None => {
+                let flat = Shape3::new(1, 1, ins[0].shape().len());
+                Tensor3::from_vec(flat, ins[0].as_slice().to_vec())
+            }
+        };
+        outs.push(out);
+    }
+    outs.pop().expect("graph design has stages")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,6 +578,9 @@ mod tests {
             CoreKind::Demux,
             CoreKind::Widen,
             CoreKind::LogSoftmax,
+            CoreKind::Fork,
+            CoreKind::EltwiseAdd,
+            CoreKind::ScaleShift,
         ] {
             let m = model_for(kind);
             assert_eq!(m.kind(), kind, "model registered under the wrong kind");

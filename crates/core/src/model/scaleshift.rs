@@ -1,0 +1,424 @@
+//! The scale-shift core — frozen (inference-time) batch normalisation on
+//! the fabric.
+//!
+//! A trained batch-norm collapses to one `(γ', β')` pair per feature map
+//! (see [`dfcnn_nn::layer::ScaleShift`]), which on a dataflow accelerator
+//! is a stateless streaming core: two small coefficient ROMs, one
+//! multiply and one add per value, no window, no reduction. It is a
+//! *paper layer* in the builder's sense — it carries a
+//! [`LayerPorts`] entry and an Eq. 4 II like conv/pool/FC — and its actor
+//! streams in strict global FM order exactly like
+//! [`crate::port::PortAdapter`], applying `y = scale[f]·x + shift[f]` on
+//! the way through. The same flat-index expression
+//! (`scale[i mod C]·x + shift[i mod C]`, channel-fastest storage) is used
+//! by the network layer, the host pipeline worker and the actor, so all
+//! three engines stay bit-identical.
+
+use super::{CoreModel, CorePlan, StageSpec, StageWorker};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign};
+use crate::port::fm_port;
+use crate::sim::{Actor, Quiescence, Wiring};
+use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::{EventKind, Stall, Trace};
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::Layer;
+use dfcnn_tensor::Tensor3;
+use std::fmt::Write as _;
+
+/// The scale-shift [`CoreModel`].
+pub struct ScaleShiftModel;
+
+fn scaleshift_of(layer: &Layer) -> &dfcnn_nn::layer::ScaleShift {
+    match layer {
+        Layer::ScaleShift(l) => l,
+        _ => unreachable!("scaleshift model handed a different layer kind"),
+    }
+}
+
+/// The streaming affine actor: values move in strict global FM order,
+/// transformed per feature map on the way through.
+pub struct ScaleShiftCore {
+    name: String,
+    in_chs: Vec<ChannelId>,
+    out_chs: Vec<ChannelId>,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+    seq: u64,
+    moved: u64,
+}
+
+impl ScaleShiftCore {
+    /// Build the core; coefficient vectors carry one entry per FM.
+    pub fn new(
+        name: impl Into<String>,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+    ) -> Self {
+        assert_eq!(scale.len(), shift.len(), "one (scale, shift) pair per FM");
+        assert!(
+            !in_chs.is_empty() && !out_chs.is_empty(),
+            "scaleshift needs ports"
+        );
+        assert_eq!(scale.len() % in_chs.len(), 0, "ports must divide FM count");
+        assert_eq!(scale.len() % out_chs.len(), 0, "ports must divide FM count");
+        ScaleShiftCore {
+            name: name.into(),
+            in_chs,
+            out_chs,
+            scale,
+            shift,
+            seq: 0,
+            moved: 0,
+        }
+    }
+}
+
+impl Actor for ScaleShiftCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
+        let n = self.in_chs.len();
+        let m = self.out_chs.len();
+        let fm = self.scale.len();
+        let mut in_used = vec![false; n];
+        let mut out_used = vec![false; m];
+        // strict global order; stop at the first value that cannot move
+        for _ in 0..n.max(m) {
+            let f = (self.seq % fm as u64) as usize;
+            let ip = fm_port(f, n);
+            let op = fm_port(f, m);
+            if in_used[ip] || out_used[op] {
+                break;
+            }
+            let src = self.in_chs[ip];
+            let dst = self.out_chs[op];
+            if chans.peek(src).is_none() || !chans.can_push(dst) {
+                break;
+            }
+            let v = chans.pop(src).unwrap();
+            chans.push(dst, self.scale[f] * v + self.shift[f]);
+            in_used[ip] = true;
+            out_used[op] = true;
+            self.seq += 1;
+            self.moved += 1;
+            trace.record(cycle, &self.name, EventKind::Emit);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        false // stateless between cycles: the ROMs never change
+    }
+
+    fn initiations(&self) -> u64 {
+        self.moved
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_chs.clone(),
+        }
+    }
+
+    fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+        let f = (self.seq % self.scale.len() as u64) as usize;
+        let src = self.in_chs[fm_port(f, self.in_chs.len())];
+        let dst = self.out_chs[fm_port(f, self.out_chs.len())];
+        if chans.peek(src).is_some() && chans.can_push(dst) {
+            Quiescence::Active
+        } else {
+            Quiescence::Wait(None)
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        let f = (self.seq % self.scale.len() as u64) as usize;
+        let ip = fm_port(f, self.in_chs.len());
+        let op = fm_port(f, self.out_chs.len());
+        if chans.peek(self.in_chs[ip]).is_none() {
+            Stall::Starved(ip)
+        } else if !chans.can_push(self.out_chs[op]) {
+            Stall::Backpressured(op)
+        } else {
+            Stall::Computing // the move happens next tick
+        }
+    }
+}
+
+struct ScaleShiftWorker {
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+}
+
+impl StageWorker for ScaleShiftWorker {
+    fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
+        let c = self.scale.len();
+        for (i, (o, &x)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .enumerate()
+        {
+            *o = self.scale[i % c] * x + self.shift[i % c];
+        }
+    }
+}
+
+impl CoreModel for ScaleShiftModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::ScaleShift
+    }
+
+    fn label(&self) -> &'static str {
+        "scaleshift"
+    }
+
+    fn feature_maps(&self, layer: &Layer) -> (usize, usize) {
+        let c = scaleshift_of(layer).shape().c;
+        (c, c)
+    }
+
+    fn plan(&self, layer: &Layer, lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        let shape = scaleshift_of(layer).shape();
+        let c = shape.c;
+        CorePlan {
+            params: CoreParams {
+                kind: CoreKind::ScaleShift,
+                in_fm: c,
+                out_fm: c,
+                in_ports: lp.in_ports,
+                out_ports: lp.out_ports,
+                kh: 1,
+                kw: 1,
+                image_w: shape.w,
+                ii: pipeline_ii(c, lp.in_ports, c, lp.out_ports),
+                weights: 2 * c,
+                accumulators: 1,
+            },
+            in_values_per_image: shape.len() as u64,
+            positions: (shape.h * shape.w) as u64,
+        }
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, _config: &DesignConfig) -> u64 {
+        core.positions * core.params.ii as u64
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        let p = &core.params;
+        format!(
+            "[{} scaleshift {}FM in:{} out:{} II={}]",
+            core.name, p.in_fm, p.in_ports, p.out_ports, p.ii
+        )
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        let idx = core.layer_index.expect("scaleshift cores are layer-backed");
+        let l = scaleshift_of(&design.network().layers()[idx]);
+        Box::new(ScaleShiftCore::new(
+            core.name.clone(),
+            in_chs,
+            out_chs,
+            l.scale().to_vec(),
+            l.shift().to_vec(),
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, interface_pragmas, stream_args, weight_array};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let layer_idx = info.layer_index.expect("scaleshift cores are layer-backed");
+        let l = scaleshift_of(&design.network().layers()[layer_idx]);
+        let mut s = header();
+        s.push_str(&weight_array(&format!("{}_scale", info.name), l.scale()));
+        s.push_str(&weight_array(&format!("{}_shift", info.name), l.shift()));
+        let _ = write!(
+            s,
+            "// scale-shift core: frozen batch normalisation as a per-FM\n\
+             // affine map y = scale[f] * x + shift[f], coefficients\n\
+             // hardcoded in on-chip ROMs. Streams at line rate.\n\
+             void {name}({ins}, {outs}) {{\n{ipr}{opr}\
+             \x20   affine: for (int f = 0; ; f = (f + 1) % {fm}) {{\n\
+             #pragma HLS PIPELINE II={ii}\n\
+             \x20       out{o0}.write({name}_scale[f] * in{i0}.read() + {name}_shift[f]);\
+             \x20// ports f % {ip} -> f % {op}\n\
+             \x20   }}\n\
+             }}\n",
+            name = info.name,
+            ins = stream_args("in", p.in_ports),
+            outs = stream_args("out", p.out_ports),
+            ipr = interface_pragmas("in", p.in_ports),
+            opr = interface_pragmas("out", p.out_ports),
+            fm = p.in_fm,
+            ii = p.ii,
+            ip = p.in_ports,
+            op = p.out_ports,
+            i0 = 0,
+            o0 = 0,
+        );
+        s
+    }
+
+    fn stage(
+        &self,
+        name: String,
+        layer: &Layer,
+        _lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        let l = scaleshift_of(layer);
+        let (scale, shift) = (l.scale().to_vec(), l.shift().to_vec());
+        Some(StageSpec::new(name, l.shape(), move || {
+            Box::new(ScaleShiftWorker {
+                scale: scale.clone(),
+                shift: shift.clone(),
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfcnn_nn::layer::ScaleShift;
+    use dfcnn_tensor::Shape3;
+
+    fn drive(core: &mut ScaleShiftCore, chans: &mut ChannelSet, cycles: usize) {
+        let mut trace = Trace::disabled();
+        for c in 0..cycles {
+            core.tick(c as u64, chans, &mut trace);
+            chans.commit_all();
+        }
+    }
+
+    fn drain(chans: &mut ChannelSet, id: ChannelId) -> Vec<f32> {
+        let mut v = Vec::new();
+        while let Some(x) = chans.pop(id) {
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn actor_applies_the_affine_per_fm() {
+        // 2 FMs on one port: f alternates 0, 1
+        let mut chans = ChannelSet::new();
+        let i0 = chans.alloc(16);
+        let o0 = chans.alloc(16);
+        for v in [1.0f32, 2.0, 3.0, 4.0] {
+            chans.push(i0, v);
+        }
+        chans.commit_all();
+        let mut core = ScaleShiftCore::new(
+            "scaleshift",
+            vec![i0],
+            vec![o0],
+            vec![2.0, -1.0],
+            vec![0.5, 1.0],
+        );
+        drive(&mut core, &mut chans, 8);
+        assert_eq!(drain(&mut chans, o0), vec![2.5, -1.0, 6.5, -3.0]);
+        assert_eq!(core.initiations(), 4);
+    }
+
+    #[test]
+    fn actor_worker_and_layer_agree_bit_for_bit() {
+        let shape = Shape3::new(2, 3, 2);
+        let l = ScaleShift::new(shape, vec![1.7, -0.3], vec![0.11, 2.9]);
+        let x = Tensor3::from_fn(shape, |y, xx, c| ((y * 3 + xx) as f32) * 0.37 + c as f32);
+        let expect = l.forward(&x);
+
+        let mut worker = ScaleShiftWorker {
+            scale: l.scale().to_vec(),
+            shift: l.shift().to_vec(),
+        };
+        let mut out = Tensor3::zeros(shape);
+        worker.apply_into(&x, &mut out);
+        assert_eq!(out.as_slice(), expect.as_slice());
+
+        let mut chans = ChannelSet::new();
+        let i0 = chans.alloc(32);
+        let o0 = chans.alloc(32);
+        for &v in x.as_slice() {
+            chans.push(i0, v);
+        }
+        chans.commit_all();
+        let mut core = ScaleShiftCore::new(
+            "scaleshift",
+            vec![i0],
+            vec![o0],
+            l.scale().to_vec(),
+            l.shift().to_vec(),
+        );
+        drive(&mut core, &mut chans, 20);
+        assert_eq!(drain(&mut chans, o0).as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn plan_carries_the_eq4_ii_and_roms() {
+        let m = ScaleShiftModel;
+        let layer = Layer::ScaleShift(ScaleShift::identity(Shape3::new(4, 4, 6)));
+        assert_eq!(m.feature_maps(&layer), (6, 6));
+        let plan = m.plan(
+            &layer,
+            LayerPorts {
+                in_ports: 2,
+                out_ports: 3,
+            },
+            &DesignConfig::default(),
+        );
+        assert_eq!(plan.params.kind, CoreKind::ScaleShift);
+        assert_eq!(plan.params.ii, 3); // max(6/2, 6/3)
+        assert_eq!(plan.params.weights, 12); // scale + shift ROMs
+        assert_eq!(plan.in_values_per_image, 96);
+        assert_eq!(plan.positions, 16);
+        assert_eq!(m.estimate_interval_probe(&plan), 48);
+    }
+
+    impl ScaleShiftModel {
+        fn estimate_interval_probe(&self, plan: &CorePlan) -> u64 {
+            let core = CoreInfo {
+                name: "scaleshift1".into(),
+                params: plan.params,
+                layer_index: Some(0),
+                in_values_per_image: plan.in_values_per_image,
+                positions: plan.positions,
+            };
+            self.estimate_interval(&core, &DesignConfig::default())
+        }
+    }
+
+    #[test]
+    fn two_port_streaming_preserves_order() {
+        // 2 FMs on 2 ports in, 1 port out: widen while transforming
+        let mut chans = ChannelSet::new();
+        let ins: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        let o0 = chans.alloc(8);
+        chans.push(ins[0], 1.0); // f0
+        chans.push(ins[1], 2.0); // f1
+        chans.push(ins[0], 3.0); // f0
+        chans.push(ins[1], 4.0); // f1
+        chans.commit_all();
+        let mut core = ScaleShiftCore::new(
+            "scaleshift",
+            ins,
+            vec![o0],
+            vec![10.0, 100.0],
+            vec![0.0, 0.0],
+        );
+        drive(&mut core, &mut chans, 8);
+        assert_eq!(drain(&mut chans, o0), vec![10.0, 200.0, 30.0, 400.0]);
+    }
+}

@@ -172,13 +172,26 @@ pub fn partition(
         ));
     }
 
-    // link stage intervals at each device boundary
+    // link stage intervals at each device boundary: the traffic is the
+    // sum over every edge crossing the cut — for a linear chain that is
+    // exactly the first downstream core's input volume, for a fork/join
+    // design a skip edge spanning the cut adds its share too (and an
+    // edge spanning several cuts is paid at each link it crosses)
     let words_per_cycle = link.words_per_cycle(design.config().clock_hz);
     let mut link_intervals = Vec::new();
     let mut boundary_core = 0usize;
     for seg in segments.iter().take(segments.len().saturating_sub(1)) {
+        use crate::graph::NodeRef;
         boundary_core += seg.cores.len();
-        let traffic = cores[boundary_core].in_values_per_image;
+        let traffic: u64 = design
+            .edges()
+            .iter()
+            .filter(|e| {
+                matches!(e.from, NodeRef::Core(i) if i < boundary_core)
+                    && matches!(e.to, NodeRef::Core(j) if j >= boundary_core)
+            })
+            .map(|e| e.values_per_image)
+            .sum();
         link_intervals.push((traffic as f64 / words_per_cycle).ceil() as u64);
     }
 

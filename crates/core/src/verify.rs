@@ -53,7 +53,15 @@ impl VerifyReport {
 /// Reference scores for one image at the point where the fabric hands off
 /// to the host: pre-softmax when the normalisation runs on the host,
 /// post-softmax when the design carries an on-fabric normalisation core.
+/// Fork/join designs have no linear layer chain to trace, so their
+/// reference composes the layers along the stage topology instead
+/// ([`crate::model::reference_forward`]).
 pub fn reference_scores(design: &NetworkDesign, image: &Tensor3<f32>) -> Vec<f32> {
+    if design.is_graph() {
+        return crate::model::reference_forward(design, image)
+            .as_slice()
+            .to_vec();
+    }
     let trace = design.network().forward_trace(image);
     // when normalisation stays on the host, the sink collects the
     // activation *before* it; otherwise (on-fabric, or no normalisation
@@ -282,6 +290,27 @@ mod tests {
         assert!(!report.passes(1e-3));
         assert_eq!(report.mismatches.len(), 1);
         assert_eq!(report.mismatches[0].ref_class, win);
+    }
+
+    #[test]
+    fn residual_graph_simulates_and_verifies() {
+        let design = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let imgs: Vec<_> = (0..2)
+            .map(|_| {
+                dfcnn_tensor::init::random_volume(
+                    &mut rng,
+                    design.network().input_shape(),
+                    0.0,
+                    1.0,
+                )
+            })
+            .collect();
+        // both schedulers agree on the fork/join pipeline...
+        let result = check_engine_conformance(&design, &imgs);
+        // ...and the collected scores match the layer-composed reference
+        let report = compare_outputs(&design, &imgs, &result.outputs);
+        assert!(report.passes(1e-3), "report: {report:?}");
     }
 
     #[test]

@@ -110,6 +110,13 @@ pub enum CoreKind {
     Widen,
     /// Log-softmax normalisation core (single-port, weight-free).
     LogSoftmax,
+    /// Fork (fan-out/tee) routing core duplicating a stream onto several
+    /// branches of a DAG design.
+    Fork,
+    /// Two-input element-wise adder joining reconvergent DAG branches.
+    EltwiseAdd,
+    /// Per-feature-map affine core (frozen batch normalisation).
+    ScaleShift,
 }
 
 /// Design parameters of one generated core, as handed to the cost model by
@@ -429,7 +436,11 @@ impl CostModel {
                     dsp: 0,
                 };
             }
-            CoreKind::Demux | CoreKind::Widen => {
+            CoreKind::Demux | CoreKind::Widen | CoreKind::Fork => {
+                // pure routing: port muxes/demuxes and handshake logic; a
+                // fork additionally drives every branch from one register,
+                // which the per-port term already covers (out_ports counts
+                // all branch ports)
                 let ports = p.in_ports.max(p.out_ports) as u64;
                 r += Resources {
                     lut: 200 + 40 * ports,
@@ -437,6 +448,35 @@ impl CostModel {
                     bram18: 0,
                     dsp: 0,
                 };
+            }
+            CoreKind::EltwiseAdd => {
+                // one DSP-assisted FP adder per port pair plus the input
+                // staging registers; no weights, no memory structure
+                let ports = p.in_ports as u64;
+                r += Resources {
+                    dsp: self.dsp_per_fadd * ports,
+                    lut: self.lut_per_fadd * ports,
+                    ff: self.ff_per_fadd * ports,
+                    bram18: 0,
+                };
+                r += Resources {
+                    ff: self.ff_per_reg_word * 2 * ports,
+                    lut: self.lut_per_reg_word * 2 * ports,
+                    bram18: 0,
+                    dsp: 0,
+                };
+            }
+            CoreKind::ScaleShift => {
+                // per port: one FP multiplier + one DSP-assisted FP adder
+                // (y = γ·x + β), plus two in_fm-word coefficient ROMs
+                let ports = p.in_ports as u64;
+                r += Resources {
+                    dsp: (self.dsp_per_fmul + self.dsp_per_fadd) * ports,
+                    lut: (self.lut_per_fmul + self.lut_per_fadd) * ports,
+                    ff: (self.ff_per_fmul + self.ff_per_fadd) * ports,
+                    bram18: 0,
+                };
+                r += self.rom(p.in_fm).scale(2);
             }
             CoreKind::LogSoftmax => {
                 // single-input-port/single-output-port, no weights, no DSP:
@@ -626,6 +666,48 @@ mod tests {
         // exp + ln units plus the 9-deep adder tree dominate the logic
         assert!(r.lut > 2 * m.lut_activation);
         assert!(r.ff > m.ff_core_ctrl);
+    }
+
+    #[test]
+    fn dag_core_costs() {
+        let m = CostModel::default();
+        let base = CoreParams {
+            kind: CoreKind::Fork,
+            in_fm: 6,
+            out_fm: 6,
+            in_ports: 2,
+            out_ports: 4, // two branches x two ports
+            kh: 1,
+            kw: 1,
+            image_w: 1,
+            ii: 1,
+            weights: 0,
+            accumulators: 1,
+        };
+        // fork is pure routing: no DSP, no BRAM, no MACs
+        assert_eq!(base.parallel_macs(), 0);
+        let fork = m.core(&base);
+        assert_eq!(fork.dsp, 0);
+        assert_eq!(fork.bram18, 0);
+        assert!(fork.lut > 0);
+
+        // eltwise-add: one DSP-assisted adder per port
+        let add = m.core(&CoreParams {
+            kind: CoreKind::EltwiseAdd,
+            out_ports: 2,
+            ..base
+        });
+        assert_eq!(add.dsp, m.dsp_per_fadd * 2);
+        assert_eq!(add.bram18, 0);
+
+        // scale-shift: fmul + fadd per port, coefficient ROMs for 2·in_fm
+        let ss = m.core(&CoreParams {
+            kind: CoreKind::ScaleShift,
+            out_ports: 2,
+            ..base
+        });
+        assert_eq!(ss.dsp, (m.dsp_per_fmul + m.dsp_per_fadd) * 2);
+        assert!(ss.lut > add.lut);
     }
 
     #[test]

@@ -11,12 +11,14 @@ mod conv;
 mod flatten;
 mod linear;
 mod pool;
+mod scaleshift;
 mod softmax;
 
 pub use conv::{Conv2d, ConvGrads};
 pub use flatten::Flatten;
 pub use linear::{Linear, LinearGrads};
 pub use pool::{Pool2d, PoolKind};
+pub use scaleshift::ScaleShift;
 pub use softmax::LogSoftmax;
 
 use dfcnn_tensor::{Shape3, Tensor3};
@@ -34,6 +36,8 @@ pub enum Layer {
     Linear(Linear),
     /// LogSoftMax normalisation operator (paper Eq. 3).
     LogSoftmax(LogSoftmax),
+    /// Per-feature-map affine map (frozen batch normalisation).
+    ScaleShift(ScaleShift),
 }
 
 impl Layer {
@@ -45,6 +49,7 @@ impl Layer {
             Layer::Flatten(l) => l.forward(input),
             Layer::Linear(l) => l.forward(input),
             Layer::LogSoftmax(l) => l.forward(input),
+            Layer::ScaleShift(l) => l.forward(input),
         }
     }
 
@@ -56,6 +61,7 @@ impl Layer {
             Layer::Flatten(l) => l.output_shape(),
             Layer::Linear(l) => l.output_shape(),
             Layer::LogSoftmax(l) => l.output_shape(),
+            Layer::ScaleShift(l) => l.output_shape(),
         }
     }
 
@@ -67,6 +73,7 @@ impl Layer {
             Layer::Flatten(l) => l.input_shape(),
             Layer::Linear(l) => Shape3::new(1, 1, l.inputs()),
             Layer::LogSoftmax(l) => Shape3::new(1, 1, l.classes()),
+            Layer::ScaleShift(l) => l.shape(),
         }
     }
 
@@ -86,7 +93,44 @@ impl Layer {
             Layer::Flatten(_) => "flatten",
             Layer::Linear(_) => "linear",
             Layer::LogSoftmax(_) => "logsoftmax",
+            Layer::ScaleShift(_) => "scaleshift",
         }
+    }
+}
+
+impl From<Conv2d> for Layer {
+    fn from(l: Conv2d) -> Self {
+        Layer::Conv(l)
+    }
+}
+
+impl From<Pool2d> for Layer {
+    fn from(l: Pool2d) -> Self {
+        Layer::Pool(l)
+    }
+}
+
+impl From<Flatten> for Layer {
+    fn from(l: Flatten) -> Self {
+        Layer::Flatten(l)
+    }
+}
+
+impl From<Linear> for Layer {
+    fn from(l: Linear) -> Self {
+        Layer::Linear(l)
+    }
+}
+
+impl From<LogSoftmax> for Layer {
+    fn from(l: LogSoftmax) -> Self {
+        Layer::LogSoftmax(l)
+    }
+}
+
+impl From<ScaleShift> for Layer {
+    fn from(l: ScaleShift) -> Self {
+        Layer::ScaleShift(l)
     }
 }
 

@@ -1,0 +1,129 @@
+//! Per-feature-map affine transform — an *inference-time* (frozen) batch
+//! normalisation layer.
+//!
+//! At inference a trained batch-norm collapses to `y = γ'·x + β'` with one
+//! `(γ', β')` pair per feature map (the running statistics folded into the
+//! learned scale and shift). That is exactly the form a dataflow
+//! accelerator wants: a stateless element-wise core with two small
+//! coefficient ROMs, no window, no reduction — so the reference network
+//! models it directly in this folded form and never carries statistics.
+
+use dfcnn_tensor::{Shape3, Tensor3};
+
+/// Per-channel affine map `y[y,x,c] = scale[c] · x[y,x,c] + shift[c]` over
+/// an `H × W × C` volume.
+#[derive(Clone, Debug)]
+pub struct ScaleShift {
+    scale: Vec<f32>,
+    shift: Vec<f32>,
+    shape: Shape3,
+}
+
+impl ScaleShift {
+    /// Create the layer for `shape` with one `(scale, shift)` pair per
+    /// channel.
+    ///
+    /// # Panics
+    /// If the coefficient vectors do not match the channel count.
+    pub fn new(shape: Shape3, scale: Vec<f32>, shift: Vec<f32>) -> Self {
+        assert_eq!(scale.len(), shape.c, "one scale per feature map");
+        assert_eq!(shift.len(), shape.c, "one shift per feature map");
+        ScaleShift {
+            scale,
+            shift,
+            shape,
+        }
+    }
+
+    /// The identity layer (`scale = 1`, `shift = 0`) for `shape`.
+    pub fn identity(shape: Shape3) -> Self {
+        ScaleShift::new(shape, vec![1.0; shape.c], vec![0.0; shape.c])
+    }
+
+    /// Per-channel scales (`γ'`).
+    pub fn scale(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Per-channel shifts (`β'`).
+    pub fn shift(&self) -> &[f32] {
+        &self.shift
+    }
+
+    /// The (shape-preserving) input and output shape.
+    pub fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Output shape: identical to the input shape.
+    pub fn output_shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Forward pass. Storage is channel-fastest (stream order `(y, x, c)`),
+    /// so the channel index of flat element `i` is `i mod C`.
+    pub fn forward(&self, input: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(input.shape(), self.shape, "input shape mismatch");
+        let c = self.shape.c;
+        Tensor3::from_vec(
+            self.shape,
+            input
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| self.scale[i % c] * x + self.shift[i % c])
+                .collect(),
+        )
+    }
+
+    /// Backward pass: `∂y/∂x = scale[c]`, so the upstream gradient is the
+    /// incoming one scaled per channel. The coefficients are frozen —
+    /// there are no parameter gradients.
+    pub fn backward(&self, grad_out: &Tensor3<f32>) -> Tensor3<f32> {
+        assert_eq!(grad_out.shape(), self.shape, "gradient shape mismatch");
+        let c = self.shape.c;
+        Tensor3::from_vec(
+            self.shape,
+            grad_out
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| self.scale[i % c] * g)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applies_per_channel_affine() {
+        let s = ScaleShift::new(Shape3::new(1, 2, 2), vec![2.0, -1.0], vec![0.5, 1.0]);
+        let x = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let y = s.forward(&x);
+        // channel-fastest: [x00c0, x00c1, x01c0, x01c1]
+        assert_eq!(y.as_slice(), &[2.5, -1.0, 6.5, -3.0]);
+    }
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let s = ScaleShift::identity(Shape3::new(2, 2, 3));
+        let x = Tensor3::from_fn(Shape3::new(2, 2, 3), |y, xx, c| (y + xx + c) as f32 * 0.3);
+        assert_eq!(s.forward(&x), x);
+    }
+
+    #[test]
+    fn backward_scales_gradient() {
+        let s = ScaleShift::new(Shape3::new(1, 1, 2), vec![3.0, 0.5], vec![7.0, -2.0]);
+        let g = Tensor3::from_vec(Shape3::new(1, 1, 2), vec![1.0, 4.0]);
+        assert_eq!(s.backward(&g).as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per feature map")]
+    fn coefficient_arity_checked() {
+        ScaleShift::new(Shape3::new(2, 2, 3), vec![1.0], vec![0.0, 0.0, 0.0]);
+    }
+}

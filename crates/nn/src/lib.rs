@@ -29,6 +29,6 @@ pub mod topology;
 pub mod train;
 
 pub use act::Activation;
-pub use layer::{Conv2d, Layer, Linear, LogSoftmax, Pool2d, PoolKind};
+pub use layer::{Conv2d, Layer, Linear, LogSoftmax, Pool2d, PoolKind, ScaleShift};
 pub use network::Network;
 pub use topology::{LayerSpec, NetworkSpec};

@@ -49,6 +49,19 @@ impl Network {
         self
     }
 
+    /// Append a layer *without* the chain-shape check.
+    ///
+    /// Fork/join graph designs store their layers here in topological
+    /// order, where adjacent entries need not connect (a skip path's
+    /// scale-shift sits between two conv layers it is not chained to).
+    /// A network built this way is a layer *container*: the chain-walking
+    /// passes ([`Network::forward`], [`Network::forward_trace`],
+    /// [`Network::backward`]) must not be used on it — the graph's own
+    /// topology drives evaluation instead.
+    pub fn push_unchecked(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
     /// The layers, in order.
     pub fn layers(&self) -> &[Layer] {
         &self.layers
@@ -142,6 +155,7 @@ impl Network {
                 (Layer::Pool(l), _) => l.backward(input, &g),
                 (Layer::Flatten(l), _) => l.backward(&g),
                 (Layer::LogSoftmax(l), _) => l.backward(output, &g),
+                (Layer::ScaleShift(l), _) => l.backward(&g),
                 _ => unreachable!("gradient container does not match layer"),
             };
         }

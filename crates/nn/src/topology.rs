@@ -17,7 +17,7 @@
 //! LeNet-style choice) and record the assumption in EXPERIMENTS.md.
 
 use crate::act::Activation;
-use crate::layer::{Conv2d, Flatten, Layer, Linear, LogSoftmax, Pool2d, PoolKind};
+use crate::layer::{Conv2d, Flatten, Layer, Linear, LogSoftmax, Pool2d, PoolKind, ScaleShift};
 use crate::network::Network;
 use dfcnn_tensor::{init, ConvGeometry, Shape3};
 use rand::Rng;
@@ -64,15 +64,23 @@ pub enum LayerSpec {
     },
     /// LogSoftMax normalisation operator.
     LogSoftmax,
+    /// Per-feature-map affine map (frozen batch normalisation). The folded
+    /// `(γ', β')` coefficients are drawn at build time, like weights.
+    ScaleShift,
 }
 
 impl LayerSpec {
-    /// Whether the paper counts this as a network "layer" (conv, pool and
-    /// linear do; flatten and the normalisation operator do not).
+    /// Whether this spec maps to a streaming compute core with its own
+    /// port-width entry in the accelerator design (conv, pool and linear
+    /// as in the paper, plus the scale-shift extension; flatten and the
+    /// normalisation operator do not).
     pub fn counts_as_paper_layer(&self) -> bool {
         matches!(
             self,
-            LayerSpec::Conv { .. } | LayerSpec::Pool { .. } | LayerSpec::Linear { .. }
+            LayerSpec::Conv { .. }
+                | LayerSpec::Pool { .. }
+                | LayerSpec::Linear { .. }
+                | LayerSpec::ScaleShift
         )
     }
 }
@@ -404,6 +412,7 @@ impl NetworkSpec {
                     );
                     cur
                 }
+                LayerSpec::ScaleShift => cur,
             };
             shapes.push(next);
         }
@@ -466,6 +475,11 @@ impl NetworkSpec {
                     Layer::Linear(Linear::new(w, init::biases(*outputs), *activation))
                 }
                 LayerSpec::LogSoftmax => Layer::LogSoftmax(LogSoftmax::new(cur.c)),
+                LayerSpec::ScaleShift => {
+                    let scale = (0..cur.c).map(|_| rng.gen_range(0.5f32..1.5)).collect();
+                    let shift = (0..cur.c).map(|_| rng.gen_range(-0.25f32..0.25)).collect();
+                    Layer::ScaleShift(ScaleShift::new(cur, scale, shift))
+                }
             };
             net.push(layer);
         }
@@ -502,6 +516,8 @@ impl NetworkSpec {
                     LayerSpec::Flatten => 0,
                     LayerSpec::Linear { outputs, .. } => *outputs as u64 * (2 * cur.c as u64 + 1),
                     LayerSpec::LogSoftmax => 4 * cur.c as u64,
+                    // one multiply + one add per element
+                    LayerSpec::ScaleShift => 2 * (out.h * out.w * out.c) as u64,
                 }
             })
             .collect()
@@ -526,6 +542,8 @@ impl NetworkSpec {
                         (out.h * out.w * out.c) as u64 * (kh * kw) as u64 * cur.c as u64
                     }
                     LayerSpec::Linear { outputs, .. } => *outputs as u64 * cur.c as u64,
+                    // the per-element γ'·x + β' is one MAC
+                    LayerSpec::ScaleShift => (out.h * out.w * out.c) as u64,
                     _ => 0,
                 }
             })

@@ -5,12 +5,14 @@
 #   1. rustfmt        — formatting is canonical.
 #   2. per-kind lint  — the CoreModel contract: layer kinds are defined in
 #                       exactly one place. Outside the model registry
-#                       (crates/core/src/model/) and the resource cost
-#                       model (crates/fpga/src/resources.rs), no consumer
-#                       may match on CoreKind or on Layer variants — adding
-#                       a layer kind must never require touching
-#                       graph/sim/exec/verify/codegen/dse/multi/flow/check
-#                       again.
+#                       (crates/core/src/model/ — including the fork tee,
+#                       eltwise-add and scale-shift modules) and the
+#                       resource cost model (crates/fpga/src/resources.rs),
+#                       no consumer may match on CoreKind or on Layer
+#                       variants — adding a layer kind must never require
+#                       touching graph/sim/exec/verify/codegen/dse/multi/
+#                       flow/check again. Construct layers via the From
+#                       impls (`conv.into()`), not by naming variants.
 #   3. clippy         — warnings are errors, across every target.
 #
 # Usage: scripts/lint.sh   (exits non-zero on the first failing phase)
@@ -40,7 +42,7 @@ consumers="crates/core/src/graph.rs crates/core/src/sim.rs \
     crates/core/src/codegen.rs crates/core/src/dse.rs \
     crates/core/src/multi.rs crates/core/src/flow.rs \
     crates/core/src/check.rs"
-hits=$(grep -nE 'Layer::(Conv|Pool|Linear|Flatten|LogSoftmax)\(' $consumers || true)
+hits=$(grep -nE 'Layer::(Conv|Pool|Linear|Flatten|LogSoftmax|ScaleShift)\(' $consumers || true)
 if [ -n "$hits" ]; then
     echo "error: per-variant Layer dispatch in a consumer module:" >&2
     echo "$hits" >&2

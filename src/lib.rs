@@ -56,7 +56,9 @@ pub mod prelude {
     pub use dfcnn_core::check::{check_design, CheckReport, RuleId, Severity};
     pub use dfcnn_core::dse;
     pub use dfcnn_core::exec::ThreadedEngine;
-    pub use dfcnn_core::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+    pub use dfcnn_core::graph::{
+        DesignConfig, GraphBuilder, LayerPorts, NetworkDesign, PortConfig, Tap,
+    };
     pub use dfcnn_core::verify;
     pub use dfcnn_datasets::{Dataset, Generator, SyntheticCifar, SyntheticUsps};
     pub use dfcnn_fpga::power::PowerModel;

@@ -70,6 +70,152 @@ pub fn random_spec() -> impl Strategy<Value = NetworkSpec> {
         })
 }
 
+/// The canonical fork/join fixture: an 8×8×2 residual block
+/// `conv → fork → { conv → scaleshift | identity } → add → flatten →
+/// linear(4)`, all single-port, deterministic weights. The skip-path
+/// FIFO is auto-sized by the builder unless `config.skip_fifo_cap`
+/// clamps it (the seeded reconvergence fault).
+pub fn residual_design(config: DesignConfig) -> NetworkDesign {
+    use dfcnn::core::graph::GraphBuilder;
+    use dfcnn::nn::layer::{Flatten, Layer};
+
+    let input = Shape3::new(8, 8, 2);
+    let geo = ConvGeometry::new(input, 3, 3, 1, 1); // shape-preserving
+    let trunk_f = Tensor4::from_fn(2, 3, 3, 2, |k, y, x, c| {
+        ((k + 2 * y + x + c) as f32) * 0.05 - 0.1
+    });
+    let trunk = dfcnn::nn::Conv2d::new(geo, trunk_f, Tensor1::zeros(2), Activation::Identity);
+    let branch_f = Tensor4::from_fn(2, 3, 3, 2, |k, y, x, c| {
+        ((3 * k + y + x + 2 * c) as f32) * 0.04 - 0.15
+    });
+    let branch = dfcnn::nn::Conv2d::new(geo, branch_f, Tensor1::zeros(2), Activation::Identity);
+    let bn = dfcnn::nn::ScaleShift::new(input, vec![0.9, 1.2], vec![0.05, -0.1]);
+    let fc_w = Tensor4::from_fn(4, 1, 1, 128, |j, _, _, i| {
+        ((j * 31 + i) % 17) as f32 * 0.02 - 0.16
+    });
+    let fc = dfcnn::nn::Linear::new(fc_w, Tensor1::zeros(4), Activation::Identity);
+
+    let (mut g, x) = GraphBuilder::new(input, config);
+    let x = g.layer(x, Layer::Conv(trunk), LayerPorts::SINGLE).unwrap();
+    let mut taps = g.fork(x, 2).unwrap();
+    let skip = taps.pop().unwrap();
+    let a = taps.pop().unwrap();
+    let a = g.layer(a, Layer::Conv(branch), LayerPorts::SINGLE).unwrap();
+    let a = g
+        .layer(a, Layer::ScaleShift(bn), LayerPorts::SINGLE)
+        .unwrap();
+    let x = g.add(a, skip).unwrap();
+    let x = g
+        .layer(x, Layer::Flatten(Flatten::new(input)), LayerPorts::SINGLE)
+        .unwrap();
+    let x = g.layer(x, Layer::Linear(fc), LayerPorts::SINGLE).unwrap();
+    g.finish(x).unwrap()
+}
+
+/// A random fork/join DAG: a trunk conv followed by a random sequence of
+/// residual blocks — possibly nested (a fork inside a branch) and with
+/// random ScaleShift / conv ops on either path — closed by flatten +
+/// linear. Every op is shape-preserving (3×3 pad-1 convs), so forks and
+/// joins always agree on geometry; the builder auto-sizes every skip
+/// FIFO, so the result must be checker-clean and deadlock-free.
+pub fn random_dag_design(seed: u64, config: DesignConfig) -> NetworkDesign {
+    use dfcnn::core::graph::{GraphBuilder, Tap};
+    use dfcnn::nn::layer::{Flatten, Layer};
+    use rand::Rng;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let hw = rng.gen_range(6usize..10);
+    let c = rng.gen_range(1usize..4);
+    let input = Shape3::new(hw, hw, c);
+
+    fn rand_conv(rng: &mut ChaCha8Rng, shape: Shape3) -> Layer {
+        use rand::Rng;
+        let geo = ConvGeometry::new(shape, 3, 3, 1, 1); // shape-preserving
+        let (a, b, d, e) = (
+            rng.gen_range(1usize..5),
+            rng.gen_range(1usize..5),
+            rng.gen_range(1usize..5),
+            rng.gen_range(1usize..7),
+        );
+        let f = Tensor4::from_fn(shape.c, 3, 3, shape.c, move |k, y, x, ch| {
+            ((a * k + b * y + d * x + ch) % e.max(2)) as f32 * 0.07 - 0.1
+        });
+        let act = match rng.gen_range(0..3) {
+            0 => Activation::Tanh,
+            1 => Activation::Relu,
+            _ => Activation::Identity,
+        };
+        Layer::Conv(dfcnn::nn::Conv2d::new(geo, f, Tensor1::zeros(shape.c), act))
+    }
+
+    fn rand_scaleshift(rng: &mut ChaCha8Rng, shape: Shape3) -> Layer {
+        use rand::Rng;
+        let scale: Vec<f32> = (0..shape.c).map(|_| rng.gen_range(0.5f32..1.5)).collect();
+        let shift: Vec<f32> = (0..shape.c).map(|_| rng.gen_range(-0.3f32..0.3)).collect();
+        Layer::ScaleShift(dfcnn::nn::ScaleShift::new(shape, scale, shift))
+    }
+
+    /// One block: either a plain op, or fork → branch ops (recursing for
+    /// nesting) + optional skip-path op → add.
+    fn block(
+        g: &mut GraphBuilder,
+        tap: Tap,
+        rng: &mut ChaCha8Rng,
+        shape: Shape3,
+        depth: usize,
+    ) -> Tap {
+        use rand::Rng;
+        if depth == 0 || rng.gen_bool(0.4) {
+            let layer = if rng.gen_bool(0.5) {
+                rand_conv(rng, shape)
+            } else {
+                rand_scaleshift(rng, shape)
+            };
+            return g.layer(tap, layer, LayerPorts::SINGLE).unwrap();
+        }
+        let mut taps = g.fork(tap, 2).unwrap();
+        let skip = taps.pop().unwrap();
+        let mut a = taps.pop().unwrap();
+        for _ in 0..rng.gen_range(1usize..3) {
+            a = block(g, a, rng, shape, depth - 1);
+        }
+        // the skip path may itself carry an op — even a windowed one,
+        // which makes *both* reconvergent paths hold tokens back
+        let skip = match rng.gen_range(0..4) {
+            0 => g
+                .layer(skip, rand_scaleshift(rng, shape), LayerPorts::SINGLE)
+                .unwrap(),
+            1 => g
+                .layer(skip, rand_conv(rng, shape), LayerPorts::SINGLE)
+                .unwrap(),
+            _ => skip,
+        };
+        g.add(a, skip).unwrap()
+    }
+
+    let (mut g, mut tap) = GraphBuilder::new(input, config);
+    tap = g
+        .layer(tap, rand_conv(&mut rng, input), LayerPorts::SINGLE)
+        .unwrap();
+    // sequential skips: several blocks back to back
+    for _ in 0..rng.gen_range(1usize..4) {
+        tap = block(&mut g, tap, &mut rng, input, 2);
+    }
+    let classes = rng.gen_range(2usize..6);
+    let fc_w = {
+        let (a, b) = (rng.gen_range(1usize..29), rng.gen_range(1usize..13));
+        Tensor4::from_fn(classes, 1, 1, input.len(), move |j, _, _, i| {
+            ((a * j + b * i) % 23) as f32 * 0.015 - 0.12
+        })
+    };
+    let fc = dfcnn::nn::Linear::new(fc_w, Tensor1::zeros(classes), Activation::Identity);
+    tap = g
+        .layer(tap, Layer::Flatten(Flatten::new(input)), LayerPorts::SINGLE)
+        .unwrap();
+    tap = g.layer(tap, Layer::Linear(fc), LayerPorts::SINGLE).unwrap();
+    g.finish(tap).unwrap()
+}
+
 /// Pick a random valid port configuration for a built network: each conv
 /// or pool layer gets random divisors of its FM counts; FC stays single.
 pub fn random_ports(spec: &NetworkSpec, seed: u64) -> PortConfig {

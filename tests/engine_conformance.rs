@@ -15,7 +15,7 @@
 
 mod common;
 
-use common::{random_ports, random_spec};
+use common::{random_dag_design, random_ports, random_spec, residual_design};
 use dfcnn::core::exec::{ReplicationPlan, ThreadedEngine};
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::core::verify::check_engine_conformance;
@@ -188,8 +188,71 @@ fn lenet5_classifies_end_to_end_on_the_fabric() {
     assert!(report.passes(1e-3), "report: {report:?}");
 }
 
+fn residual_images(n: usize, seed: u64) -> Vec<Tensor3<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| dfcnn::tensor::init::random_volume(&mut rng, Shape3::new(8, 8, 2), 0.0, 1.0))
+        .collect()
+}
+
+/// The residual block — the first non-linear topology: a fork tee feeding
+/// a conv→scaleshift branch and an identity skip, rejoined by an
+/// eltwise-add. All three engines must stay bit-identical through the
+/// fork/join, the design must be checker-clean, and the stall-accounting
+/// identity (checked inside `check_engine_conformance`) must hold with
+/// the tee and adder in the actor graph.
+#[test]
+fn residual_block_engines_conform() {
+    let design = residual_design(DesignConfig::default());
+    let report = check_design(&design);
+    assert!(
+        report.is_clean(),
+        "residual block must be checker-clean: {}",
+        report.render()
+    );
+    assert_conformance(&design, &residual_images(3, 52));
+}
+
+/// Same fixture at a batch deep enough to reach pipelined steady state,
+/// so the skip FIFO cycles through fill/steady/drain while images overlap
+/// in the two reconvergent paths.
+#[test]
+fn residual_block_conforms_at_steady_state() {
+    let design = residual_design(DesignConfig::default());
+    assert_conformance(&design, &residual_images(8, 53));
+}
+
+/// The residual block's simulated scores must agree with the `dfcnn-nn`
+/// composed-layer reference within verify tolerance — the graph path of
+/// `reference_scores` composes fork/add/scaleshift the same way.
+#[test]
+fn residual_block_verifies_against_reference() {
+    let design = residual_design(DesignConfig::default());
+    let images = residual_images(2, 54);
+    let event = check_engine_conformance(&design, &images);
+    let report = dfcnn::core::verify::compare_outputs(&design, &images, &event.outputs);
+    assert!(report.passes(1e-3), "report: {report:?}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(50))]
+
+    /// Random fork/join DAGs — nested forks, sequential skip blocks,
+    /// random ScaleShift / conv ops on either reconvergent path — must be
+    /// checker-clean (the builder auto-sizes every skip FIFO) and
+    /// bit-identical across all three engines.
+    #[test]
+    fn random_dags_engines_conform(seed in 0u64..10_000) {
+        let design = random_dag_design(seed, DesignConfig::default());
+        let report = check_design(&design);
+        prop_assert!(report.is_clean(), "seed {}: {}", seed, report.render());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDA6);
+        let shape = design.network().input_shape();
+        let images: Vec<_> = (0..2)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, shape, 0.0, 1.0))
+            .collect();
+        assert_conformance(&design, &images);
+    }
 
     /// Randomised designs: topology, port widths and inputs all random —
     /// the schedulers must stay indistinguishable on every one.

@@ -11,6 +11,9 @@
 //! cargo test --test golden_trace -- --ignored bless_golden_trace
 //! ```
 
+mod common;
+
+use common::residual_design;
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::prelude::*;
 use rand::SeedableRng;
@@ -19,6 +22,11 @@ use rand_chacha::ChaCha8Rng;
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/small_design_trace.csv"
+);
+
+const RESIDUAL_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/residual_trace.csv"
 );
 
 /// The fixed fixture: a minimal conv → flatten → linear network, one
@@ -94,11 +102,76 @@ fn trace_csv_identical_across_schedulers() {
     assert_eq!(rendered_csv(), reference.to_csv());
 }
 
-/// Regenerate the golden file (ignored; run explicitly after intentional
+/// The fork/join fixture: the canonical residual block with one
+/// deterministic image — pins the trace format through the tee and
+/// eltwise-add actors.
+fn residual_fixture() -> (NetworkDesign, Vec<Tensor3<f32>>) {
+    let design = residual_design(DesignConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let image =
+        dfcnn::tensor::init::random_volume(&mut rng, design.network().input_shape(), 0.0, 1.0);
+    (design, vec![image])
+}
+
+fn residual_rendered_csv() -> String {
+    let (design, images) = residual_fixture();
+    let (_, trace) = design.instantiate(&images).with_trace().run();
+    trace.to_csv()
+}
+
+#[test]
+fn residual_trace_csv_matches_golden_file() {
+    let csv = residual_rendered_csv();
+    let golden = std::fs::read_to_string(RESIDUAL_GOLDEN_PATH)
+        .expect("golden file missing — run the ignored bless_residual_golden_trace test");
+    assert!(
+        csv == golden,
+        "residual trace CSV diverged from {RESIDUAL_GOLDEN_PATH}\n\
+         first differing line: {:?}\n\
+         re-bless only if the format change is intentional",
+        csv.lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: got {a:?}, want {b:?}", i + 1))
+            .unwrap_or_else(|| "line count differs".into())
+    );
+}
+
+/// Scheduler independence holds through the fork/join too.
+#[test]
+fn residual_trace_csv_identical_across_schedulers() {
+    let (design, images) = residual_fixture();
+    let (_, reference) = design
+        .instantiate(&images)
+        .with_trace()
+        .reference_mode()
+        .run();
+    assert_eq!(residual_rendered_csv(), reference.to_csv());
+}
+
+/// The Perfetto/Chrome export must render the fork/join actors: the tee
+/// and the eltwise-add appear as named tracks alongside the convs, so a
+/// residual pipeline is inspectable in the trace viewer.
+#[test]
+fn residual_chrome_export_names_fork_and_join_actors() {
+    let (design, images) = residual_fixture();
+    let (_, trace) = design.instantiate(&images).with_trace().run();
+    let json = trace.to_chrome_json(design.config().clock_hz);
+    for actor in ["fork1", "add4", "scaleshift1", "conv1", "conv2"] {
+        assert!(
+            json.contains(&format!("\"{actor}\"")),
+            "chrome export must name actor {actor}"
+        );
+    }
+}
+
+/// Regenerate the golden files (ignored; run explicitly after intentional
 /// trace-format changes).
 #[test]
 #[ignore]
 fn bless_golden_trace() {
     std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
     std::fs::write(GOLDEN_PATH, rendered_csv()).unwrap();
+    std::fs::write(RESIDUAL_GOLDEN_PATH, residual_rendered_csv()).unwrap();
 }

@@ -1,6 +1,12 @@
 //! Property-based tests of the core dataflow invariants.
 
+mod common;
+
+use common::random_dag_design;
+use dfcnn::core::check::{check_design, RuleId, Severity};
+use dfcnn::core::graph::DesignConfig;
 use dfcnn::core::kernel::{conv_forward_hw, fc_forward_hw, pool_forward_hw};
+use dfcnn::core::sim::SimError;
 use dfcnn::core::sst::WindowEngine;
 use dfcnn::core::stream::{ChannelEvent, ChannelSet, Fifo};
 use dfcnn::hls::ii::pipeline_ii;
@@ -385,6 +391,43 @@ proptest! {
         // saturated the Q15.16 range (~±32768)
         if a.abs() < 32000.0 && b.abs() < 32000.0 && exact.abs() < 32000.0 {
             prop_assert!((sum.to_f64() - exact).abs() <= 2.0 * Q16::epsilon());
+        }
+    }
+}
+
+// ------------------------------------- fork/join reconvergence buffering
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The static reconvergence-buffering rule is *sound* against the
+    /// dynamic machine on random fork/join DAGs: auto-sized skip FIFOs
+    /// are always checker-clean and the simulation always drains, and
+    /// when clamping every skip FIFO to one slot does deadlock the
+    /// machine, the checker must have predicted it. (The converse is
+    /// deliberately not asserted: the rule is a conservative
+    /// over-approximation — pipeline registers and window-engine slack it
+    /// doesn't model can let a flagged design squeak through.)
+    #[test]
+    fn reconvergence_rule_is_sound(seed in 0u64..10_000) {
+        let design = random_dag_design(seed, DesignConfig::default());
+        prop_assert!(check_design(&design).is_clean(), "auto-sized DAG not clean");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5AFE);
+        let shape = design.network().input_shape();
+        let images = vec![dfcnn::tensor::init::random_volume(&mut rng, shape, 0.0, 1.0)];
+        design.instantiate(&images).try_run().expect("clean DAG must drain");
+
+        let clamped = random_dag_design(seed, DesignConfig {
+            skip_fifo_cap: Some(1),
+            ..DesignConfig::default()
+        });
+        let starved = check_design(&clamped)
+            .has(Severity::Error, RuleId::ReconvergenceBuffering);
+        if let Err(SimError::Deadlock(_)) = clamped.instantiate(&images).try_run() {
+            prop_assert!(
+                starved,
+                "machine deadlocked but the checker saw no reconvergence deficit"
+            );
         }
     }
 }

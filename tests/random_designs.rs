@@ -10,7 +10,7 @@
 
 mod common;
 
-use common::{random_ports, random_spec};
+use common::{random_dag_design, random_ports, random_spec};
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::core::verify;
 use proptest::prelude::*;
@@ -52,6 +52,44 @@ proptest! {
         }
 
         // 3. the reference stays within float tolerance
+        let report = verify::compare_outputs(&design, &images, &sim.outputs);
+        prop_assert!(report.max_abs_diff < 1e-3, "reference diff {}", report.max_abs_diff);
+
+        // 4. completions are ordered and measurement is sane
+        prop_assert!(sim.completions.windows(2).all(|w| w[0] < w[1]));
+        let m = sim.measurement(design.config().clock_hz);
+        prop_assert!(m.mean_time_per_image_us() > 0.0);
+    }
+
+    /// The same statement over fork/join DAGs: random residual blocks
+    /// (nested forks, ScaleShift / conv ops on either reconvergent path)
+    /// stream through tee and eltwise-add cores without changing a bit.
+    #[test]
+    fn any_dag_design_simulates_exactly(seed in 0u64..10_000) {
+        let design = random_dag_design(seed, DesignConfig::default());
+        let report = dfcnn::core::check::check_design(&design);
+        prop_assert!(report.is_clean(), "seed {}: {}", seed, report.render());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF0);
+        let shape = design.network().input_shape();
+        let images: Vec<_> = (0..2)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, shape, 0.0, 1.0))
+            .collect();
+
+        // 1. simulator is bit-exact vs the shared hardware kernel
+        let (sim, _) = design.instantiate(&images).run();
+        for (img, out) in images.iter().zip(sim.outputs.iter()) {
+            let hw = design.hw_forward(img);
+            prop_assert_eq!(out.as_slice(), hw.as_slice(), "sim != hw kernel");
+        }
+
+        // 2. threaded engine is bit-exact vs the simulator
+        let exec = dfcnn::core::exec::ThreadedEngine::new(&design).run(&images);
+        for (s, e) in sim.outputs.iter().zip(exec.outputs.iter()) {
+            prop_assert_eq!(s.as_slice(), e.as_slice(), "sim != threaded engine");
+        }
+
+        // 3. the composed-layer reference stays within float tolerance
         let report = verify::compare_outputs(&design, &images, &sim.outputs);
         prop_assert!(report.max_abs_diff < 1e-3, "reference diff {}", report.max_abs_diff);
 

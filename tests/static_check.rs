@@ -15,7 +15,7 @@
 
 mod common;
 
-use common::{random_ports, random_spec};
+use common::{random_ports, random_spec, residual_design};
 use dfcnn::core::exec::ReplicationPlan;
 use dfcnn::core::observe::DriftReport;
 use dfcnn::core::{check_drift, check_replication, SimError};
@@ -173,6 +173,55 @@ fn omitted_adapter_is_rejected_and_confirmed_by_deadlock() {
         .try_run()
         .expect("healthy design must complete");
     assert_eq!(res.outputs.len(), 1);
+}
+
+/// Seeded fault 4: a skip-path FIFO too shallow to cover the sibling
+/// conv's line-buffer holdback. On the residual block the trunk fork
+/// feeds a conv branch (which holds back (3-1)·8+3 pixels × 2 channels =
+/// 38 values while filling its line buffer) and an identity skip; with
+/// the skip FIFO clamped to two slots the fork backpressures before the
+/// eltwise-add ever sees a token. The verifier must reject it as
+/// `reconvergence-buffering`, and the simulator must confirm the verdict
+/// by deadlocking before the first output.
+#[test]
+fn undersized_skip_fifo_is_rejected_and_confirmed_by_deadlock() {
+    let design = residual_design(DesignConfig {
+        skip_fifo_cap: Some(2),
+        ..DesignConfig::default()
+    });
+
+    let report = check_design(&design);
+    assert!(
+        report.has(Severity::Error, RuleId::ReconvergenceBuffering),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report.render().contains("error[reconvergence-buffering]"),
+        "{}",
+        report.render()
+    );
+
+    let images = batch(&design, 1, 25);
+    let err = design
+        .instantiate(&images)
+        .try_run()
+        .expect_err("the simulator must confirm the static verdict");
+    let SimError::Deadlock(d) = &err;
+    assert_eq!(d.collected, 0, "no image can complete");
+    assert!(err.to_string().contains("deadlock"), "{err}");
+
+    // control: the same graph with the builder's auto-sized skip FIFO is
+    // clean and simulates to completion — the fault is the clamp
+    let healthy = residual_design(DesignConfig::default());
+    let report = check_design(&healthy);
+    assert!(report.is_clean(), "{}", report.render());
+    let images = batch(&healthy, 2, 25);
+    let (res, _) = healthy
+        .instantiate(&images)
+        .try_run()
+        .expect("healthy residual block must complete");
+    assert_eq!(res.outputs.len(), 2);
 }
 
 /// Seeded fault 3: malformed replication plans. The verifier must reject
