@@ -33,7 +33,7 @@ fn bench_conv(c: &mut Criterion) {
         b.iter(|| black_box(conv_forward_hw(black_box(&conv), 1, black_box(&img))))
     });
     // the steady-state path: packed filters + reused arena + caller buffer
-    let mut arena = ConvArena::new(&conv, 1);
+    let mut arena = ConvArena::<f32>::new(&conv, 1);
     let mut out = dfcnn_tensor::Tensor3::zeros(conv.output_shape());
     g.bench_function("hw_order_forward_into", |b| {
         b.iter(|| {

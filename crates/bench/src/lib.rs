@@ -21,6 +21,7 @@
 //! | `pipeline_trace` | stage-occupancy timelines (the §IV-C concurrency claim) |
 //! | `calibration` | fitting the DMA-overhead knob to the paper's absolute numbers |
 //! | `host_pipeline` | §IV-C on the host — sequential vs pipelined vs replicated stages, per-stage profile |
+//! | `numeric_kernels` | numeric datapath — SIMD vs scalar dot kernels, fixed vs f32 forward, accuracy-vs-FRAC sweep |
 //!
 //! All binaries print human-readable tables and write JSON records under
 //! `results/`.

@@ -417,23 +417,55 @@ impl ThreadedEngine {
     }
 
     /// Profile each stage, compute a balanced [`ReplicationPlan`] sized to
-    /// the machine's parallelism, and run the batch with it.
+    /// the machine's parallelism, and run the batch with it. On a host
+    /// with a single hardware thread the thread-per-stage pipeline only
+    /// adds context switches (measured ~0.65x of the sequential baseline),
+    /// so the engine degrades to [`ThreadedEngine::run_sequential`] there.
     pub fn run_pipelined(&self, images: &[Tensor3<f32>]) -> (ExecResult, PipelineProfile) {
-        let plan = self.plan_for_host(images);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.run_pipelined_with_parallelism(images, threads)
+    }
+
+    /// [`ThreadedEngine::run_pipelined`] with the host parallelism passed
+    /// explicitly, so the degradation policy is testable on any machine.
+    pub fn run_pipelined_with_parallelism(
+        &self,
+        images: &[Tensor3<f32>],
+        threads: usize,
+    ) -> (ExecResult, PipelineProfile) {
+        if !Self::should_pipeline(threads, self.stages.len()) {
+            return self.run_sequential_profiled(images);
+        }
+        let plan = self.plan_for_threads(images, threads);
         self.run_with_plan(images, &plan)
+    }
+
+    /// Whether a thread-per-stage pipeline can beat the sequential loop:
+    /// it needs at least two hardware threads *and* at least two stages to
+    /// overlap. Otherwise the threads merely time-slice one CPU and the
+    /// channel hops become pure overhead.
+    fn should_pipeline(threads: usize, stages: usize) -> bool {
+        threads > 1 && stages > 1
     }
 
     /// The balanced plan [`ThreadedEngine::run_pipelined`] would use:
     /// stage intervals from a warmup sample, extra workers bounded by the
     /// host's spare hardware threads, factors capped at 4.
     pub fn plan_for_host(&self, images: &[Tensor3<f32>]) -> ReplicationPlan {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.plan_for_threads(images, threads)
+    }
+
+    /// [`ThreadedEngine::plan_for_host`] with the thread count explicit.
+    pub fn plan_for_threads(&self, images: &[Tensor3<f32>], threads: usize) -> ReplicationPlan {
         assert!(!images.is_empty(), "empty batch");
         let warmup = &images[..images.len().min(2)];
         let stats = self.profile_stages(warmup);
         let means: Vec<u64> = stats.iter().map(|s| s.mean_ns()).collect();
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
         let extra = threads.saturating_sub(1).min(8);
         ReplicationPlan::balanced(&means, extra, 4)
     }
@@ -586,6 +618,18 @@ impl ThreadedEngine {
     /// so it is equally allocation-free per image apart from the owned
     /// output clone.
     pub fn run_sequential(&self, images: &[Tensor3<f32>]) -> ExecResult {
+        self.run_sequential_profiled(images).0
+    }
+
+    /// [`ThreadedEngine::run_sequential`] with per-stage timing, shaped
+    /// like a pipelined profile (replication 1, zero queue/send waits —
+    /// nothing ever blocks on a channel). This is the run
+    /// [`ThreadedEngine::run_pipelined`] falls back to when
+    /// [`ThreadedEngine::should_pipeline`] says threading cannot pay off.
+    pub fn run_sequential_profiled(
+        &self,
+        images: &[Tensor3<f32>],
+    ) -> (ExecResult, PipelineProfile) {
         assert!(!images.is_empty(), "empty batch");
         let start = Instant::now();
         let mut workers: Vec<Box<dyn StageWorker>> =
@@ -595,6 +639,7 @@ impl ThreadedEngine {
             .iter()
             .map(|s| Tensor3::zeros(s.spec.out_shape))
             .collect();
+        let mut busy = vec![IntervalStats::new(); self.stages.len()];
         let mut outputs = Vec::with_capacity(images.len());
         let mut completion_times = Vec::with_capacity(images.len());
         for img in images {
@@ -608,16 +653,40 @@ impl ThreadedEngine {
                         StageInput::Stage(t) => &done[*t],
                     })
                     .collect();
+                let t = Instant::now();
                 worker.apply_multi(&refs, &mut rest[0]);
+                busy[s].record(t.elapsed().as_nanos() as u64);
             }
             outputs.push(bufs.last().expect("at least one stage").clone());
             completion_times.push(start.elapsed());
         }
-        ExecResult {
-            outputs,
-            completion_times,
-            total: start.elapsed(),
-        }
+        let total = start.elapsed();
+        let profile = PipelineProfile {
+            stages: self
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(s, st)| StageProfile {
+                    name: st.spec.name.clone(),
+                    replication: 1,
+                    images: busy[s].count,
+                    mean_interval_ns: busy[s].mean_ns(),
+                    max_interval_ns: busy[s].max_ns,
+                    mean_queue_wait_ns: 0,
+                    mean_send_wait_ns: 0,
+                })
+                .collect(),
+            batch: images.len(),
+            total_ns: total.as_nanos() as u64,
+        };
+        (
+            ExecResult {
+                outputs,
+                completion_times,
+                total,
+            },
+            profile,
+        )
     }
 }
 
@@ -778,6 +847,34 @@ mod tests {
         let (res, profile) = engine.run_pipelined(&imgs);
         assert_eq!(res.outputs, engine.run_sequential(&imgs).outputs);
         assert!(profile.stages.iter().all(|s| s.replication >= 1));
+    }
+
+    #[test]
+    fn single_thread_host_degrades_to_sequential() {
+        // the regression: a 1-CPU host ran the thread-per-stage pipeline
+        // at ~0.65x the sequential baseline — the engine must not spawn
+        // workers it cannot overlap
+        assert!(!ThreadedEngine::should_pipeline(1, 5));
+        assert!(!ThreadedEngine::should_pipeline(4, 1));
+        assert!(ThreadedEngine::should_pipeline(2, 2));
+        let design = tc1_design();
+        let imgs = batch(&design, 6, 40);
+        let engine = ThreadedEngine::new(&design);
+        let seq = engine.run_sequential(&imgs);
+        let (res, profile) = engine.run_pipelined_with_parallelism(&imgs, 1);
+        assert_eq!(res.outputs, seq.outputs, "fallback must stay bit-exact");
+        // the sequential fallback's profile: one worker per stage, every
+        // image through every stage, and no channel waits (nothing blocks)
+        assert!(profile.stages.iter().all(|s| s.replication == 1));
+        assert!(profile.stages.iter().all(|s| s.images == 6));
+        assert!(profile
+            .stages
+            .iter()
+            .all(|s| s.mean_queue_wait_ns == 0 && s.mean_send_wait_ns == 0));
+        assert_eq!(profile.batch, 6);
+        // with threads to spare the pipelined path still works
+        let (multi, _) = engine.run_pipelined_with_parallelism(&imgs, 4);
+        assert_eq!(multi.outputs, seq.outputs);
     }
 
     #[test]

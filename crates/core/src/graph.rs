@@ -37,7 +37,7 @@ use dfcnn_fpga::resources::{CoreParams, CostModel, Resources};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::{NumericSpec, Shape3, Tensor3};
 use serde::{Deserialize, Serialize};
 
 /// Port counts of one paper layer.
@@ -139,6 +139,12 @@ pub struct DesignConfig {
     /// the cycle simulator confirms by stalling out. `None` (the default)
     /// keeps the auto-sized depths.
     pub skip_fifo_cap: Option<usize>,
+    /// The element type every core's datapath executes in: `f32` (the
+    /// default — golden traces and the paper's Virtex-7 designs) or one of
+    /// the supported fixed-point formats ([`NumericSpec::is_supported`]).
+    /// All three engines quantise at each core's stream boundary, so they
+    /// stay bit-identical to each other in any supported spec.
+    pub numeric: NumericSpec,
 }
 
 impl Default for DesignConfig {
@@ -154,6 +160,7 @@ impl Default for DesignConfig {
             line_buffer_cap: None,
             omit_adapters: false,
             skip_fifo_cap: None,
+            numeric: NumericSpec::F32,
         }
     }
 }
@@ -251,6 +258,13 @@ impl NetworkDesign {
     /// A human-readable message if the configuration is inconsistent
     /// (wrong layer count, ports not dividing FM counts, multi-port FC).
     pub fn new(network: &Network, ports: PortConfig, config: DesignConfig) -> Result<Self, String> {
+        if !config.numeric.is_supported() {
+            return Err(format!(
+                "unsupported numeric spec {:?}: kernels are monomorphised for {}",
+                config.numeric,
+                NumericSpec::supported_labels().join(", ")
+            ));
+        }
         let paper_layers: Vec<(usize, &Layer)> = network
             .layers()
             .iter()

@@ -10,6 +10,7 @@ use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::pipeline::LoopNest;
 use dfcnn_nn::act::Activation;
 use dfcnn_nn::layer::Conv2d;
+use dfcnn_tensor::Numeric;
 
 /// Convolution compute core plus its SST memory structure.
 ///
@@ -19,13 +20,18 @@ use dfcnn_nn::layer::Conv2d;
 /// previous initiation's results have left the emission queue, *initiates*:
 /// computes all `OUT_FM` outputs for the window in hardware order and
 /// schedules their interleaved emission after the pipeline depth.
-pub struct ConvCore {
+///
+/// Generic over the executed element type: filters and bias are quantised
+/// once at build time, the extracted window is quantised per initiation
+/// and results are dequantised for the `f32` stream transport — all
+/// identities for `E = f32`, so the f32 actor is bit-identical to before.
+pub struct ConvCore<E: Numeric = f32> {
     name: String,
     engine: WindowEngine,
     in_chs: Vec<ChannelId>,
     out_q: OutputQueue,
-    filters: PackedFilters,
-    bias: dfcnn_tensor::Tensor1<f32>,
+    filters: PackedFilters<E>,
+    bias: Vec<E>,
     activation: Activation,
     /// Eq. 4 initiation interval.
     ii: u64,
@@ -34,12 +40,14 @@ pub struct ConvCore {
     out_per_port: usize,
     next_initiation: u64,
     window_buf: Vec<f32>,
-    out_buf: Vec<f32>,
-    scratch: Vec<f32>,
+    qwin: Vec<E>,
+    out_buf: Vec<E>,
+    emit_buf: Vec<f32>,
+    scratch: Vec<E::Acc>,
     inits: u64,
 }
 
-impl ConvCore {
+impl<E: Numeric> ConvCore<E> {
     /// Build a core from the reference layer's parameters and a port
     /// configuration. `ii` must come from Eq. 4
     /// ([`dfcnn_hls::ii::pipeline_ii`]); the graph builder computes it.
@@ -65,15 +73,22 @@ impl ConvCore {
             in_chs,
             out_q: OutputQueue::new(out_chs),
             filters: PackedFilters::new(conv.filters()),
-            bias: conv.bias().clone(),
+            bias: conv
+                .bias()
+                .as_slice()
+                .iter()
+                .map(|&b| E::from_f32(b))
+                .collect(),
             activation: conv.activation(),
             ii: ii as u64,
             depth,
             out_per_port: out_fm / out_ports,
             next_initiation: 0,
             window_buf: vec![0.0; geo.window_volume()],
-            out_buf: vec![0.0; out_fm],
-            scratch: vec![0.0; group_len],
+            qwin: vec![E::zero(); geo.window_volume()],
+            out_buf: vec![E::zero(); out_fm],
+            emit_buf: vec![0.0; out_fm],
+            scratch: vec![E::Acc::default(); group_len],
             inits: 0,
         }
     }
@@ -104,7 +119,7 @@ impl ConvCore {
     }
 }
 
-impl Actor for ConvCore {
+impl<E: Numeric> Actor for ConvCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -127,16 +142,23 @@ impl Actor for ConvCore {
             && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
+            // quantise at the window boundary (identity for f32)
+            for (q, &v) in self.qwin.iter_mut().zip(&self.window_buf) {
+                *q = E::from_f32(v);
+            }
             conv_window_packed(
                 &mut self.out_buf,
-                &self.window_buf,
+                &self.qwin,
                 &self.filters,
                 &self.bias,
                 self.activation,
                 self.in_chs.len(),
                 &mut self.scratch,
             );
-            self.out_q.schedule(cycle + self.depth, &self.out_buf);
+            for (e, &v) in self.emit_buf.iter_mut().zip(&self.out_buf) {
+                *e = v.to_f32();
+            }
+            self.out_q.schedule(cycle + self.depth, &self.emit_buf);
             self.next_initiation = cycle + self.ii;
             self.inits += 1;
             trace.record(cycle, &self.name, EventKind::Initiate);
@@ -201,7 +223,7 @@ mod tests {
         let ins: Vec<_> = (0..in_ports).map(|_| chans.alloc(8)).collect();
         let outs: Vec<_> = (0..out_ports).map(|_| chans.alloc(8)).collect();
         let ops = OpLatency::f32_virtex7();
-        let mut core = ConvCore::new("conv", conv, ins.clone(), outs.clone(), ii, &ops);
+        let mut core = ConvCore::<f32>::new("conv", conv, ins.clone(), outs.clone(), ii, &ops);
 
         let geo = conv.geometry();
         let in_fm = geo.input.c;

@@ -22,6 +22,7 @@ use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::act::Activation;
 use dfcnn_nn::layer::Linear;
+use dfcnn_tensor::Numeric;
 
 enum Phase {
     /// Consuming input values (count so far).
@@ -30,13 +31,15 @@ enum Phase {
     Drain { next_j: usize, ready: u64 },
 }
 
-/// The FC compute core.
-pub struct FcCore {
+/// The FC compute core. Generic over the executed element type: the
+/// arena holds the quantised weights and bias; input values are quantised
+/// and outputs dequantised inside [`fc_forward_into`] (identities for
+/// `E = f32`, which is bit-identical to before).
+pub struct FcCore<E: Numeric = f32> {
     name: String,
     in_ch: ChannelId,
     out_ch: ChannelId,
-    arena: FcArena,
-    bias: dfcnn_tensor::Tensor1<f32>,
+    arena: FcArena<E>,
     activation: Activation,
     /// Input-loop initiation interval: `ceil(add_latency / banks)`.
     in_ii: u64,
@@ -54,7 +57,7 @@ pub struct FcCore {
     inits: u64,
 }
 
-impl FcCore {
+impl<E: Numeric> FcCore<E> {
     /// Build the core. `banks` is the interleaved accumulator count; the
     /// paper's choice is "a higher number of accumulators than the single
     /// addition latency" (e.g. ≥ 11 for f32).
@@ -76,8 +79,7 @@ impl FcCore {
             name: name.into(),
             in_ch,
             out_ch,
-            arena: FcArena::new(linear.weights(), banks),
-            bias: linear.bias().clone(),
+            arena: FcArena::new(linear.weights(), linear.bias(), banks),
             activation: linear.activation(),
             in_ii,
             drain,
@@ -107,7 +109,7 @@ impl FcCore {
     }
 }
 
-impl Actor for FcCore {
+impl<E: Numeric> Actor for FcCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -125,7 +127,6 @@ impl Actor for FcCore {
                         fc_forward_into(
                             &mut self.results,
                             &mut self.arena,
-                            &self.bias,
                             self.activation,
                             &self.buffer,
                         );
@@ -246,7 +247,7 @@ mod tests {
         let inp = chans.alloc(8);
         let out = chans.alloc(8);
         let ops = OpLatency::f32_virtex7();
-        let mut core = FcCore::new("fc", fc, inp, out, banks, &ops);
+        let mut core = FcCore::<f32>::new("fc", fc, inp, out, banks, &ops);
         let mut feed: Vec<f32> = Vec::new();
         for _ in 0..images {
             feed.extend_from_slice(x.as_slice());
@@ -310,7 +311,7 @@ mod tests {
         let ops = OpLatency::f32_virtex7();
         let mut chans = ChannelSet::new();
         let (i, o) = (chans.alloc(2), chans.alloc(2));
-        let core = FcCore::new("fc", &fc, i, o, 11, &ops);
+        let core = FcCore::<f32>::new("fc", &fc, i, o, 11, &ops);
         assert_eq!(core.input_ii(), 1);
         // 900 inputs + drain + 72 outputs
         assert_eq!(core.stage_interval(), 900 + core.drain_latency() + 72);

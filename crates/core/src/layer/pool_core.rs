@@ -22,9 +22,13 @@ use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::layer::{Pool2d, PoolKind};
+use dfcnn_tensor::Numeric;
 
-/// Pooling core bank plus its SST memory structure.
-pub struct PoolCore {
+/// Pooling core bank plus its SST memory structure. Generic over the
+/// executed element type: each channel's window is quantised before
+/// pooling and the pooled value dequantised for the stream transport
+/// (identities for `E = f32`, which is bit-identical to before).
+pub struct PoolCore<E: Numeric = f32> {
     name: String,
     engine: WindowEngine,
     in_chs: Vec<ChannelId>,
@@ -40,11 +44,12 @@ pub struct PoolCore {
     out_per_port: usize,
     next_initiation: u64,
     window_buf: Vec<f32>,
+    qvals: Vec<E>,
     out_buf: Vec<f32>,
     inits: u64,
 }
 
-impl PoolCore {
+impl<E: Numeric> PoolCore<E> {
     /// Build the pooling bank from the reference layer and port config.
     pub fn new(
         name: impl Into<String>,
@@ -81,6 +86,7 @@ impl PoolCore {
             out_per_port: fm / out_ports,
             next_initiation: 0,
             window_buf: vec![0.0; geo.window_volume()],
+            qvals: vec![E::zero(); win],
             out_buf: vec![0.0; fm],
             inits: 0,
         }
@@ -102,7 +108,7 @@ impl PoolCore {
     }
 }
 
-impl Actor for PoolCore {
+impl<E: Numeric> Actor for PoolCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -122,11 +128,15 @@ impl Actor for PoolCore {
             && !self.out_q.backlog_exceeds(cycle, self.out_per_port)
         {
             self.engine.extract(&mut self.window_buf);
-            // pool each channel independently, straight from its window slice
+            // pool each channel independently, straight from its window
+            // slice (quantised at the boundary — identity for f32)
             for f in 0..self.fm {
                 let base = f * self.kh * self.kw;
                 let chan = &self.window_buf[base..base + self.kh * self.kw];
-                self.out_buf[f] = pool_window(self.kind, chan);
+                for (q, &v) in self.qvals.iter_mut().zip(chan) {
+                    *q = E::from_f32(v);
+                }
+                self.out_buf[f] = pool_window(self.kind, &self.qvals).to_f32();
             }
             self.out_q.schedule(cycle + self.depth, &self.out_buf);
             self.next_initiation = cycle + self.ii;
@@ -191,7 +201,7 @@ mod tests {
         let ins: Vec<_> = (0..in_ports).map(|_| chans.alloc(8)).collect();
         let outs: Vec<_> = (0..out_ports).map(|_| chans.alloc(8)).collect();
         let ops = OpLatency::f32_virtex7();
-        let mut core = PoolCore::new("pool", pool, ins.clone(), outs.clone(), &ops);
+        let mut core = PoolCore::<f32>::new("pool", pool, ins.clone(), outs.clone(), &ops);
         let fm = pool.geometry().input.c;
         let mut streams: Vec<Vec<f32>> = vec![Vec::new(); in_ports];
         for v in img.as_slice().chunks(fm) {
@@ -275,7 +285,7 @@ mod tests {
         let mut chans = ChannelSet::new();
         let ins: Vec<_> = (0..6).map(|_| chans.alloc(4)).collect();
         let outs: Vec<_> = (0..6).map(|_| chans.alloc(4)).collect();
-        let core = PoolCore::new("p", &pool, ins, outs, &OpLatency::f32_virtex7());
+        let core = PoolCore::<f32>::new("p", &pool, ins, outs, &OpLatency::f32_virtex7());
         assert_eq!(core.ii(), 1);
     }
 }

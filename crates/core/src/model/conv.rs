@@ -10,7 +10,7 @@ use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_nn::layer::{Conv2d, Layer};
-use dfcnn_tensor::Tensor3;
+use dfcnn_tensor::{with_numeric, Numeric, Tensor3};
 use std::fmt::Write as _;
 
 /// The conv [`CoreModel`].
@@ -34,13 +34,13 @@ pub(crate) fn windowed_interval(core: &CoreInfo) -> u64 {
     per_port_in.max(initiations).max(out_serial)
 }
 
-struct ConvWorker {
+struct ConvWorker<E: Numeric> {
     layer: Conv2d,
     in_ports: usize,
-    arena: Box<ConvArena>,
+    arena: Box<ConvArena<E>>,
 }
 
-impl StageWorker for ConvWorker {
+impl<E: Numeric> StageWorker for ConvWorker<E> {
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
         conv_forward_hw_into(&self.layer, self.in_ports, input, out, &mut self.arena);
     }
@@ -123,8 +123,8 @@ impl CoreModel for ConvModel {
     ) -> Box<dyn Actor> {
         let idx = core.layer_index.expect("conv core has a layer");
         let l = conv_layer(&design.network().layers()[idx]);
-        Box::new(
-            ConvCore::new(
+        with_numeric!(design.config().numeric, E => Box::new(
+            ConvCore::<E>::new(
                 core.name.clone(),
                 l,
                 in_chs,
@@ -133,7 +133,7 @@ impl CoreModel for ConvModel {
                 &design.config().ops,
             )
             .with_line_buffer_cap(design.config().line_buffer_cap),
-        )
+        ))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -224,17 +224,21 @@ impl CoreModel for ConvModel {
         name: String,
         layer: &Layer,
         lp: LayerPorts,
-        _config: &DesignConfig,
+        config: &DesignConfig,
     ) -> Option<StageSpec> {
         let c = conv_layer(layer).clone();
         let in_ports = lp.in_ports;
-        Some(StageSpec::new(name, c.output_shape(), move || {
-            Box::new(ConvWorker {
-                arena: Box::new(ConvArena::new(&c, in_ports)),
-                layer: c.clone(),
-                in_ports,
-            })
-        }))
+        Some(with_numeric!(config.numeric, E => StageSpec::new(
+            name,
+            c.output_shape(),
+            move || {
+                Box::new(ConvWorker::<E> {
+                    arena: Box::new(ConvArena::new(&c, in_ports)),
+                    layer: c.clone(),
+                    in_ports,
+                })
+            },
+        )))
     }
 }
 

@@ -22,7 +22,7 @@ use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_nn::layer::Layer;
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::{with_numeric, Numeric, Shape3, Tensor3};
 use std::fmt::Write as _;
 
 /// The element-wise add [`CoreModel`].
@@ -54,17 +54,21 @@ pub(crate) fn plan_add(shape: Shape3, ports: usize, index: usize) -> CoreInfo {
 }
 
 /// The join actor: `out[p] = a[p] + b[p]` in strict global FM order.
-/// Input channels hold operand A's ports then operand B's.
-pub struct EltwiseCore {
+/// Input channels hold operand A's ports then operand B's. Generic over
+/// the executed element type: both operands are quantised, added with the
+/// element's (saturating) adder and dequantised — the identity chain for
+/// `f32`.
+pub struct EltwiseCore<E: Numeric = f32> {
     name: String,
     in_chs: Vec<ChannelId>,
     out_chs: Vec<ChannelId>,
     fm: usize,
     seq: u64,
     moved: u64,
+    _elem: core::marker::PhantomData<E>,
 }
 
-impl EltwiseCore {
+impl<E: Numeric> EltwiseCore<E> {
     /// Build the join over `fm` interleaved FMs; `in_chs` is `2·P` wide.
     pub fn new(
         name: impl Into<String>,
@@ -86,11 +90,12 @@ impl EltwiseCore {
             fm,
             seq: 0,
             moved: 0,
+            _elem: core::marker::PhantomData,
         }
     }
 }
 
-impl Actor for EltwiseCore {
+impl<E: Numeric> Actor for EltwiseCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -115,7 +120,7 @@ impl Actor for EltwiseCore {
             }
             let a = chans.pop(src_a).unwrap();
             let b = chans.pop(src_b).unwrap();
-            chans.push(self.out_chs[p], a + b);
+            chans.push(self.out_chs[p], crate::kernel::eltwise_add_hw::<E>(a, b));
             used[p] = true;
             self.seq += 1;
             self.moved += 1;
@@ -168,17 +173,17 @@ impl Actor for EltwiseCore {
     }
 }
 
-struct EltwiseWorker;
+struct EltwiseWorker<E: Numeric>(core::marker::PhantomData<E>);
 
-impl StageWorker for EltwiseWorker {
+impl<E: Numeric> StageWorker for EltwiseWorker<E> {
     fn apply_into(&mut self, _input: &Tensor3<f32>, _out: &mut Tensor3<f32>) {
         unreachable!("eltwise-add is a two-operand stage; use apply_multi")
     }
 
     fn apply_multi(&mut self, inputs: &[&Tensor3<f32>], out: &mut Tensor3<f32>) {
         let (a, b) = (inputs[0].as_slice(), inputs[1].as_slice());
-        for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(a.iter().zip(b)) {
-            *o = x + y;
+        for (o, (&x, &y)) in out.as_mut_slice().iter_mut().zip(a.iter().zip(b)) {
+            *o = crate::kernel::eltwise_add_hw::<E>(x, y);
         }
     }
 }
@@ -227,17 +232,17 @@ impl CoreModel for EltwiseAddModel {
 
     fn make_actor(
         &self,
-        _design: &NetworkDesign,
+        design: &NetworkDesign,
         core: &CoreInfo,
         in_chs: Vec<ChannelId>,
         out_chs: Vec<ChannelId>,
     ) -> Box<dyn Actor> {
-        Box::new(EltwiseCore::new(
+        with_numeric!(design.config().numeric, E => Box::new(EltwiseCore::<E>::new(
             core.name.clone(),
             in_chs,
             out_chs,
             core.params.in_fm,
-        ))
+        )))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -288,15 +293,17 @@ impl CoreModel for EltwiseAddModel {
 
     fn graph_stage(
         &self,
-        _design: &NetworkDesign,
+        design: &NetworkDesign,
         core: &CoreInfo,
         in_shapes: &[Shape3],
     ) -> Option<StageSpec> {
         assert_eq!(in_shapes.len(), 2, "eltwise-add joins exactly two operands");
         assert_eq!(in_shapes[0], in_shapes[1], "operand shapes must match");
-        Some(StageSpec::new(core.name.clone(), in_shapes[0], || {
-            Box::new(EltwiseWorker)
-        }))
+        Some(with_numeric!(design.config().numeric, E => StageSpec::new(
+            core.name.clone(),
+            in_shapes[0],
+            || Box::new(EltwiseWorker::<E>(core::marker::PhantomData)),
+        )))
     }
 
     fn reference_apply(
@@ -322,7 +329,7 @@ impl CoreModel for EltwiseAddModel {
 mod tests {
     use super::*;
 
-    fn drive(core: &mut EltwiseCore, chans: &mut ChannelSet, cycles: usize) {
+    fn drive(core: &mut EltwiseCore<f32>, chans: &mut ChannelSet, cycles: usize) {
         let mut trace = Trace::disabled();
         for c in 0..cycles {
             core.tick(c as u64, chans, &mut trace);
@@ -349,7 +356,7 @@ mod tests {
             chans.push(b0, (10 * f) as f32);
         }
         chans.commit_all();
-        let mut core = EltwiseCore::new("add", vec![a0, b0], vec![o0], 2);
+        let mut core = EltwiseCore::<f32>::new("add", vec![a0, b0], vec![o0], 2);
         drive(&mut core, &mut chans, 8);
         assert_eq!(drain(&mut chans, o0), vec![0.0, 11.0, 22.0, 33.0]);
         assert_eq!(core.initiations(), 4);
@@ -363,7 +370,7 @@ mod tests {
         let o0 = chans.alloc(16);
         chans.push(a0, 1.0);
         chans.commit_all();
-        let mut core = EltwiseCore::new("add", vec![a0, b0], vec![o0], 1);
+        let mut core = EltwiseCore::<f32>::new("add", vec![a0, b0], vec![o0], 1);
         drive(&mut core, &mut chans, 4);
         assert!(chans.get(o0).is_empty(), "no output without both operands");
         // the second operand group starts at index P
@@ -386,7 +393,7 @@ mod tests {
         chans.push(b[0], 10.0);
         chans.push(b[1], 20.0);
         chans.commit_all();
-        let mut core = EltwiseCore::new("add", [a, b].concat(), o.clone(), 2);
+        let mut core = EltwiseCore::<f32>::new("add", [a, b].concat(), o.clone(), 2);
         let mut trace = Trace::disabled();
         core.tick(0, &mut chans, &mut trace);
         chans.commit_all();
@@ -401,7 +408,7 @@ mod tests {
         let a = Tensor3::from_fn(shape, |y, x, c| (y * 4 + x * 2 + c) as f32 * 0.25);
         let b = Tensor3::from_fn(shape, |y, x, c| (y + x + c) as f32 * -0.5);
         let mut out = Tensor3::zeros(shape);
-        EltwiseWorker.apply_multi(&[&a, &b], &mut out);
+        EltwiseWorker::<f32>(core::marker::PhantomData).apply_multi(&[&a, &b], &mut out);
         let expect: Vec<f32> = a
             .as_slice()
             .iter()

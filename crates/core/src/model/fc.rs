@@ -10,7 +10,7 @@ use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_nn::layer::{Layer, Linear};
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::{with_numeric, Numeric, Shape3, Tensor3};
 use std::fmt::Write as _;
 
 /// The FC [`CoreModel`].
@@ -23,12 +23,12 @@ fn fc_layer(layer: &Layer) -> &Linear {
     }
 }
 
-struct FcWorker {
+struct FcWorker<E: Numeric> {
     layer: Linear,
-    arena: Box<FcArena>,
+    arena: Box<FcArena<E>>,
 }
 
-impl StageWorker for FcWorker {
+impl<E: Numeric> StageWorker for FcWorker<E> {
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
         fc_forward_hw_into(&self.layer, input, out, &mut self.arena);
     }
@@ -128,14 +128,14 @@ impl CoreModel for FcModel {
     ) -> Box<dyn Actor> {
         let idx = core.layer_index.expect("fc core has a layer");
         let l = fc_layer(&design.network().layers()[idx]);
-        Box::new(FcCore::new(
+        with_numeric!(design.config().numeric, E => Box::new(FcCore::<E>::new(
             core.name.clone(),
             l,
             in_chs[0],
             out_chs[0],
             core.params.accumulators,
             &design.config().ops,
-        ))
+        )))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -193,12 +193,16 @@ impl CoreModel for FcModel {
         let f = fc_layer(layer).clone();
         let banks = config.fc_banks;
         let out_shape = Shape3::new(1, 1, f.outputs());
-        Some(StageSpec::new(name, out_shape, move || {
-            Box::new(FcWorker {
-                arena: Box::new(FcArena::new(f.weights(), banks)),
-                layer: f.clone(),
-            })
-        }))
+        Some(with_numeric!(config.numeric, E => StageSpec::new(
+            name,
+            out_shape,
+            move || {
+                Box::new(FcWorker::<E> {
+                    arena: Box::new(FcArena::new(f.weights(), f.bias(), banks)),
+                    layer: f.clone(),
+                })
+            },
+        )))
     }
 }
 

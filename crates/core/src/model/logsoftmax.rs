@@ -25,7 +25,7 @@ use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_hls::reduce::TreeAdder;
 use dfcnn_nn::layer::Layer;
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::{with_numeric, Numeric, Shape3, Tensor3};
 use std::fmt::Write as _;
 
 /// The normalisation [`CoreModel`].
@@ -47,11 +47,11 @@ fn drain_latency(classes: usize, ops: &OpLatency) -> u64 {
         + ops.add as u64
 }
 
-struct LogSoftmaxWorker {
-    arena: LogSoftmaxArena,
+struct LogSoftmaxWorker<E: Numeric> {
+    arena: LogSoftmaxArena<E>,
 }
 
-impl StageWorker for LogSoftmaxWorker {
+impl<E: Numeric> StageWorker for LogSoftmaxWorker<E> {
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
         logsoftmax_forward_into(out.as_mut_slice(), input.as_slice(), &mut self.arena);
     }
@@ -65,13 +65,16 @@ enum Phase {
 }
 
 /// The log-softmax normalisation core as a cycle actor. Single input
-/// port, single output port, weight-free.
-pub struct LogSoftmaxCore {
+/// port, single output port, weight-free. Generic over the executed
+/// element type: scores are quantised on ingest and the normalised scores
+/// re-quantised on emission; the exp/ln pipeline stays f32 (see
+/// [`logsoftmax_forward_into`]).
+pub struct LogSoftmaxCore<E: Numeric = f32> {
     name: String,
     in_ch: ChannelId,
     out_ch: ChannelId,
     classes: usize,
-    arena: LogSoftmaxArena,
+    arena: LogSoftmaxArena<E>,
     drain: u64,
     buffer: Vec<f32>,
     results: Vec<f32>,
@@ -79,7 +82,7 @@ pub struct LogSoftmaxCore {
     inits: u64,
 }
 
-impl LogSoftmaxCore {
+impl<E: Numeric> LogSoftmaxCore<E> {
     /// Build the core for a `classes`-wide score vector.
     pub fn new(
         name: impl Into<String>,
@@ -108,7 +111,7 @@ impl LogSoftmaxCore {
     }
 }
 
-impl Actor for LogSoftmaxCore {
+impl<E: Numeric> Actor for LogSoftmaxCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -267,13 +270,13 @@ impl CoreModel for LogSoftmaxModel {
         in_chs: Vec<ChannelId>,
         out_chs: Vec<ChannelId>,
     ) -> Box<dyn Actor> {
-        Box::new(LogSoftmaxCore::new(
+        with_numeric!(design.config().numeric, E => Box::new(LogSoftmaxCore::<E>::new(
             core.name.clone(),
             core.params.in_fm,
             in_chs[0],
             out_chs[0],
             &design.config().ops,
-        ))
+        )))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -320,14 +323,18 @@ impl CoreModel for LogSoftmaxModel {
         name: String,
         layer: &Layer,
         _lp: LayerPorts,
-        _config: &DesignConfig,
+        config: &DesignConfig,
     ) -> Option<StageSpec> {
         let k = classes_of(layer);
-        Some(StageSpec::new(name, Shape3::new(1, 1, k), move || {
-            Box::new(LogSoftmaxWorker {
-                arena: LogSoftmaxArena::new(k),
-            })
-        }))
+        Some(with_numeric!(config.numeric, E => StageSpec::new(
+            name,
+            Shape3::new(1, 1, k),
+            move || {
+                Box::new(LogSoftmaxWorker::<E> {
+                    arena: LogSoftmaxArena::new(k),
+                })
+            },
+        )))
     }
 }
 
@@ -345,7 +352,7 @@ mod tests {
         let inp = chans.alloc(8);
         let out = chans.alloc(8);
         let ops = OpLatency::f32_virtex7();
-        let mut core = LogSoftmaxCore::new("logsoftmax", k, inp, out, &ops);
+        let mut core = LogSoftmaxCore::<f32>::new("logsoftmax", k, inp, out, &ops);
         let mut feed: Vec<f32> = Vec::new();
         for _ in 0..images {
             feed.extend_from_slice(scores);

@@ -11,7 +11,7 @@ use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_nn::layer::{Layer, Pool2d, PoolKind};
-use dfcnn_tensor::Tensor3;
+use dfcnn_tensor::{with_numeric, Numeric, Tensor3};
 use std::fmt::Write as _;
 
 /// The pooling [`CoreModel`].
@@ -24,12 +24,12 @@ fn pool_layer(layer: &Layer) -> &Pool2d {
     }
 }
 
-struct PoolWorker {
+struct PoolWorker<E: Numeric> {
     layer: Pool2d,
-    arena: PoolArena,
+    arena: PoolArena<E>,
 }
 
-impl StageWorker for PoolWorker {
+impl<E: Numeric> StageWorker for PoolWorker<E> {
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
         pool_forward_hw_into(&self.layer, input, out, &mut self.arena);
     }
@@ -112,10 +112,10 @@ impl CoreModel for PoolModel {
     ) -> Box<dyn Actor> {
         let idx = core.layer_index.expect("pool core has a layer");
         let l = pool_layer(&design.network().layers()[idx]);
-        Box::new(
-            PoolCore::new(core.name.clone(), l, in_chs, out_chs, &design.config().ops)
+        with_numeric!(design.config().numeric, E => Box::new(
+            PoolCore::<E>::new(core.name.clone(), l, in_chs, out_chs, &design.config().ops)
                 .with_line_buffer_cap(design.config().line_buffer_cap),
-        )
+        ))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -162,15 +162,19 @@ impl CoreModel for PoolModel {
         name: String,
         layer: &Layer,
         _lp: LayerPorts,
-        _config: &DesignConfig,
+        config: &DesignConfig,
     ) -> Option<StageSpec> {
         let p = pool_layer(layer).clone();
-        Some(StageSpec::new(name, p.output_shape(), move || {
-            Box::new(PoolWorker {
-                arena: PoolArena::new(&p),
-                layer: p.clone(),
-            })
-        }))
+        Some(with_numeric!(config.numeric, E => StageSpec::new(
+            name,
+            p.output_shape(),
+            move || {
+                Box::new(PoolWorker::<E> {
+                    arena: PoolArena::new(&p),
+                    layer: p.clone(),
+                })
+            },
+        )))
     }
 }
 

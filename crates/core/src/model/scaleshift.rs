@@ -23,7 +23,7 @@ use crate::trace::{EventKind, Stall, Trace};
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::pipeline_ii;
 use dfcnn_nn::layer::Layer;
-use dfcnn_tensor::Tensor3;
+use dfcnn_tensor::{with_numeric, Element, Numeric, Tensor3};
 use std::fmt::Write as _;
 
 /// The scale-shift [`CoreModel`].
@@ -37,18 +37,22 @@ fn scaleshift_of(layer: &Layer) -> &dfcnn_nn::layer::ScaleShift {
 }
 
 /// The streaming affine actor: values move in strict global FM order,
-/// transformed per feature map on the way through.
-pub struct ScaleShiftCore {
+/// transformed per feature map on the way through. Generic over the
+/// executed element type: the coefficient ROMs are quantised once at
+/// build time; each value is quantised, transformed with the element's
+/// multiply/add and dequantised (the identity chain for `f32`). `fm`
+/// tracks the FM count (the quantised ROM length).
+pub struct ScaleShiftCore<E: Numeric = f32> {
     name: String,
     in_chs: Vec<ChannelId>,
     out_chs: Vec<ChannelId>,
-    scale: Vec<f32>,
-    shift: Vec<f32>,
+    scale: Vec<E>,
+    shift: Vec<E>,
     seq: u64,
     moved: u64,
 }
 
-impl ScaleShiftCore {
+impl<E: Numeric> ScaleShiftCore<E> {
     /// Build the core; coefficient vectors carry one entry per FM.
     pub fn new(
         name: impl Into<String>,
@@ -68,15 +72,15 @@ impl ScaleShiftCore {
             name: name.into(),
             in_chs,
             out_chs,
-            scale,
-            shift,
+            scale: scale.iter().map(|&v| E::from_f32(v)).collect(),
+            shift: shift.iter().map(|&v| E::from_f32(v)).collect(),
             seq: 0,
             moved: 0,
         }
     }
 }
 
-impl Actor for ScaleShiftCore {
+impl<E: Numeric> Actor for ScaleShiftCore<E> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -101,7 +105,10 @@ impl Actor for ScaleShiftCore {
                 break;
             }
             let v = chans.pop(src).unwrap();
-            chans.push(dst, self.scale[f] * v + self.shift[f]);
+            chans.push(
+                dst,
+                crate::kernel::scale_shift_hw::<E>(self.scale[f], self.shift[f], v),
+            );
             in_used[ip] = true;
             out_used[op] = true;
             self.seq += 1;
@@ -150,12 +157,12 @@ impl Actor for ScaleShiftCore {
     }
 }
 
-struct ScaleShiftWorker {
-    scale: Vec<f32>,
-    shift: Vec<f32>,
+struct ScaleShiftWorker<E: Numeric> {
+    scale: Vec<E>,
+    shift: Vec<E>,
 }
 
-impl StageWorker for ScaleShiftWorker {
+impl<E: Numeric> StageWorker for ScaleShiftWorker<E> {
     fn apply_into(&mut self, input: &Tensor3<f32>, out: &mut Tensor3<f32>) {
         let c = self.scale.len();
         for (i, (o, &x)) in out
@@ -164,7 +171,7 @@ impl StageWorker for ScaleShiftWorker {
             .zip(input.as_slice())
             .enumerate()
         {
-            *o = self.scale[i % c] * x + self.shift[i % c];
+            *o = crate::kernel::scale_shift_hw::<E>(self.scale[i % c], self.shift[i % c], x);
         }
     }
 }
@@ -226,13 +233,13 @@ impl CoreModel for ScaleShiftModel {
     ) -> Box<dyn Actor> {
         let idx = core.layer_index.expect("scaleshift cores are layer-backed");
         let l = scaleshift_of(&design.network().layers()[idx]);
-        Box::new(ScaleShiftCore::new(
+        with_numeric!(design.config().numeric, E => Box::new(ScaleShiftCore::<E>::new(
             core.name.clone(),
             in_chs,
             out_chs,
             l.scale().to_vec(),
             l.shift().to_vec(),
-        ))
+        )))
     }
 
     fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
@@ -276,16 +283,20 @@ impl CoreModel for ScaleShiftModel {
         name: String,
         layer: &Layer,
         _lp: LayerPorts,
-        _config: &DesignConfig,
+        config: &DesignConfig,
     ) -> Option<StageSpec> {
         let l = scaleshift_of(layer);
         let (scale, shift) = (l.scale().to_vec(), l.shift().to_vec());
-        Some(StageSpec::new(name, l.shape(), move || {
-            Box::new(ScaleShiftWorker {
-                scale: scale.clone(),
-                shift: shift.clone(),
-            })
-        }))
+        Some(with_numeric!(config.numeric, E => StageSpec::new(
+            name,
+            l.shape(),
+            move || {
+                Box::new(ScaleShiftWorker::<E> {
+                    scale: scale.iter().map(|&v| E::from_f32(v)).collect(),
+                    shift: shift.iter().map(|&v| E::from_f32(v)).collect(),
+                })
+            },
+        )))
     }
 }
 
@@ -295,7 +306,7 @@ mod tests {
     use dfcnn_nn::layer::ScaleShift;
     use dfcnn_tensor::Shape3;
 
-    fn drive(core: &mut ScaleShiftCore, chans: &mut ChannelSet, cycles: usize) {
+    fn drive(core: &mut ScaleShiftCore<f32>, chans: &mut ChannelSet, cycles: usize) {
         let mut trace = Trace::disabled();
         for c in 0..cycles {
             core.tick(c as u64, chans, &mut trace);
@@ -321,7 +332,7 @@ mod tests {
             chans.push(i0, v);
         }
         chans.commit_all();
-        let mut core = ScaleShiftCore::new(
+        let mut core = ScaleShiftCore::<f32>::new(
             "scaleshift",
             vec![i0],
             vec![o0],
@@ -355,7 +366,7 @@ mod tests {
             chans.push(i0, v);
         }
         chans.commit_all();
-        let mut core = ScaleShiftCore::new(
+        let mut core = ScaleShiftCore::<f32>::new(
             "scaleshift",
             vec![i0],
             vec![o0],
@@ -411,7 +422,7 @@ mod tests {
         chans.push(ins[0], 3.0); // f0
         chans.push(ins[1], 4.0); // f1
         chans.commit_all();
-        let mut core = ScaleShiftCore::new(
+        let mut core = ScaleShiftCore::<f32>::new(
             "scaleshift",
             ins,
             vec![o0],

@@ -70,7 +70,7 @@ fn conv_pool_fc_steady_state_is_allocation_free() {
     let fc = Linear::new(w, fbias, Activation::Identity);
     let mut fc_in = Tensor3::zeros(Shape3::new(1, 1, fc_inputs));
     let mut fc_out = Tensor3::zeros(Shape3::new(1, 1, 10));
-    let mut fc_arena = FcArena::new(fc.weights(), 11);
+    let mut fc_arena = FcArena::new(fc.weights(), fc.bias(), 11);
 
     let run_image = |conv_arena: &mut ConvArena,
                      pool_arena: &mut PoolArena,

@@ -21,6 +21,7 @@
 //! pool, test case 2 cannot afford any parallelisation (§V-B2), and DSPs
 //! are the binding constraint.
 
+use dfcnn_tensor::NumericSpec;
 use serde::{Deserialize, Serialize};
 
 /// A resource vector: flip-flops, LUTs, BRAM18 halves, DSP48 slices.
@@ -240,26 +241,50 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Cost constants for a 32-bit fixed-point datapath (the §IV-B
-    /// "integer values" alternative): one DSP48 pair per multiplier, plain
-    /// carry-chain adders and comparators in fabric, single-cycle
-    /// activation lookup. Dramatically cheaper per MAC than the
-    /// floating-point operators — the lever that brings VGG-class layers
-    /// back inside a single device in the scaling study.
+    /// Cost constants for the fixed-point datapath the kernels actually
+    /// execute (the §IV-B "integer values" alternative), at the default
+    /// executed storage width ([`NumericSpec::default_fixed`], Q8.8 in
+    /// i16). Dramatically cheaper per MAC than the floating-point
+    /// operators — the lever that brings VGG-class layers back inside a
+    /// single device in the scaling study.
     pub fn fixed_point() -> Self {
+        Self::fixed_point_for(NumericSpec::default_fixed())
+    }
+
+    /// Cost constants for the datapath described by `spec`. `F32` is the
+    /// floating-point operator set ([`CostModel::default`]); the fixed
+    /// variants scale the fabric costs by storage width and use plain
+    /// carry-chain adders/comparators plus a LUT-ROM piecewise
+    /// activation. The fractional position does **not** change the
+    /// resource vector — the post-multiply `>> FRAC` is wiring, not
+    /// logic — so only [`NumericSpec::storage_bits`] matters here; FRAC
+    /// affects accuracy (see `EXPERIMENTS.md`), not area.
+    pub fn fixed_point_for(spec: NumericSpec) -> Self {
+        if !spec.is_fixed() {
+            return CostModel::default();
+        }
+        let bits = spec.storage_bits() as u64; // 16 (i16) or 8 (i8)
+        let div = 32 / bits; // fabric costs scale with operand width
         CostModel {
-            dsp_per_fmul: 2, // 32x32 via two DSP48E1 partial products
-            lut_per_fmul: 40,
-            ff_per_fmul: 80,
+            // widths up to 18 bits fit the DSP48E1's 25x18 multiplier in
+            // one slice; a 32-bit product would need two partial products
+            dsp_per_fmul: if bits <= 18 { 1 } else { 2 },
+            lut_per_fmul: 40 / div,
+            ff_per_fmul: 80 / div,
             dsp_per_fadd: 0, // carry chain
-            lut_per_fadd: 32,
-            ff_per_fadd: 32,
-            lut_per_fadd_logic: 32,
-            ff_per_fadd_logic: 32,
-            lut_per_fcmp: 16,
-            ff_per_fcmp: 33,
+            lut_per_fadd: 32 / div,
+            ff_per_fadd: 32 / div,
+            lut_per_fadd_logic: 32 / div,
+            ff_per_fadd_logic: 32 / div,
+            lut_per_fcmp: 16u64.div_ceil(div),
+            ff_per_fcmp: 33u64.div_ceil(div),
             lut_activation: 200, // LUT-ROM piecewise activation
             ff_activation: 64,
+            // narrow words: registers shrink with the storage width and
+            // each BRAM18 holds proportionally more of them
+            ff_per_reg_word: bits,
+            lut_per_reg_word: 8u64.div_ceil(div),
+            words_per_bram18: 512 * div as usize,
             ..CostModel::default()
         }
     }
@@ -708,6 +733,41 @@ mod tests {
         });
         assert_eq!(ss.dsp, (m.dsp_per_fmul + m.dsp_per_fadd) * 2);
         assert!(ss.lut > add.lut);
+    }
+
+    #[test]
+    fn fixed_point_model_tracks_storage_width() {
+        // f32 spec maps to the float operator set
+        let f = CostModel::fixed_point_for(NumericSpec::F32);
+        assert_eq!(f.dsp_per_fmul, CostModel::default().dsp_per_fmul);
+        // executed widths fit one DSP48E1 multiplier each
+        let q16 = CostModel::fixed_point_for(NumericSpec::Fixed16 { frac: 8 });
+        let q8 = CostModel::fixed_point_for(NumericSpec::Fixed8 { frac: 4 });
+        assert_eq!(q16.dsp_per_fmul, 1);
+        assert_eq!(q8.dsp_per_fmul, 1);
+        assert_eq!(q16.dsp_per_fadd, 0);
+        // fabric cost shrinks with the word, BRAM packing grows
+        assert!(q8.lut_per_fmul < q16.lut_per_fmul);
+        assert_eq!(q16.ff_per_reg_word, 16);
+        assert_eq!(q8.ff_per_reg_word, 8);
+        assert_eq!(q16.words_per_bram18, 1024);
+        assert_eq!(q8.words_per_bram18, 2048);
+        // FRAC is wiring, not logic: same vector at every position
+        let a = CostModel::fixed_point_for(NumericSpec::Fixed16 { frac: 6 });
+        let b = CostModel::fixed_point_for(NumericSpec::Fixed16 { frac: 12 });
+        assert_eq!(a.dsp_per_fmul, b.dsp_per_fmul);
+        assert_eq!(a.lut_per_fmul, b.lut_per_fmul);
+        assert_eq!(a.ff_per_reg_word, b.ff_per_reg_word);
+        // the default fixed model is the executed default spec
+        let d = CostModel::fixed_point();
+        assert_eq!(d.dsp_per_fmul, q16.dsp_per_fmul);
+        assert_eq!(d.words_per_bram18, q16.words_per_bram18);
+        // a full conv core is far cheaper in DSPs than its f32 twin
+        let p = conv_params(1, 6, 1, 6, 16, 1); // 150 parallel MACs
+        let fixed_dsp = q16.core(&p).dsp;
+        let float_dsp = CostModel::default().core(&p).dsp;
+        assert_eq!(fixed_dsp, 150); // 1 per multiplier, adders in fabric
+        assert!(fixed_dsp * 4 < float_dsp);
     }
 
     #[test]

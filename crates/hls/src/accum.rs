@@ -20,7 +20,12 @@
 use crate::latency::OpLatency;
 use crate::reduce::TreeAdder;
 
-/// A bank of `A` round-robin accumulators plus a merge tree.
+/// A bank of `A` round-robin accumulators plus a merge tree, generic over
+/// the accumulator element (`f32` for the paper's datapath, `i64` for the
+/// exact fixed-point accumulation where interleaving is a no-op
+/// numerically but still models the hardware structure).
+///
+/// The f32 alias is [`InterleavedAccumulator`].
 ///
 /// ```
 /// use dfcnn_hls::{accum::InterleavedAccumulator, latency::OpLatency};
@@ -34,18 +39,26 @@ use crate::reduce::TreeAdder;
 /// assert_eq!(acc.total(), 10.0);
 /// ```
 #[derive(Clone, Debug)]
-pub struct InterleavedAccumulator {
-    partials: Vec<f32>,
+pub struct InterleavedBank<T> {
+    partials: Vec<T>,
     next: usize,
     count: usize,
 }
 
-impl InterleavedAccumulator {
+/// The f32 bank the paper's FC core uses. A distinct alias (rather than a
+/// defaulted parameter at every call site) so existing `f32` call sites
+/// keep full type inference.
+pub type InterleavedAccumulator = InterleavedBank<f32>;
+
+impl<T> InterleavedBank<T>
+where
+    T: Copy + Default + core::ops::Add<Output = T>,
+{
     /// Create a bank of `banks ≥ 1` accumulators.
     pub fn new(banks: usize) -> Self {
         assert!(banks >= 1, "need at least one accumulator");
-        InterleavedAccumulator {
-            partials: vec![0.0; banks],
+        InterleavedBank {
+            partials: vec![T::default(); banks],
             next: 0,
             count: 0,
         }
@@ -69,28 +82,28 @@ impl InterleavedAccumulator {
 
     /// Feed one value (round-robin bank selection).
     #[inline]
-    pub fn push(&mut self, v: f32) {
-        self.partials[self.next] += v;
+    pub fn push(&mut self, v: T) {
+        self.partials[self.next] = self.partials[self.next] + v;
         self.next = (self.next + 1) % self.partials.len();
         self.count += 1;
     }
 
     /// Merge the partials through a tree adder and return the total.
     /// The accumulator stays usable (merge does not reset state).
-    pub fn total(&self) -> f32 {
+    pub fn total(&self) -> T {
         TreeAdder::new(self.partials.len()).sum(&self.partials)
     }
 
-    /// [`InterleavedAccumulator::total`] without the internal allocation:
+    /// [`InterleavedBank::total`] without the internal allocation:
     /// the merge tree runs in `scratch` (at least `banks()` long). Rounding
     /// is identical to `total()` — the tree pairs partials the same way.
-    pub fn total_with_scratch(&self, scratch: &mut [f32]) -> f32 {
+    pub fn total_with_scratch(&self, scratch: &mut [T]) -> T {
         TreeAdder::new(self.partials.len()).sum_with_scratch(&self.partials, scratch)
     }
 
     /// Reset to zero.
     pub fn reset(&mut self) {
-        self.partials.iter_mut().for_each(|p| *p = 0.0);
+        self.partials.iter_mut().for_each(|p| *p = T::default());
         self.next = 0;
         self.count = 0;
     }
@@ -197,6 +210,24 @@ mod tests {
         a.reset();
         assert_eq!(a.total(), 0.0);
         assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn i64_bank_is_exact_in_any_order() {
+        // the fixed-point accumulator: interleaving cannot change the bits
+        let mut a = InterleavedBank::<i64>::new(11);
+        let mut b = InterleavedBank::<i64>::new(3);
+        let mut seq = 0i64;
+        for i in 0..1000i64 {
+            let v = i * 7919 - 3500;
+            a.push(v);
+            b.push(v);
+            seq += v;
+        }
+        assert_eq!(a.total(), seq);
+        assert_eq!(b.total(), seq);
+        let mut scratch = vec![0i64; 11];
+        assert_eq!(a.total_with_scratch(&mut scratch), seq);
     }
 
     #[test]

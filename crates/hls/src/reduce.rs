@@ -63,13 +63,19 @@ impl TreeAdder {
     }
 
     /// Sum `values` in tree order, reproducing the hardware's floating
-    /// point rounding: pairwise by level, odd element forwarded.
+    /// point rounding: pairwise by level, odd element forwarded. Generic
+    /// over the element type: for f32 the order *is* the rounding
+    /// behaviour; for exact accumulators (fixed-point `i64`) any order
+    /// gives the same bits, and this one models the hardware's latency.
     ///
     /// # Panics
     /// If `values.len() != self.inputs()`.
-    pub fn sum(&self, values: &[f32]) -> f32 {
+    pub fn sum<T>(&self, values: &[T]) -> T
+    where
+        T: Copy + core::ops::Add<Output = T>,
+    {
         assert_eq!(values.len(), self.n, "tree adder arity mismatch");
-        let mut level: Vec<f32> = values.to_vec();
+        let mut level: Vec<T> = values.to_vec();
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             let mut it = level.chunks_exact(2);
@@ -86,7 +92,10 @@ impl TreeAdder {
 
     /// Tree-order sum reusing a scratch buffer (hot-loop variant: no
     /// allocation). `scratch` must be at least `values.len()` long.
-    pub fn sum_with_scratch(&self, values: &[f32], scratch: &mut [f32]) -> f32 {
+    pub fn sum_with_scratch<T>(&self, values: &[T], scratch: &mut [T]) -> T
+    where
+        T: Copy + core::ops::Add<Output = T>,
+    {
         assert_eq!(values.len(), self.n, "tree adder arity mismatch");
         assert!(scratch.len() >= self.n, "scratch buffer too small");
         if self.n == 1 {
@@ -114,7 +123,10 @@ impl TreeAdder {
     /// Identical rounding to [`TreeAdder::sum`]: each level writes slot
     /// `i` from slots `2i` and `2i + 1`, so reads always stay at or ahead
     /// of writes.
-    pub fn sum_in_place(&self, values: &mut [f32]) -> f32 {
+    pub fn sum_in_place<T>(&self, values: &mut [T]) -> T
+    where
+        T: Copy + core::ops::Add<Output = T>,
+    {
         assert_eq!(values.len(), self.n, "tree adder arity mismatch");
         let mut len = self.n;
         while len > 1 {
@@ -208,6 +220,21 @@ mod tests {
         let t = TreeAdder::new(4);
         let mut buf = vals;
         assert_eq!(t.sum_in_place(&mut buf), t.sum(&vals));
+    }
+
+    #[test]
+    fn generic_sum_on_i64_is_exact() {
+        // the fixed-point accumulator type: tree order === sequential order
+        for n in 1..40usize {
+            let vals: Vec<i64> = (0..n).map(|i| (i as i64) * 7919 - 3500).collect();
+            let t = TreeAdder::new(n);
+            let seq: i64 = vals.iter().sum();
+            assert_eq!(t.sum(&vals), seq, "n={n}");
+            let mut buf = vals.clone();
+            assert_eq!(t.sum_in_place(&mut buf), seq, "n={n}");
+            let mut scratch = vec![0i64; n];
+            assert_eq!(t.sum_with_scratch(&vals, &mut scratch), seq, "n={n}");
+        }
     }
 
     #[test]

@@ -165,6 +165,522 @@ impl<const FRAC: u32> core::fmt::Display for Fixed<FRAC> {
 /// Q15.16, a common choice for CNN inference on Virtex-7-class DSP slices.
 pub type Q16 = Fixed<16>;
 
+/// Default fractional bit count for the executed fixed-point datapath
+/// (Q7.8 in an `i16`). Chosen by the accuracy-vs-FRAC sweep in
+/// `EXPERIMENTS.md`: on both paper test cases it matches the f32
+/// classification accuracy while halving multiplier width.
+pub const DEFAULT_FRAC: u32 = 8;
+
+// Narrow-storage fixed-point scalars for the *executed* datapath.
+//
+// [`Fixed`] above keeps 32-bit storage and exists for costing studies; the
+// engines execute [`Fixed16`]/[`Fixed8`], whose narrow products
+// (16×16→32, 8×8→16) accumulate exactly in an `i64` — the software model
+// of a DSP48 slice's 48-bit accumulator. Because integer addition is
+// associative, any summation order (tree, interleaved banks, SIMD lanes)
+// produces the same bits, which is what lets all three engines agree
+// bit-for-bit in fixed point.
+macro_rules! narrow_fixed {
+    ($(#[$doc:meta])* $name:ident, $store:ty, $default_frac:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name<const FRAC: u32 = $default_frac>(pub(crate) $store);
+
+        impl<const FRAC: u32> Serialize for $name<FRAC> {
+            fn to_value(&self) -> serde::Value {
+                (self.0 as i32).to_value()
+            }
+        }
+
+        impl<const FRAC: u32> Deserialize for $name<FRAC> {
+            fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+                i32::from_value(v).map(|raw| $name(raw as $store))
+            }
+        }
+
+        impl<const FRAC: u32> $name<FRAC> {
+            /// Smallest representable value.
+            pub const MIN: Self = $name(<$store>::MIN);
+            /// Largest representable value.
+            pub const MAX: Self = $name(<$store>::MAX);
+            /// The scale factor `2^FRAC`.
+            pub const SCALE: f64 = (1u64 << FRAC) as f64;
+
+            /// Construct from the raw fixed-point bit pattern.
+            #[inline]
+            pub const fn from_raw(raw: $store) -> Self {
+                $name(raw)
+            }
+
+            /// The raw bit pattern.
+            #[inline]
+            pub const fn raw(self) -> $store {
+                self.0
+            }
+
+            /// Convert from `f64`, saturating at the representable range.
+            pub fn from_f64(v: f64) -> Self {
+                let scaled = (v * Self::SCALE).round();
+                if scaled >= <$store>::MAX as f64 {
+                    Self::MAX
+                } else if scaled <= <$store>::MIN as f64 {
+                    Self::MIN
+                } else {
+                    $name(scaled as $store)
+                }
+            }
+
+            /// Convert to `f64` exactly.
+            #[inline]
+            pub fn to_f64(self) -> f64 {
+                self.0 as f64 / Self::SCALE
+            }
+
+            /// Quantisation step (the value of one LSB).
+            #[inline]
+            pub fn epsilon() -> f64 {
+                1.0 / Self::SCALE
+            }
+
+            /// Saturating addition.
+            #[inline]
+            pub fn saturating_add(self, rhs: Self) -> Self {
+                $name(self.0.saturating_add(rhs.0))
+            }
+
+            /// Saturating subtraction.
+            #[inline]
+            pub fn saturating_sub(self, rhs: Self) -> Self {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+
+            /// Saturating multiplication with full-width intermediate
+            /// (widen, multiply, arithmetic shift back, saturate — the
+            /// truncation rounds toward negative infinity, like the
+            /// hardware rescale).
+            #[inline]
+            pub fn saturating_mul(self, rhs: Self) -> Self {
+                let wide = (self.0 as i32 * rhs.0 as i32) >> FRAC;
+                if wide > <$store>::MAX as i32 {
+                    Self::MAX
+                } else if wide < <$store>::MIN as i32 {
+                    Self::MIN
+                } else {
+                    $name(wide as $store)
+                }
+            }
+
+            /// Lane-chunked MAC with `i64` lane accumulators: `i32`
+            /// products per chunk, widened and added to 32 independent
+            /// sums. The `chunks_exact` structure is what lets LLVM drop
+            /// the bounds checks and vectorize; exact in any order, so
+            /// bit-identical to the sequential loop.
+            #[cfg(not(feature = "portable-simd"))]
+            #[inline]
+            fn dot_i64_lanes(a: &[Self], b: &[Self]) -> i64 {
+                const LANES: usize = 32;
+                let n = a.len().min(b.len());
+                let (a, b) = (&a[..n], &b[..n]);
+                let mut lanes = [0i64; LANES];
+                let mut ca = a.chunks_exact(LANES);
+                let mut cb = b.chunks_exact(LANES);
+                for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
+                    let mut prod = [0i32; LANES];
+                    for l in 0..LANES {
+                        prod[l] = ka[l].0 as i32 * kb[l].0 as i32;
+                    }
+                    for l in 0..LANES {
+                        lanes[l] += prod[l] as i64;
+                    }
+                }
+                let mut acc: i64 = lanes.iter().sum();
+                for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                    acc += (x.0 as i32 * y.0 as i32) as i64;
+                }
+                acc
+            }
+
+            /// Lane-chunked MAC with `i32` lane accumulators — only exact
+            /// when products fit in an `i16` (8-bit storage), which bounds
+            /// each lane's partial sum by `2^16 · 2^14 < i32::MAX` per
+            /// block; blocks spill into the `i64` total. `dot_acc` only
+            /// selects this kernel for 1-byte storage.
+            #[cfg(not(feature = "portable-simd"))]
+            #[inline]
+            fn dot_i32_lanes(a: &[Self], b: &[Self]) -> i64 {
+                const LANES: usize = 16;
+                const BLOCK: usize = LANES * (1 << 16);
+                let n = a.len().min(b.len());
+                let (mut a, mut b) = (&a[..n], &b[..n]);
+                let mut acc = 0i64;
+                while !a.is_empty() {
+                    let take = a.len().min(BLOCK);
+                    let (ha, ta) = a.split_at(take);
+                    let (hb, tb) = b.split_at(take);
+                    let mut lanes = [0i32; LANES];
+                    let mut ca = ha.chunks_exact(LANES);
+                    let mut cb = hb.chunks_exact(LANES);
+                    for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
+                        for l in 0..LANES {
+                            lanes[l] += ka[l].0 as i32 * kb[l].0 as i32;
+                        }
+                    }
+                    acc += lanes.iter().map(|&v| v as i64).sum::<i64>();
+                    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                        acc += (x.0 as i32 * y.0 as i32) as i64;
+                    }
+                    a = ta;
+                    b = tb;
+                }
+                acc
+            }
+        }
+
+        impl<const FRAC: u32> core::ops::Add for $name<FRAC> {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                self.saturating_add(rhs)
+            }
+        }
+
+        impl<const FRAC: u32> core::ops::Sub for $name<FRAC> {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                self.saturating_sub(rhs)
+            }
+        }
+
+        impl<const FRAC: u32> core::ops::Mul for $name<FRAC> {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: Self) -> Self {
+                self.saturating_mul(rhs)
+            }
+        }
+
+        impl<const FRAC: u32> core::ops::Neg for $name<FRAC> {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                $name(self.0.saturating_neg())
+            }
+        }
+
+        impl<const FRAC: u32> Element for $name<FRAC> {
+            #[inline]
+            fn zero() -> Self {
+                $name(0)
+            }
+            #[inline]
+            fn one() -> Self {
+                $name(1 << FRAC)
+            }
+            #[inline]
+            fn from_f32(v: f32) -> Self {
+                Self::from_f64(v as f64)
+            }
+            #[inline]
+            fn to_f32(self) -> f32 {
+                self.to_f64() as f32
+            }
+        }
+
+        impl<const FRAC: u32> crate::Numeric for $name<FRAC> {
+            type Acc = i64;
+            const EXACT_SUM: bool = true;
+
+            #[inline]
+            fn min_value() -> Self {
+                Self::MIN
+            }
+
+            #[inline]
+            fn max_hw(self, other: Self) -> Self {
+                if self >= other {
+                    self
+                } else {
+                    other
+                }
+            }
+
+            /// Lift a value to the product scale `2^(2·FRAC)` so it can be
+            /// added to raw products (how the bias enters a MAC chain).
+            #[inline]
+            fn widen(self) -> i64 {
+                (self.0 as i64) << FRAC
+            }
+
+            /// Full-width product at scale `2^(2·FRAC)`; narrow×narrow
+            /// cannot overflow the `i32` intermediate.
+            #[inline]
+            fn mul_full(self, rhs: Self) -> i64 {
+                (self.0 as i32 * rhs.0 as i32) as i64
+            }
+
+            /// Rescale an accumulator back to `2^FRAC` (arithmetic shift:
+            /// truncation toward −∞, matching `saturating_mul`) and
+            /// saturate into storage.
+            #[inline]
+            fn narrow(acc: i64) -> Self {
+                let scaled = acc >> FRAC;
+                if scaled > <$store>::MAX as i64 {
+                    Self::MAX
+                } else if scaled < <$store>::MIN as i64 {
+                    Self::MIN
+                } else {
+                    $name(scaled as $store)
+                }
+            }
+
+            #[cfg(not(feature = "portable-simd"))]
+            fn dot_acc(a: &[Self], b: &[Self]) -> i64 {
+                // Integer sums are exact, so any lane discipline equals the
+                // scalar loop bit-for-bit; the two kernels below only pick
+                // the cheapest *accumulator width* per storage width. The
+                // branch is on a compile-time constant.
+                if core::mem::size_of::<$store>() == 1 {
+                    Self::dot_i32_lanes(a, b)
+                } else {
+                    Self::dot_i64_lanes(a, b)
+                }
+            }
+
+            #[cfg(feature = "portable-simd")]
+            fn dot_acc(a: &[Self], b: &[Self]) -> i64 {
+                // Explicit `std::simd` lanes (nightly, behind the
+                // `portable-simd` feature): `i32` products widened into
+                // `i64` lane accumulators. Exact for both storage widths,
+                // so bit-identical to the chunked and scalar paths.
+                use core::simd::prelude::*;
+                const LANES: usize = 16;
+                let n = a.len().min(b.len());
+                let chunks = n / LANES;
+                let mut lanes = Simd::<i64, LANES>::splat(0);
+                for c in 0..chunks {
+                    let base = c * LANES;
+                    let va = Simd::<i32, LANES>::from_array(core::array::from_fn(|l| {
+                        a[base + l].0 as i32
+                    }));
+                    let vb = Simd::<i32, LANES>::from_array(core::array::from_fn(|l| {
+                        b[base + l].0 as i32
+                    }));
+                    lanes += (va * vb).cast::<i64>();
+                }
+                let mut acc = lanes.reduce_sum();
+                for i in chunks * LANES..n {
+                    acc += (a[i].0 as i32 * b[i].0 as i32) as i64;
+                }
+                acc
+            }
+
+            fn dot_acc_scalar(a: &[Self], b: &[Self]) -> i64 {
+                let n = a.len().min(b.len());
+                let mut acc = 0i64;
+                for i in 0..n {
+                    acc += (a[i].0 as i32 * b[i].0 as i32) as i64;
+                }
+                acc
+            }
+        }
+
+        impl<const FRAC: u32> core::fmt::Display for $name<FRAC> {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}", self.to_f64())
+            }
+        }
+    };
+}
+
+narrow_fixed!(
+    /// Signed fixed-point number with `FRAC` fractional bits in an `i16`
+    /// container (Q`15-FRAC`.`FRAC`): the executed datapath's 16-bit
+    /// storage format. Products widen to `i32` (one DSP48 multiply) and
+    /// accumulate exactly in `i64`.
+    Fixed16,
+    i16,
+    8
+);
+
+narrow_fixed!(
+    /// Signed fixed-point number with `FRAC` fractional bits in an `i8`
+    /// container (Q`7-FRAC`.`FRAC`): the executed datapath's 8-bit
+    /// storage format, for the aggressive end of the precision sweep.
+    Fixed8,
+    i8,
+    4
+);
+
+/// A runtime-selectable numeric format for the executed datapath.
+///
+/// `DesignConfig::numeric` carries one of these; consumers dispatch to a
+/// monomorphized kernel with [`with_numeric!`](crate::with_numeric). Only
+/// the combinations listed in [`NumericSpec::is_supported`] have compiled
+/// kernels — `NetworkDesign::new` rejects the rest up front.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NumericSpec {
+    /// IEEE single precision — the paper's published configuration.
+    #[default]
+    F32,
+    /// [`Fixed16`] with the given fractional bit count.
+    Fixed16 { frac: u32 },
+    /// [`Fixed8`] with the given fractional bit count.
+    Fixed8 { frac: u32 },
+}
+
+impl NumericSpec {
+    /// The default fixed-point execution format (`Fixed16<DEFAULT_FRAC>`).
+    pub fn default_fixed() -> Self {
+        NumericSpec::Fixed16 { frac: DEFAULT_FRAC }
+    }
+
+    /// Whether a monomorphized kernel exists for this format. The set is
+    /// deliberately small (each entry is a full copy of every kernel):
+    /// f32, Fixed16 with FRAC ∈ {6, 8, 10, 12}, Fixed8 with FRAC ∈ {4, 6}.
+    pub fn is_supported(self) -> bool {
+        match self {
+            NumericSpec::F32 => true,
+            NumericSpec::Fixed16 { frac } => matches!(frac, 6 | 8 | 10 | 12),
+            NumericSpec::Fixed8 { frac } => matches!(frac, 4 | 6),
+        }
+    }
+
+    /// Storage width in bits.
+    pub fn storage_bits(self) -> u32 {
+        match self {
+            NumericSpec::F32 => 32,
+            NumericSpec::Fixed16 { .. } => 16,
+            NumericSpec::Fixed8 { .. } => 8,
+        }
+    }
+
+    /// Fractional bit count, if fixed point.
+    pub fn frac(self) -> Option<u32> {
+        match self {
+            NumericSpec::F32 => None,
+            NumericSpec::Fixed16 { frac } | NumericSpec::Fixed8 { frac } => Some(frac),
+        }
+    }
+
+    /// Whether this is a fixed-point format.
+    pub fn is_fixed(self) -> bool {
+        !matches!(self, NumericSpec::F32)
+    }
+
+    /// Quantisation step (one LSB) — 0 for f32.
+    pub fn epsilon(self) -> f64 {
+        match self.frac() {
+            Some(frac) => 1.0 / (1u64 << frac) as f64,
+            None => 0.0,
+        }
+    }
+
+    /// A short human-readable label, e.g. `f32`, `q16f8`, `q8f4`.
+    pub fn label(self) -> String {
+        match self {
+            NumericSpec::F32 => "f32".into(),
+            NumericSpec::Fixed16 { frac } => format!("q16f{frac}"),
+            NumericSpec::Fixed8 { frac } => format!("q8f{frac}"),
+        }
+    }
+
+    /// Every supported spec, in label order (f32 first, then 16-bit, then
+    /// 8-bit formats by rising FRAC).
+    pub fn supported() -> Vec<NumericSpec> {
+        let mut all = vec![NumericSpec::F32];
+        all.extend([6, 8, 10, 12].map(|frac| NumericSpec::Fixed16 { frac }));
+        all.extend([4, 6].map(|frac| NumericSpec::Fixed8 { frac }));
+        all
+    }
+
+    /// Labels of every supported spec (for error messages and CLIs).
+    pub fn supported_labels() -> Vec<String> {
+        Self::supported().into_iter().map(Self::label).collect()
+    }
+
+    /// Parse a [`NumericSpec::label`]-format string (`f32`, `q16f8`, …).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let spec = if s == "f32" {
+            NumericSpec::F32
+        } else if let Some(f) = s.strip_prefix("q16f") {
+            NumericSpec::Fixed16 {
+                frac: f.parse().map_err(|_| format!("bad FRAC in {s:?}"))?,
+            }
+        } else if let Some(f) = s.strip_prefix("q8f") {
+            NumericSpec::Fixed8 {
+                frac: f.parse().map_err(|_| format!("bad FRAC in {s:?}"))?,
+            }
+        } else {
+            return Err(format!(
+                "unknown numeric spec {s:?} (expected one of {})",
+                Self::supported_labels().join(", ")
+            ));
+        };
+        if !spec.is_supported() {
+            return Err(format!(
+                "no kernel monomorphization for {s:?} (supported: {})",
+                Self::supported_labels().join(", ")
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+/// Monomorphize a block of code over a [`NumericSpec`].
+///
+/// `with_numeric!(spec, E => expr)` binds the type alias `E` to the
+/// concrete element type selected by `spec` and evaluates `expr`. Panics
+/// on an unsupported spec — callers go through `NetworkDesign::new`, which
+/// validates [`NumericSpec::is_supported`] first.
+///
+/// ```
+/// use dfcnn_tensor::{with_numeric, fixed::NumericSpec, Element};
+/// let spec = NumericSpec::default_fixed();
+/// let y = with_numeric!(spec, E => E::from_f32(0.5).to_f32());
+/// assert_eq!(y, 0.5);
+/// ```
+#[macro_export]
+macro_rules! with_numeric {
+    ($spec:expr, $E:ident => $body:expr) => {{
+        match $spec {
+            $crate::fixed::NumericSpec::F32 => {
+                type $E = f32;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed16 { frac: 6 } => {
+                type $E = $crate::fixed::Fixed16<6>;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed16 { frac: 8 } => {
+                type $E = $crate::fixed::Fixed16<8>;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed16 { frac: 10 } => {
+                type $E = $crate::fixed::Fixed16<10>;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed16 { frac: 12 } => {
+                type $E = $crate::fixed::Fixed16<12>;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed8 { frac: 4 } => {
+                type $E = $crate::fixed::Fixed8<4>;
+                $body
+            }
+            $crate::fixed::NumericSpec::Fixed8 { frac: 6 } => {
+                type $E = $crate::fixed::Fixed8<6>;
+                $body
+            }
+            other => panic!(
+                "no kernel monomorphization for numeric spec {:?} \
+                 (see NumericSpec::is_supported)",
+                other
+            ),
+        }
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +745,138 @@ mod tests {
     fn neg_saturates_min() {
         assert_eq!((-Q16::MIN).raw(), i32::MAX);
         assert_eq!((-Q16::from_f64(1.0)).to_f64(), -1.0);
+    }
+
+    mod narrow {
+        use super::super::*;
+        use crate::Numeric;
+
+        type Q = Fixed16<8>;
+        type B = Fixed8<4>;
+
+        #[test]
+        fn roundtrip_exact_values() {
+            for v in [-2.5f64, -1.0, 0.0, 0.5, 1.0, 3.25] {
+                assert_eq!(Q::from_f64(v).to_f64(), v);
+                assert_eq!(B::from_f64(v).to_f64(), v);
+            }
+        }
+
+        #[test]
+        fn one_is_scale() {
+            assert_eq!(<Q as Element>::one().raw(), 1 << 8);
+            assert_eq!(<B as Element>::one().raw(), 1 << 4);
+        }
+
+        #[test]
+        fn saturation_at_extremes() {
+            let big = Q::from_f64(120.0);
+            assert_eq!(big + big, Q::MAX);
+            assert_eq!(big * big, Q::MAX);
+            assert_eq!(Q::from_f64(1e9), Q::MAX);
+            assert_eq!(Q::from_f64(-1e9), Q::MIN);
+            assert_eq!(B::from_f64(100.0), B::MAX);
+            assert_eq!((-B::MIN).raw(), i8::MAX);
+        }
+
+        #[test]
+        fn widen_narrow_is_identity_in_range() {
+            for v in [-3.5f32, -0.25, 0.0, 1.0, 2.75] {
+                let q = <Q as Element>::from_f32(v);
+                assert_eq!(Q::narrow(q.widen()), q);
+            }
+        }
+
+        #[test]
+        fn mul_full_matches_saturating_mul_in_range() {
+            let a = Q::from_f64(1.5);
+            let b = Q::from_f64(-2.25);
+            assert_eq!(Q::narrow(a.mul_full(b)), a * b);
+        }
+
+        #[test]
+        fn dot_acc_equals_scalar_exactly() {
+            let a: Vec<Q> = (0..100)
+                .map(|i| Q::from_f64((i as f64) * 0.031 - 1.2))
+                .collect();
+            let b: Vec<Q> = (0..100)
+                .map(|i| Q::from_f64(0.9 - (i as f64) * 0.017))
+                .collect();
+            assert_eq!(Q::dot_acc(&a, &b), Q::dot_acc_scalar(&a, &b));
+        }
+
+        #[test]
+        fn max_hw_and_min_value() {
+            assert_eq!(Q::min_value(), Q::MIN);
+            let a = Q::from_f64(1.0);
+            let b = Q::from_f64(2.0);
+            assert_eq!(a.max_hw(b), b);
+            assert_eq!(b.max_hw(a), b);
+        }
+
+        #[test]
+        fn serde_roundtrip_raw_bits() {
+            let x = Q::from_f64(-1.625);
+            let v = x.to_value();
+            assert_eq!(Q::from_value(&v).unwrap(), x);
+        }
+    }
+
+    mod spec {
+        use super::super::*;
+
+        #[test]
+        fn supported_set() {
+            assert!(NumericSpec::F32.is_supported());
+            assert!(NumericSpec::default_fixed().is_supported());
+            for frac in [6, 8, 10, 12] {
+                assert!(NumericSpec::Fixed16 { frac }.is_supported());
+            }
+            for frac in [4, 6] {
+                assert!(NumericSpec::Fixed8 { frac }.is_supported());
+            }
+            assert!(!NumericSpec::Fixed16 { frac: 3 }.is_supported());
+            assert!(!NumericSpec::Fixed8 { frac: 8 }.is_supported());
+        }
+
+        #[test]
+        fn labels_and_bits() {
+            assert_eq!(NumericSpec::F32.label(), "f32");
+            assert_eq!(NumericSpec::Fixed16 { frac: 8 }.label(), "q16f8");
+            assert_eq!(NumericSpec::Fixed8 { frac: 4 }.label(), "q8f4");
+            assert_eq!(NumericSpec::F32.storage_bits(), 32);
+            assert_eq!(NumericSpec::default_fixed().storage_bits(), 16);
+            assert_eq!(NumericSpec::Fixed8 { frac: 4 }.storage_bits(), 8);
+        }
+
+        #[test]
+        fn epsilon_matches_type() {
+            assert_eq!(NumericSpec::F32.epsilon(), 0.0);
+            assert_eq!(
+                NumericSpec::Fixed16 { frac: 8 }.epsilon(),
+                Fixed16::<8>::epsilon()
+            );
+        }
+
+        #[test]
+        fn with_numeric_dispatches() {
+            use crate::Element;
+            for spec in [
+                NumericSpec::F32,
+                NumericSpec::Fixed16 { frac: 8 },
+                NumericSpec::Fixed8 { frac: 4 },
+            ] {
+                let one = crate::with_numeric!(spec, E => E::one().to_f32());
+                assert_eq!(one, 1.0);
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "no kernel monomorphization")]
+        fn with_numeric_panics_on_unsupported() {
+            use crate::Element;
+            let spec = NumericSpec::Fixed16 { frac: 3 };
+            let _ = crate::with_numeric!(spec, E => E::one().to_f32());
+        }
     }
 }

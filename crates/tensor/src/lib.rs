@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 //! # dfcnn-tensor
 //!
 //! Dense tensor substrate for the `dfcnn` workspace: the Rust reproduction of
@@ -31,11 +32,12 @@ pub mod fixed;
 pub mod init;
 pub mod iter;
 pub mod shape;
+pub mod simd;
 pub mod tensor1;
 pub mod tensor3;
 pub mod tensor4;
 
-pub use fixed::Fixed;
+pub use fixed::{Fixed, Fixed16, Fixed8, NumericSpec, DEFAULT_FRAC};
 pub use shape::{ConvGeometry, Shape3};
 pub use tensor1::Tensor1;
 pub use tensor3::Tensor3;
@@ -96,6 +98,102 @@ impl Element for f32 {
     #[inline]
     fn to_f32(self) -> f32 {
         self
+    }
+}
+
+/// Element types the *compute kernels* can execute: [`Element`] plus the
+/// multiply-accumulate contract of a hardware datapath.
+///
+/// The key design point is the associated accumulator type `Acc`. Fixed
+/// formats accumulate full-width products exactly in `i64` (the software
+/// model of a DSP48's 48-bit accumulator): integer addition is
+/// associative, so tree reductions, interleaved banks and SIMD lanes all
+/// produce the same bits — that is what lets the three engines agree
+/// bit-for-bit in fixed point. `f32` keeps `Acc = f32` with
+/// `EXACT_SUM = false`, and the kernels then reproduce the exact
+/// hardware summation order (adder tree / interleaved banks) so the f32
+/// golden traces stay byte-stable.
+pub trait Numeric: Element + core::ops::Neg<Output = Self> {
+    /// Accumulator for multiply-accumulate chains.
+    type Acc: Copy
+        + Clone
+        + Default
+        + PartialEq
+        + core::fmt::Debug
+        + core::ops::Add<Output = Self::Acc>
+        + Send
+        + Sync
+        + 'static;
+
+    /// Whether summation in `Acc` is exact (order-independent). When
+    /// `true`, kernels may use any summation order (e.g. a straight
+    /// [`Numeric::dot_acc`]); when `false`, they must reproduce the
+    /// modeled hardware's order.
+    const EXACT_SUM: bool;
+
+    /// The identity of [`Numeric::max_hw`] (used to seed max-pooling).
+    fn min_value() -> Self;
+
+    /// The hardware comparator's max: total for fixed point, `f32::max`
+    /// NaN semantics for floats.
+    fn max_hw(self, other: Self) -> Self;
+
+    /// Lift a value into the accumulator (at the product scale, so it can
+    /// join a MAC chain — how the bias enters).
+    fn widen(self) -> Self::Acc;
+
+    /// Full-width product, not yet rescaled.
+    fn mul_full(self, rhs: Self) -> Self::Acc;
+
+    /// Rescale and saturate an accumulator back to storage.
+    fn narrow(acc: Self::Acc) -> Self;
+
+    /// Dot product in the accumulator — the SIMD / lane-chunked fast
+    /// path. For `EXACT_SUM` types this equals [`Numeric::dot_acc_scalar`]
+    /// bit-for-bit (proven by proptests).
+    fn dot_acc(a: &[Self], b: &[Self]) -> Self::Acc;
+
+    /// Reference scalar dot product (plain sequential loop).
+    fn dot_acc_scalar(a: &[Self], b: &[Self]) -> Self::Acc;
+}
+
+impl Numeric for f32 {
+    type Acc = f32;
+    const EXACT_SUM: bool = false;
+
+    #[inline]
+    fn min_value() -> Self {
+        f32::NEG_INFINITY
+    }
+
+    #[inline]
+    fn max_hw(self, other: Self) -> Self {
+        self.max(other)
+    }
+
+    #[inline]
+    fn widen(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn mul_full(self, rhs: Self) -> f32 {
+        self * rhs
+    }
+
+    #[inline]
+    fn narrow(acc: f32) -> Self {
+        acc
+    }
+
+    #[inline]
+    fn dot_acc(a: &[Self], b: &[Self]) -> f32 {
+        simd::dot_f32_lanes(a, b)
+    }
+
+    #[inline]
+    fn dot_acc_scalar(a: &[Self], b: &[Self]) -> f32 {
+        simd::dot_f32_lanes_scalar(a, b)
     }
 }
 

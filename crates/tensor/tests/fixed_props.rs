@@ -1,0 +1,150 @@
+//! Property tests for the fixed-point scalars: saturating-arithmetic
+//! boundary behaviour, conversion roundtrips within `epsilon()`, and
+//! Neg/ordering laws — for the 32-bit costing type [`Fixed`] and the
+//! executed narrow-storage types [`Fixed16`]/[`Fixed8`].
+
+use dfcnn_tensor::fixed::{Fixed, Fixed16, Fixed8};
+use dfcnn_tensor::{Element, Numeric};
+use proptest::prelude::*;
+
+type Q16 = Fixed<16>;
+type Q8 = Fixed<8>;
+type N16 = Fixed16<8>;
+type N8 = Fixed8<4>;
+
+/// Check saturating add/sub against exact wide-integer arithmetic.
+macro_rules! sat_laws {
+    ($mod_name:ident, $ty:ty, $store:ty, $wide:ty, $range:expr) => {
+        mod $mod_name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_matches_clamped_wide(a in <$store>::MIN..=<$store>::MAX, b in <$store>::MIN..=<$store>::MAX) {
+                    let x = <$ty>::from_raw(a);
+                    let y = <$ty>::from_raw(b);
+                    let wide = a as $wide + b as $wide;
+                    let clamped = wide.clamp(<$store>::MIN as $wide, <$store>::MAX as $wide);
+                    prop_assert_eq!((x + y).raw(), clamped as $store);
+                }
+
+                #[test]
+                fn sub_matches_clamped_wide(a in <$store>::MIN..=<$store>::MAX, b in <$store>::MIN..=<$store>::MAX) {
+                    let x = <$ty>::from_raw(a);
+                    let y = <$ty>::from_raw(b);
+                    let wide = a as $wide - b as $wide;
+                    let clamped = wide.clamp(<$store>::MIN as $wide, <$store>::MAX as $wide);
+                    prop_assert_eq!((x - y).raw(), clamped as $store);
+                }
+
+                #[test]
+                fn roundtrip_within_epsilon(v in $range) {
+                    let q = <$ty>::from_f64(v).to_f64();
+                    // round-to-nearest: at most half an LSB away
+                    prop_assert!((q - v).abs() <= <$ty>::epsilon() / 2.0 + 1e-12,
+                        "v={} q={}", v, q);
+                }
+
+                #[test]
+                fn to_f64_from_f64_is_identity(raw in <$store>::MIN..=<$store>::MAX) {
+                    // every representable value survives the roundtrip exactly
+                    let x = <$ty>::from_raw(raw);
+                    prop_assert_eq!(<$ty>::from_f64(x.to_f64()), x);
+                }
+
+                #[test]
+                fn neg_is_involutive_away_from_min(raw in (<$store>::MIN + 1)..=<$store>::MAX) {
+                    let x = <$ty>::from_raw(raw);
+                    prop_assert_eq!(-(-x), x);
+                }
+
+                #[test]
+                fn ordering_matches_value_order(a in <$store>::MIN..=<$store>::MAX, b in <$store>::MIN..=<$store>::MAX) {
+                    let x = <$ty>::from_raw(a);
+                    let y = <$ty>::from_raw(b);
+                    prop_assert_eq!(x < y, x.to_f64() < y.to_f64());
+                    prop_assert_eq!(x == y, a == b);
+                }
+
+                #[test]
+                fn add_commutes(a in <$store>::MIN..=<$store>::MAX, b in <$store>::MIN..=<$store>::MAX) {
+                    let x = <$ty>::from_raw(a);
+                    let y = <$ty>::from_raw(b);
+                    prop_assert_eq!(x + y, y + x);
+                }
+
+                #[test]
+                fn mul_never_escapes_range(a in <$store>::MIN..=<$store>::MAX, b in <$store>::MIN..=<$store>::MAX) {
+                    // saturating_mul's result is always a valid raw value and
+                    // agrees in sign with the exact product
+                    let x = <$ty>::from_raw(a);
+                    let y = <$ty>::from_raw(b);
+                    let p = x * y;
+                    let exact = x.to_f64() * y.to_f64();
+                    if exact > <$ty>::MAX.to_f64() {
+                        prop_assert_eq!(p, <$ty>::MAX);
+                    } else if exact < <$ty>::MIN.to_f64() {
+                        prop_assert_eq!(p, <$ty>::MIN);
+                    } else {
+                        // in range: off by at most one LSB (truncation toward -inf)
+                        prop_assert!((p.to_f64() - exact).abs() <= <$ty>::epsilon() + 1e-12,
+                            "p={} exact={}", p.to_f64(), exact);
+                    }
+                }
+            }
+        }
+    };
+}
+
+sat_laws!(q16_laws, Q16, i32, i64, -30000.0f64..30000.0);
+sat_laws!(q8_laws, Q8, i32, i64, -1_000_000.0f64..1_000_000.0);
+sat_laws!(n16_laws, N16, i16, i32, -120.0f64..120.0);
+sat_laws!(n8_laws, N8, i8, i16, -7.5f64..7.5);
+
+proptest! {
+    /// The executed types' chunked dot product is bit-identical to the
+    /// scalar loop (exact i64 accumulation makes order irrelevant).
+    #[test]
+    fn narrow_dot_acc_equals_scalar(
+        a in proptest::collection::vec(i16::MIN..=i16::MAX, 0..200),
+        b in proptest::collection::vec(i16::MIN..=i16::MAX, 0..200),
+    ) {
+        let xa: Vec<N16> = a.iter().map(|&r| N16::from_raw(r)).collect();
+        let xb: Vec<N16> = b.iter().map(|&r| N16::from_raw(r)).collect();
+        prop_assert_eq!(N16::dot_acc(&xa, &xb), N16::dot_acc_scalar(&xa, &xb));
+    }
+
+    /// f32's lane-chunked dot product is bit-identical to its scalar
+    /// twin (same ops, same order, by construction).
+    #[test]
+    fn f32_dot_acc_equals_scalar(
+        a in proptest::collection::vec(-10.0f32..10.0, 0..200),
+        b in proptest::collection::vec(-10.0f32..10.0, 0..200),
+    ) {
+        let fast = <f32 as Numeric>::dot_acc(&a, &b);
+        let slow = <f32 as Numeric>::dot_acc_scalar(&a, &b);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+    }
+
+    /// narrow(widen(x)) is the identity for every representable value.
+    #[test]
+    fn widen_narrow_identity(raw in i16::MIN..=i16::MAX) {
+        let x = N16::from_raw(raw);
+        prop_assert_eq!(N16::narrow(x.widen()), x);
+    }
+
+    /// narrow(mul_full(a, b)) equals the saturating multiply.
+    #[test]
+    fn mul_full_narrow_matches_saturating_mul(a in i16::MIN..=i16::MAX, b in i16::MIN..=i16::MAX) {
+        let x = N16::from_raw(a);
+        let y = N16::from_raw(b);
+        prop_assert_eq!(N16::narrow(x.mul_full(y)), x * y);
+    }
+
+    /// from_f32/to_f32 of the Element impl stays within epsilon too.
+    #[test]
+    fn element_f32_roundtrip(v in -100.0f32..100.0) {
+        let q = <N16 as Element>::from_f32(v).to_f32();
+        prop_assert!((q - v).abs() as f64 <= N16::epsilon() / 2.0 + 1e-6);
+    }
+}

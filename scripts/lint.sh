@@ -57,6 +57,25 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "per-kind dispatch confined to model/ and resources.rs"
 
+echo "== numeric dispatch lint =="
+# Concrete fixed-point element types must not leak past the numeric
+# kernel layer: engines, graph and platform code stay element-agnostic
+# (f32 transport, DesignConfig.numeric as the selector) and reach a
+# monomorphized kernel only through with_numeric! in kernel.rs and
+# model/. See DESIGN.md s2h for the numeric trait contract.
+hits=$(grep -rnE 'Fixed16<|Fixed8<' \
+    crates/core/src crates/hls/src crates/nn/src crates/datasets/src \
+    crates/fpga/src --include='*.rs' \
+    | grep -v '^crates/core/src/kernel.rs' \
+    | grep -v '^crates/core/src/model/' || true)
+if [ -n "$hits" ]; then
+    echo "error: concrete fixed-point element type outside the numeric kernel layer:" >&2
+    echo "$hits" >&2
+    echo "dispatch on DesignConfig.numeric via with_numeric! instead (DESIGN.md s2h)" >&2
+    exit 1
+fi
+echo "numeric monomorphization confined to kernel.rs, model/ and crates/tensor"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings || exit 1
 

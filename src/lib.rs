@@ -67,5 +67,5 @@ pub mod prelude {
     pub use dfcnn_nn::topology::{LayerSpec, NetworkSpec};
     pub use dfcnn_nn::train::{TrainConfig, Trainer};
     pub use dfcnn_nn::{Activation, Network, PoolKind};
-    pub use dfcnn_tensor::{ConvGeometry, Shape3, Tensor1, Tensor3, Tensor4};
+    pub use dfcnn_tensor::{ConvGeometry, NumericSpec, Shape3, Tensor1, Tensor3, Tensor4};
 }

@@ -188,6 +188,118 @@ fn lenet5_classifies_end_to_end_on_the_fabric() {
     assert!(report.passes(1e-3), "report: {report:?}");
 }
 
+/// The fixed-point conformance axis: with `DesignConfig::numeric` set to
+/// an executed fixed spec, the same three-way bit-equality must hold —
+/// the quantised datapath is still deterministic hardware — and the
+/// fixed outputs must track the f32 design within a quantisation-scaled
+/// tolerance (`tol_steps` LSBs of the spec).
+fn assert_fixed_conformance(
+    net: &Network,
+    ports: PortConfig,
+    images: &[Tensor3<f32>],
+    spec: NumericSpec,
+    tol_steps: f64,
+) {
+    let fixed = NetworkDesign::new(
+        net,
+        ports.clone(),
+        DesignConfig {
+            numeric: spec,
+            ..DesignConfig::default()
+        },
+    )
+    .unwrap();
+    assert_conformance(&fixed, images);
+    let float = NetworkDesign::new(net, ports, DesignConfig::default()).unwrap();
+    let tol = (tol_steps * spec.epsilon()) as f32;
+    for (i, img) in images.iter().enumerate() {
+        let q = fixed.hw_forward(img);
+        let f = float.hw_forward(img);
+        let diff = q.max_abs_diff(&f);
+        assert!(
+            diff <= tol,
+            "image {i}: |{} - f32| = {diff} > {tol}",
+            spec.label()
+        );
+    }
+}
+
+/// Paper Test Case 1 executed in the default fixed spec (Q8.8 in i16):
+/// dense sim, event sim and threaded engine bit-identical, outputs
+/// within quantisation distance of the f32 design.
+#[test]
+fn test_case_1_conforms_in_fixed_point() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    assert_fixed_conformance(
+        &net,
+        PortConfig::paper_test_case_1(),
+        &usps_images(3, 42),
+        NumericSpec::default_fixed(),
+        64.0,
+    );
+}
+
+/// Paper Test Case 2 in the default fixed spec — the deeper CIFAR
+/// network with the 900-input FC layer, where exact i64 accumulation is
+/// what keeps the three engines bit-identical regardless of summation
+/// order.
+#[test]
+fn test_case_2_conforms_in_fixed_point() {
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let net = NetworkSpec::test_case_2().build(&mut rng);
+    assert_fixed_conformance(
+        &net,
+        PortConfig::paper_test_case_2(),
+        &cifar_images(2, 44),
+        NumericSpec::default_fixed(),
+        64.0,
+    );
+}
+
+/// The narrowest supported datapath (Q4.4 in i8) still conforms exactly
+/// across engines; accuracy degrades but stays within a few dozen LSBs.
+#[test]
+fn test_case_1_conforms_in_q8() {
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    assert_fixed_conformance(
+        &net,
+        PortConfig::paper_test_case_1(),
+        &usps_images(2, 45),
+        NumericSpec::Fixed8 { frac: 4 },
+        64.0,
+    );
+}
+
+/// Fixed-point TC1 at a batch deep enough for pipelined steady state.
+#[test]
+fn test_case_1_fixed_point_conforms_at_steady_state() {
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    let net = NetworkSpec::test_case_1().build(&mut rng);
+    let design = NetworkDesign::new(
+        &net,
+        PortConfig::paper_test_case_1(),
+        DesignConfig {
+            numeric: NumericSpec::default_fixed(),
+            ..DesignConfig::default()
+        },
+    )
+    .unwrap();
+    assert_conformance(&design, &usps_images(8, 46));
+}
+
+/// The residual fork/join fixture in fixed point: quantisation at the
+/// eltwise-add and scale-shift cores must stay engine-invariant too.
+#[test]
+fn residual_block_conforms_in_fixed_point() {
+    let design = residual_design(DesignConfig {
+        numeric: NumericSpec::default_fixed(),
+        ..DesignConfig::default()
+    });
+    assert_conformance(&design, &residual_images(3, 55));
+}
+
 fn residual_images(n: usize, seed: u64) -> Vec<Tensor3<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (0..n)

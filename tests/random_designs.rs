@@ -13,6 +13,7 @@ mod common;
 use common::{random_dag_design, random_ports, random_spec};
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
 use dfcnn::core::verify;
+use dfcnn::tensor::NumericSpec;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -97,6 +98,64 @@ proptest! {
         prop_assert!(sim.completions.windows(2).all(|w| w[0] < w[1]));
         let m = sim.measurement(design.config().clock_hz);
         prop_assert!(m.mean_time_per_image_us() > 0.0);
+    }
+
+    /// The fixed-point mode of the same statement: pick any supported
+    /// fixed spec, and all three engines must agree **exactly** — the
+    /// quantised datapath is deterministic hardware like the f32 one —
+    /// while tracking the f32 reference within a quantisation-scaled
+    /// tolerance. Exact i64 accumulation is what makes this independent
+    /// of each engine's summation order.
+    #[test]
+    fn any_design_simulates_exactly_in_fixed_point(
+        spec in random_spec(),
+        seed in 0u64..10_000,
+        spec_pick in 0usize..100,
+    ) {
+        let fixed_specs: Vec<NumericSpec> = NumericSpec::supported()
+            .into_iter()
+            .filter(|s| s.is_fixed())
+            .collect();
+        let numeric = fixed_specs[spec_pick % fixed_specs.len()];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let network = spec.build(&mut rng);
+        let ports = random_ports(&spec, seed ^ 0xABCD);
+        let config = DesignConfig { numeric, ..DesignConfig::default() };
+        let design = NetworkDesign::new(&network, ports, config)
+            .expect("random divisor config must validate");
+
+        let images: Vec<_> = (0..2)
+            .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+            .collect();
+
+        // 1. simulator is bit-exact vs the shared hardware kernel
+        let (sim, _) = design.instantiate(&images).run();
+        for (img, out) in images.iter().zip(sim.outputs.iter()) {
+            let hw = design.hw_forward(img);
+            prop_assert_eq!(out.as_slice(), hw.as_slice(), "sim != hw kernel");
+        }
+
+        // 2. threaded engine is bit-exact vs the simulator
+        let exec = dfcnn::core::exec::ThreadedEngine::new(&design).run(&images);
+        for (s, e) in sim.outputs.iter().zip(exec.outputs.iter()) {
+            prop_assert_eq!(s.as_slice(), e.as_slice(), "sim != threaded engine");
+        }
+
+        // 3. every emitted value is a representable point of the spec
+        for out in &sim.outputs {
+            for &v in out.as_slice() {
+                let q = (v as f64 / numeric.epsilon()).round() * numeric.epsilon();
+                prop_assert!((v as f64 - q).abs() < 1e-6, "{v} not on the {} grid", numeric.label());
+            }
+        }
+
+        // 4. the f32 reference stays within quantisation-scaled tolerance
+        let report = verify::compare_outputs(&design, &images, &sim.outputs);
+        let tol = 64.0 * numeric.epsilon();
+        prop_assert!(
+            (report.max_abs_diff as f64) < tol,
+            "{} diff {} > {}", numeric.label(), report.max_abs_diff, tol
+        );
     }
 
     #[test]
