@@ -237,11 +237,14 @@ pub fn check_design(design: &NetworkDesign) -> CheckReport {
 /// this; [`DesignConfig::omit_adapters`] seeds the violation) and the
 /// producer's per-image per-edge output volume — recomputed from
 /// geometry by [`model::CoreModel::static_profile`], split evenly over
-/// its out-edges — must equal the consumer's per-edge input volume (its
-/// per-image volume split over its in-edges). On linear chains both
-/// degrees are 1 and this reduces to the classic boundary check. The
-/// source must supply exactly the first core's volume and the classifier
-/// head must emit the width the sink collects.
+/// its out-edges — must equal the consumer's per-edge input volume. The
+/// consumer side comes from [`model::CoreModel::in_edge_volumes`]: an
+/// even split of its per-image volume for symmetric kinds, per-operand
+/// volumes for asymmetric joins like concat (whose two operands stream
+/// different FM counts). On linear chains both degrees are 1 and this
+/// reduces to the classic boundary check. The source must supply exactly
+/// the first core's volume and the classifier head must emit the width
+/// the sink collects.
 fn rate_conservation(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
     let cores = design.cores();
     if cores.is_empty() {
@@ -250,7 +253,13 @@ fn rate_conservation(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
     use crate::graph::NodeRef;
     let input_volume = design.network().input_shape().len() as u64;
     let classes = design.classes() as u64;
+    // per-consumer in-edge ordinal: edges() lists a join's operand edges
+    // in wiring order, and in_edge_volumes returns volumes in that order
+    let mut next_in_edge = vec![0usize; cores.len()];
     for e in design.edges() {
+        if let NodeRef::Core(j) = e.to {
+            next_in_edge[j] += 1;
+        }
         match (e.from, e.to) {
             (NodeRef::Source, NodeRef::Core(i)) => {
                 let first = &cores[i];
@@ -286,7 +295,12 @@ fn rate_conservation(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
                 }
                 let a_share =
                     profile.out_values_per_image / design.core_out_degree(i).max(1) as u64;
-                let b_share = b.in_values_per_image / design.core_in_degree(j).max(1) as u64;
+                let expected = model::model_for(b.params.kind).in_edge_volumes(
+                    design,
+                    b,
+                    design.core_in_degree(j),
+                );
+                let b_share = expected.get(next_in_edge[j] - 1).copied().unwrap_or(0);
                 if a_share != b_share {
                     out.push(diag(
                         Severity::Error,
@@ -798,6 +812,42 @@ mod tests {
         let d = crate::graph::fixtures::residual_graph(DesignConfig::default());
         let report = check_design(&d);
         assert!(report.is_clean(), "{}", report.render());
+    }
+
+    fn inception_design() -> NetworkDesign {
+        use dfcnn_nn::topology::GraphSpec;
+        let spec = GraphSpec::inception_cell();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let layers = spec.build_layers(&mut rng);
+        let ports = PortConfig::single_port(spec.paper_depth());
+        crate::graph::build_graph_design(&spec, &layers, &ports, DesignConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn concat_design_is_clean_despite_asymmetric_operands() {
+        // a concat's two in-edges carry *different* volumes; the per-edge
+        // in_edge_volumes hook must keep the even-split rule from firing
+        let report = check_design(&inception_design());
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn tampered_concat_volume_breaks_rate_conservation() {
+        let mut d = inception_design();
+        let idx = d
+            .cores()
+            .iter()
+            .position(|c| c.name.starts_with("concat"))
+            .unwrap();
+        // the recorded operand edges no longer sum to the core's volume,
+        // so the model falls back to an even split and the edges mismatch
+        d.cores_mut()[idx].in_values_per_image -= 2;
+        let report = check_design(&d);
+        assert!(
+            report.has(Severity::Error, RuleId::RateConservation),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

@@ -18,13 +18,30 @@
 //! (interval vs. DSP usage), and the fastest feasible design. On the
 //! paper's test cases the explorer reproduces the authors' empirical
 //! choices *and* finds the intermediate designs they did not try.
+//!
+//! Two explorers share the machinery:
+//!
+//! - [`explore`] walks a linear chain ([`dfcnn_nn::Network`]) exactly as
+//!   before;
+//! - [`explore_graph`] enumerates over a fork/join [`GraphSpec`]'s edge
+//!   list: in-ports follow the actual predecessor edge, a join couples
+//!   its operand branches (all branch ends must share a port count, so an
+//!   identity skip pins the transform path's final width), and the
+//!   estimated bottleneck uses the coupled join II.
+//!
+//! Both sweeps run candidate evaluation in parallel (rayon) and report
+//! every discarded candidate in [`DseReport::discards`] — builds that
+//! fail, candidates the static checker rejects, and (graph sweeps only)
+//! over-budget candidates pruned before any interval estimate is spent.
 
-use crate::graph::{DesignConfig, LayerPorts, NetworkDesign, PortConfig};
+use crate::graph::{build_graph_design, DesignConfig, LayerPorts, NetworkDesign, PortConfig};
 use crate::model;
 use dfcnn_fpga::device::Device;
 use dfcnn_fpga::resources::{CostModel, Resources};
 use dfcnn_nn::layer::Layer;
+use dfcnn_nn::topology::{GraphOp, GraphSpec};
 use dfcnn_nn::Network;
+use rayon::prelude::*;
 
 /// One explored design point.
 #[derive(Clone, Debug)]
@@ -39,6 +56,27 @@ pub struct DesignPoint {
     pub fits: bool,
 }
 
+/// Candidates dropped before they became [`DesignPoint`]s — previously
+/// lost silently, now tallied so a sweep's coverage is auditable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DseDiscards {
+    /// The builder rejected the port assignment (bad wiring).
+    pub build_failed: usize,
+    /// The static verifier found rate/buffer/II errors.
+    pub checker_rejected: usize,
+    /// Resources exceed the device; pruned before interval estimation
+    /// (graph sweeps only — chain sweeps keep infeasible points in
+    /// [`DseReport::points`] with `fits = false`).
+    pub over_budget: usize,
+}
+
+impl DseDiscards {
+    /// Total discarded candidates.
+    pub fn total(&self) -> usize {
+        self.build_failed + self.checker_rejected + self.over_budget
+    }
+}
+
 /// Exploration output.
 #[derive(Clone, Debug)]
 pub struct DseReport {
@@ -46,6 +84,8 @@ pub struct DseReport {
     pub points: Vec<DesignPoint>,
     /// Index of the fastest feasible point, if any.
     pub best: Option<usize>,
+    /// Candidates discarded before evaluation completed.
+    pub discards: DseDiscards,
 }
 
 impl DseReport {
@@ -57,6 +97,26 @@ impl DseReport {
     /// The fastest feasible design point.
     pub fn best_point(&self) -> Option<&DesignPoint> {
         self.best.map(|i| &self.points[i])
+    }
+
+    /// One-line sweep summary, discards included.
+    pub fn render(&self) -> String {
+        let d = &self.discards;
+        let best = match self.best_point() {
+            Some(p) => format!("best {} @ {} cycles", p.bottleneck.0, p.bottleneck.1),
+            None => "no feasible point".to_string(),
+        };
+        format!(
+            "{} points ({} feasible), {}; discarded {} (build-failed {}, \
+             checker-rejected {}, over-budget {})",
+            self.points.len(),
+            self.feasible().count(),
+            best,
+            d.total(),
+            d.build_failed,
+            d.checker_rejected,
+            d.over_budget,
+        )
     }
 
     /// Pareto front over (interval, DSP) among feasible points, sorted by
@@ -137,32 +197,25 @@ pub fn enumerate_configs(network: &Network, max_ports: usize) -> Vec<PortConfig>
         .collect()
 }
 
-/// Explore the port-configuration space of a trained network.
-pub fn explore(
-    network: &Network,
-    config: &DesignConfig,
-    cost: &CostModel,
-    device: &Device,
-    max_ports: usize,
-) -> DseReport {
+/// One candidate's evaluation outcome.
+enum Eval {
+    Point(DesignPoint),
+    BuildFailed,
+    CheckerRejected,
+    OverBudget,
+}
+
+/// Fold per-candidate outcomes (in enumeration order) into a report.
+fn collect_report(evals: Vec<Eval>) -> DseReport {
     let mut points = Vec::new();
-    for ports in enumerate_configs(network, max_ports) {
-        let design = match NetworkDesign::new(network, ports.clone(), *config) {
-            Ok(d) => d,
-            Err(_) => continue,
-        };
-        if !crate::check::check_design(&design).is_clean() {
-            continue; // statically broken: would deadlock or mis-rate
+    let mut discards = DseDiscards::default();
+    for e in evals {
+        match e {
+            Eval::Point(p) => points.push(p),
+            Eval::BuildFailed => discards.build_failed += 1,
+            Eval::CheckerRejected => discards.checker_rejected += 1,
+            Eval::OverBudget => discards.over_budget += 1,
         }
-        let resources = design.resources(cost);
-        let fits = device.fits(&resources);
-        let bottleneck = design.estimated_bottleneck();
-        points.push(DesignPoint {
-            ports,
-            resources,
-            bottleneck,
-            fits,
-        });
     }
     let best = points
         .iter()
@@ -170,7 +223,272 @@ pub fn explore(
         .filter(|(_, p)| p.fits)
         .min_by_key(|(_, p)| (p.bottleneck.1, p.resources.dsp))
         .map(|(i, _)| i);
-    DseReport { points, best }
+    DseReport {
+        points,
+        best,
+        discards,
+    }
+}
+
+/// Run `eval` over every candidate, in parallel or serially; both paths
+/// keep enumeration order, so the reports are identical.
+fn sweep<F>(configs: Vec<PortConfig>, parallel: bool, eval: F) -> DseReport
+where
+    F: Fn(PortConfig) -> Eval + Sync,
+{
+    let evals = if parallel {
+        configs.into_par_iter().map(eval).collect()
+    } else {
+        configs.into_iter().map(eval).collect()
+    };
+    collect_report(evals)
+}
+
+/// Explore the port-configuration space of a trained network, evaluating
+/// candidates in parallel. Infeasible (over-budget) chain candidates stay
+/// in the report with `fits = false` so resource-pressure studies see the
+/// whole space.
+pub fn explore(
+    network: &Network,
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+) -> DseReport {
+    explore_impl(network, config, cost, device, max_ports, true)
+}
+
+/// Serial variant of [`explore`] (same report; benchmarking baseline).
+pub fn explore_serial(
+    network: &Network,
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+) -> DseReport {
+    explore_impl(network, config, cost, device, max_ports, false)
+}
+
+fn explore_impl(
+    network: &Network,
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+    parallel: bool,
+) -> DseReport {
+    sweep(enumerate_configs(network, max_ports), parallel, |ports| {
+        let design = match NetworkDesign::new(network, ports.clone(), *config) {
+            Ok(d) => d,
+            Err(_) => return Eval::BuildFailed,
+        };
+        if !crate::check::check_design(&design).is_clean() {
+            return Eval::CheckerRejected; // statically broken: would deadlock or mis-rate
+        }
+        let resources = design.resources(cost);
+        let fits = device.fits(&resources);
+        let bottleneck = design.estimated_bottleneck();
+        Eval::Point(DesignPoint {
+            ports,
+            resources,
+            bottleneck,
+            fits,
+        })
+    })
+}
+
+/// Enumerate port configurations for a fork/join [`GraphSpec`] by walking
+/// its op graph instead of a linear layer vector. `layers` must be the
+/// spec's [`GraphSpec::build_layers`] output (the per-kind option rules
+/// come from the layer models, exactly as in the chain enumeration).
+///
+/// In-ports follow the *actual predecessor edge*: a layer reads the port
+/// count its predecessor emits when that divides its `IN_FM` (else 1,
+/// with an adapter), and a fork hands every branch its own entry port
+/// count. A join requires all branch ends to share a port count — the
+/// cross-product of branch enumerations is filtered on that equality, so
+/// an identity skip branch pins the transform path's final width to the
+/// fork's. Entries come out in the spec's depth-first traversal order,
+/// ready for [`build_graph_design`].
+///
+/// [`GraphSpec::build_layers`]: dfcnn_nn::topology::GraphSpec::build_layers
+pub fn enumerate_graph_configs(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    max_ports: usize,
+) -> Vec<PortConfig> {
+    let mut it = layers.iter();
+    let acc = enum_graph_ops(&spec.ops, &mut it, 1, max_ports);
+    assert!(
+        it.next().is_none(),
+        "layer list longer than the spec's traversal"
+    );
+    acc.into_iter()
+        .map(|(entries, _)| PortConfig { layers: entries })
+        .collect()
+}
+
+/// Partial enumerations of an op sequence: each entry is `(port entries
+/// along the traversal so far, exit port count)`.
+type PortCombos = Vec<(Vec<LayerPorts>, usize)>;
+
+/// Enumerate `(port entries, exit port count)` for an op sequence entered
+/// at `entry` ports, consuming `layers` along the traversal.
+fn enum_graph_ops(
+    ops: &[GraphOp],
+    layers: &mut std::slice::Iter<'_, Layer>,
+    entry: usize,
+    max_ports: usize,
+) -> PortCombos {
+    let mut acc: PortCombos = vec![(Vec::new(), entry)];
+    for op in ops {
+        match op {
+            GraphOp::Layer(spec) => {
+                let layer = layers.next().expect("layer list matches the spec");
+                if !spec.counts_as_paper_layer() {
+                    continue; // flatten: no ports, the stream passes through
+                }
+                let m = model::paper_layer_model(layer).expect("paper layer");
+                let in_fm = m.feature_maps(layer).0;
+                let opts = m.out_port_options(layer, max_ports);
+                let mut next = Vec::with_capacity(acc.len() * opts.len());
+                for (entries, exit) in &acc {
+                    let in_ports = if m.forces_single_port() {
+                        1
+                    } else if *exit > 0 && in_fm.is_multiple_of(*exit) {
+                        *exit // follow the predecessor edge
+                    } else {
+                        1 // adapter at the boundary
+                    };
+                    for &o in &opts {
+                        let mut e2 = entries.clone();
+                        e2.push(LayerPorts {
+                            in_ports,
+                            out_ports: o,
+                        });
+                        next.push((e2, o));
+                    }
+                }
+                acc = next;
+            }
+            GraphOp::Branch { branches, .. } => {
+                // branch enumeration depends on the entry port count, so
+                // run it once per distinct upstream exit (on a cloned
+                // layer cursor — every run consumes the same layer range)
+                let mut distinct: Vec<usize> = acc.iter().map(|(_, e)| *e).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let mut after = layers.clone();
+                let mut per_entry: Vec<(usize, PortCombos)> = Vec::new();
+                for &e in &distinct {
+                    let mut cur = layers.clone();
+                    let mut combos: Option<PortCombos> = None;
+                    for ops_b in branches {
+                        let br = enum_graph_ops(ops_b, &mut cur, e, max_ports);
+                        combos = Some(match combos {
+                            None => br,
+                            // the join couples the operand branches: keep
+                            // only combinations whose ends share a port
+                            // count
+                            Some(prev) => {
+                                let mut out = Vec::new();
+                                for (pe, pexit) in &prev {
+                                    for (be, bexit) in &br {
+                                        if bexit == pexit {
+                                            let mut e2 = pe.clone();
+                                            e2.extend_from_slice(be);
+                                            out.push((e2, *pexit));
+                                        }
+                                    }
+                                }
+                                out
+                            }
+                        });
+                    }
+                    after = cur;
+                    per_entry.push((e, combos.unwrap_or_default()));
+                }
+                *layers = after;
+                let mut next = Vec::new();
+                for (entries, exit) in &acc {
+                    let combos = &per_entry
+                        .iter()
+                        .find(|(e, _)| e == exit)
+                        .expect("every exit was enumerated")
+                        .1;
+                    for (be, bexit) in combos {
+                        let mut e2 = entries.clone();
+                        e2.extend_from_slice(be);
+                        next.push((e2, *bexit));
+                    }
+                }
+                acc = next;
+            }
+        }
+    }
+    acc
+}
+
+/// Explore the port-configuration space of a fork/join [`GraphSpec`] in
+/// parallel. Unlike the chain sweep, over-budget candidates are pruned
+/// *before* the bottleneck estimate and tallied in
+/// [`DseReport::discards`]; every reported point fits the device. The
+/// estimated bottleneck of each point uses the coupled join II (a join
+/// core's Eq. 4 interval over its operand port counts).
+pub fn explore_graph(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+) -> DseReport {
+    explore_graph_impl(spec, layers, config, cost, device, max_ports, true)
+}
+
+/// Serial variant of [`explore_graph`] (same report; benchmark baseline).
+pub fn explore_graph_serial(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+) -> DseReport {
+    explore_graph_impl(spec, layers, config, cost, device, max_ports, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore_graph_impl(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+    parallel: bool,
+) -> DseReport {
+    let configs = enumerate_graph_configs(spec, layers, max_ports);
+    sweep(configs, parallel, |ports| {
+        let design = match build_graph_design(spec, layers, &ports, *config) {
+            Ok(d) => d,
+            Err(_) => return Eval::BuildFailed,
+        };
+        if !crate::check::check_design(&design).is_clean() {
+            return Eval::CheckerRejected;
+        }
+        let resources = design.resources(cost);
+        if !device.fits(&resources) {
+            return Eval::OverBudget; // pruned before any interval estimate
+        }
+        let bottleneck = design.estimated_bottleneck();
+        Eval::Point(DesignPoint {
+            ports,
+            resources,
+            bottleneck,
+            fits: true,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -228,6 +546,175 @@ mod tests {
             assert!(w[0].bottleneck.1 <= w[1].bottleneck.1);
             assert!(w[0].resources.dsp > w[1].resources.dsp);
         }
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_agree() {
+        let net = tc1();
+        let par = explore(
+            &net,
+            &DesignConfig::default(),
+            &CostModel::default(),
+            &Device::xc7vx485t(),
+            6,
+        );
+        let ser = explore_serial(
+            &net,
+            &DesignConfig::default(),
+            &CostModel::default(),
+            &Device::xc7vx485t(),
+            6,
+        );
+        assert_eq!(par.points.len(), ser.points.len());
+        assert_eq!(par.best, ser.best);
+        assert_eq!(par.discards, ser.discards);
+        for (a, b) in par.points.iter().zip(&ser.points) {
+            assert_eq!(a.ports, b.ports);
+            assert_eq!(a.bottleneck, b.bottleneck);
+        }
+    }
+
+    fn resnet8_mini() -> (dfcnn_nn::topology::GraphSpec, Vec<Layer>) {
+        use dfcnn_nn::topology::GraphSpec;
+        use dfcnn_tensor::Shape3;
+        let spec = GraphSpec::resnet8(Shape3::new(8, 8, 3), [2, 4, 4], 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let layers = spec.build_layers(&mut rng);
+        (spec, layers)
+    }
+
+    #[test]
+    fn graph_enumeration_couples_join_branches() {
+        let (spec, layers) = resnet8_mini();
+        let cfgs = enumerate_graph_configs(&spec, &layers, 2);
+        assert!(!cfgs.is_empty());
+        // every candidate must lower cleanly: the coupling filter only
+        // emits joinable combinations
+        for c in &cfgs {
+            assert_eq!(c.layers.len(), spec.paper_depth());
+        }
+        // block 1 has an identity skip: the transform path's final
+        // scale-shift must emit exactly the stem's out_ports. Traversal
+        // order: stem=0, block1 = conv,ss,conv,ss at 1..=4.
+        for c in &cfgs {
+            assert_eq!(
+                c.layers[4].out_ports, c.layers[0].out_ports,
+                "identity skip must pin the transform end: {c:?}"
+            );
+        }
+        // the stem itself still explores multiple widths
+        let stems: std::collections::BTreeSet<usize> =
+            cfgs.iter().map(|c| c.layers[0].out_ports).collect();
+        assert!(stems.len() > 1, "stem choices: {stems:?}");
+    }
+
+    #[test]
+    fn graph_sweep_finds_a_pareto_front_on_resnet8() {
+        let (spec, layers) = resnet8_mini();
+        // f32 conv cores blow the DSP budget; the paper-calibrated
+        // fixed-point model keeps the mini ResNet on one device
+        let report = explore_graph(
+            &spec,
+            &layers,
+            &DesignConfig::default(),
+            &CostModel::fixed_point(),
+            &Device::xc7vx485t(),
+            2,
+        );
+        assert!(
+            report.feasible().count() > 0,
+            "no feasible point: {}",
+            report.render()
+        );
+        let front = report.pareto_front();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].bottleneck.1 <= w[1].bottleneck.1);
+            assert!(w[0].resources.dsp > w[1].resources.dsp);
+        }
+        // every reported point fits (over-budget candidates are pruned)
+        assert!(report.points.iter().all(|p| p.fits));
+        // and the best point's coupled join II is the real built design's
+        let best = report.best_point().unwrap();
+        let d = build_graph_design(&spec, &layers, &best.ports, DesignConfig::default()).unwrap();
+        assert_eq!(d.estimated_bottleneck(), best.bottleneck);
+    }
+
+    #[test]
+    fn best_resnet8_join_ii_matches_the_measured_interval() {
+        // acceptance: the sweep's coupled join II (Eq. 4 over the operand
+        // port counts) must agree with the cycle-accurate measurement
+        let (spec, layers) = resnet8_mini();
+        let report = explore_graph(
+            &spec,
+            &layers,
+            &DesignConfig::default(),
+            &CostModel::fixed_point(),
+            &Device::xc7vx485t(),
+            2,
+        );
+        let best = report.best_point().expect("feasible resnet8 point");
+        let d = build_graph_design(&spec, &layers, &best.ports, DesignConfig::default()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let images: Vec<_> = (0..6)
+            .map(|_| dfcnn_tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+            .collect();
+        let (res, trace) = d.instantiate(&images).with_trace().run();
+        let drift = crate::observe::DriftReport::new(&d, &res, &trace);
+        let joins: Vec<_> = drift
+            .cores
+            .iter()
+            .filter(|c| c.name.starts_with("add"))
+            .collect();
+        assert_eq!(
+            joins.len(),
+            3,
+            "three residual joins; drift cores: {:?}",
+            drift.cores.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+        for j in joins {
+            assert!(
+                j.within,
+                "{}: predicted {} vs measured {:.1} cycles/image",
+                j.name, j.predicted_stage_interval, j.measured_interval
+            );
+        }
+    }
+
+    #[test]
+    fn graph_sweep_counts_discards() {
+        let (spec, layers) = resnet8_mini();
+        let tiny = Device {
+            name: "tiny".into(),
+            capacity: Resources {
+                ff: 10,
+                lut: 10,
+                bram18: 1,
+                dsp: 1,
+            },
+            clock_hz: 100_000_000,
+        };
+        let report = explore_graph(
+            &spec,
+            &layers,
+            &DesignConfig::default(),
+            &CostModel::fixed_point(),
+            &tiny,
+            2,
+        );
+        assert!(report.points.is_empty());
+        assert!(report.discards.over_budget > 0);
+        assert_eq!(
+            report.discards.total(),
+            report.discards.over_budget
+                + report.discards.build_failed
+                + report.discards.checker_rejected
+        );
+        assert!(
+            report.render().contains("over-budget"),
+            "{}",
+            report.render()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use dfcnn_fpga::dma::{DmaChannel, DmaConfig};
 use dfcnn_fpga::resources::{CoreParams, CostModel, Resources};
 use dfcnn_hls::latency::OpLatency;
 use dfcnn_nn::layer::Layer;
+use dfcnn_nn::topology::{GraphOp, GraphSpec, JoinKind};
 use dfcnn_nn::Network;
 use dfcnn_tensor::{NumericSpec, Shape3, Tensor3};
 use serde::{Deserialize, Serialize};
@@ -953,6 +954,58 @@ impl GraphBuilder {
         })
     }
 
+    /// Join two streams with a concat core appending `b`'s feature maps
+    /// after `a`'s (Inception-style): the output carries
+    /// `a.c + b.c` FMs per pixel. The operands must share the pixel grid
+    /// and port count, and the shared port count must divide *both* FM
+    /// counts so the summed FM sequence keeps the round-robin port
+    /// interleave.
+    pub fn concat(&mut self, a: Tap, b: Tap) -> Result<Tap, String> {
+        if a.node == NodeRef::Source || b.node == NodeRef::Source {
+            return Err("the DMA source stream cannot feed a join".to_string());
+        }
+        if (a.shape.h, a.shape.w) != (b.shape.h, b.shape.w) {
+            return Err(format!(
+                "concat operands must share the pixel grid ({} vs {})",
+                a.shape, b.shape
+            ));
+        }
+        if a.ports != b.ports {
+            return Err(format!(
+                "concat operands must share a port count ({} vs {})",
+                a.ports, b.ports
+            ));
+        }
+        for (which, c) in [("first", a.shape.c), ("second", b.shape.c)] {
+            if !c.is_multiple_of(a.ports) {
+                return Err(format!(
+                    "concat ports {} do not divide the {which} operand's {c} FMs",
+                    a.ports
+                ));
+            }
+        }
+        let idx = self.cores.len();
+        let info = model::concat::plan_concat(a.shape, b.shape, a.ports, idx);
+        let name = info.name.clone();
+        // unlike the add join, the operand edges carry different volumes:
+        // each operand streams its own FM count per pixel
+        self.edge(a.node, NodeRef::Core(idx), a.ports, a.shape.len() as u64);
+        self.edge(b.node, NodeRef::Core(idx), b.ports, b.shape.len() as u64);
+        self.cores.push(info);
+        let t_idx = self.topo.len();
+        self.topo.push(StageNode {
+            core: Some(idx),
+            name,
+            inputs: vec![a.stage, b.stage],
+        });
+        Ok(Tap {
+            node: NodeRef::Core(idx),
+            shape: Shape3::new(a.shape.h, a.shape.w, a.shape.c + b.shape.c),
+            ports: a.ports,
+            stage: StageInput::Stage(t_idx),
+        })
+    }
+
     /// Terminate the graph at `tap` (the sink collects its full volume as
     /// classifier scores), auto-size reconvergent-path FIFOs, and apply
     /// the [`DesignConfig::skip_fifo_cap`] fault clamp if set.
@@ -1000,6 +1053,95 @@ impl GraphBuilder {
         }
         Ok(design)
     }
+}
+
+/// Lower a fork/join [`GraphSpec`] straight to a [`NetworkDesign`] — no
+/// hand-written edge wiring. `layers` must come from
+/// [`GraphSpec::build_layers`] on the *same spec* (the lowering re-walks
+/// the spec's depth-first traversal and consumes the slice in order);
+/// passing prebuilt layers lets a design-space sweep draw weights once and
+/// re-lower thousands of port candidates. `ports` carries one entry per
+/// paper layer in traversal order, exactly like the chain builder.
+///
+/// [`GraphSpec::build_layers`]: dfcnn_nn::topology::GraphSpec::build_layers
+pub fn build_graph_design(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    ports: &PortConfig,
+    config: DesignConfig,
+) -> Result<NetworkDesign, String> {
+    let (mut g, tap) = GraphBuilder::new(spec.input, config);
+    let mut cur = LowerCursor {
+        layers: layers.iter(),
+        ports: ports.layers.iter(),
+    };
+    let out = lower_ops(&mut g, tap, &spec.ops, &mut cur)?;
+    if cur.layers.next().is_some() {
+        return Err(format!(
+            "layer list longer than the '{}' spec's traversal",
+            spec.name
+        ));
+    }
+    if cur.ports.next().is_some() {
+        return Err(format!(
+            "port config longer than the '{}' spec's {} paper layers",
+            spec.name,
+            spec.paper_depth()
+        ));
+    }
+    g.finish(out)
+}
+
+struct LowerCursor<'a> {
+    layers: std::slice::Iter<'a, Layer>,
+    ports: std::slice::Iter<'a, LayerPorts>,
+}
+
+fn lower_ops(
+    g: &mut GraphBuilder,
+    tap: Tap,
+    ops: &[GraphOp],
+    cur: &mut LowerCursor,
+) -> Result<Tap, String> {
+    let mut tap = tap;
+    for op in ops {
+        tap = match op {
+            GraphOp::Layer(spec) => {
+                let layer = cur
+                    .layers
+                    .next()
+                    .ok_or("layer list shorter than the spec's traversal")?
+                    .clone();
+                let lp = if spec.counts_as_paper_layer() {
+                    *cur.ports
+                        .next()
+                        .ok_or("port config shorter than the spec's paper layers")?
+                } else {
+                    LayerPorts::SINGLE
+                };
+                g.layer(tap, layer, lp)?
+            }
+            GraphOp::Branch { branches, join } => {
+                let taps = g.fork(tap, branches.len())?;
+                let mut ends = Vec::with_capacity(branches.len());
+                for (ops, t) in branches.iter().zip(taps) {
+                    // an empty branch is the identity skip: the fork tap
+                    // passes straight through to the join
+                    ends.push(lower_ops(g, t, ops, cur)?);
+                }
+                let mut it = ends.into_iter();
+                let mut acc = it.next().expect("fork guarantees >= 2 branches");
+                for t in it {
+                    acc = match join {
+                        JoinKind::Add => g.add(acc, t)?,
+                        JoinKind::Concat => g.concat(acc, t)?,
+                    };
+                }
+                acc
+            }
+        };
+    }
+    Ok(tap)
 }
 
 impl NetworkDesign {
@@ -1669,5 +1811,121 @@ mod tests {
             "missing demux: {:?}",
             d.cores().iter().map(|c| &c.name).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn concat_rejects_bad_wiring() {
+        let input = Shape3::new(8, 8, 2);
+        let geo = ConvGeometry::new(input, 3, 3, 1, 1);
+        let mk_conv = || {
+            let f = Tensor4::from_fn(2, 3, 3, 2, |_, _, _, _| 0.1);
+            Conv2d::new(geo, f, Tensor1::zeros(2), Activation::Identity)
+        };
+        // pixel-grid mismatch
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let x = g.layer(x, mk_conv(), LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let b = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        let pgeo = ConvGeometry::new(input, 2, 2, 2, 0);
+        let pool = dfcnn_nn::layer::Pool2d::new(pgeo, dfcnn_nn::layer::PoolKind::Max);
+        let a = g.layer(a, pool, LayerPorts::SINGLE).unwrap();
+        let err = g.concat(a, b).unwrap_err();
+        assert!(err.contains("pixel grid"), "{err}");
+
+        // port-count mismatch
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let x = g.layer(x, mk_conv(), LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let b = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        let a = g
+            .layer(
+                a,
+                mk_conv(),
+                LayerPorts {
+                    in_ports: 1,
+                    out_ports: 2,
+                },
+            )
+            .unwrap();
+        let err = g.concat(a, b).unwrap_err();
+        assert!(err.contains("share a port count"), "{err}");
+    }
+
+    #[test]
+    fn concat_join_widens_the_stream() {
+        let input = Shape3::new(6, 6, 2);
+        let geo = ConvGeometry::new(input, 3, 3, 1, 1);
+        let mk_conv = |maps: usize| {
+            let f = Tensor4::from_fn(maps, 3, 3, 2, |k, y, x, c| ((k + y + x + c) as f32) * 0.02);
+            Conv2d::new(geo, f, Tensor1::zeros(maps), Activation::Identity)
+        };
+        let (mut g, x) = GraphBuilder::new(input, DesignConfig::default());
+        let x = g.layer(x, mk_conv(2), LayerPorts::SINGLE).unwrap();
+        let mut taps = g.fork(x, 2).unwrap();
+        let b = taps.pop().unwrap();
+        let a = taps.pop().unwrap();
+        let a = g.layer(a, mk_conv(4), LayerPorts::SINGLE).unwrap();
+        let x = g.concat(a, b).unwrap();
+        assert_eq!(x.shape(), Shape3::new(6, 6, 6));
+        let d = g.finish(x).unwrap();
+        assert!(d.cores().iter().any(|c| c.name.starts_with("concat")));
+        // the concat's two in-edges carry per-operand volumes
+        let concat_idx = d
+            .cores()
+            .iter()
+            .position(|c| c.name.starts_with("concat"))
+            .unwrap();
+        let vols: Vec<u64> = d
+            .edges()
+            .iter()
+            .filter(|e| e.to == NodeRef::Core(concat_idx))
+            .map(|e| e.values_per_image)
+            .collect();
+        assert_eq!(vols, vec![4 * 36, 2 * 36]);
+    }
+
+    #[test]
+    fn graph_spec_lowers_without_hand_wiring() {
+        use dfcnn_nn::topology::GraphSpec;
+        let spec = GraphSpec::resnet8(Shape3::new(8, 8, 3), [2, 4, 4], 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let layers = spec.build_layers(&mut rng);
+        let ports = PortConfig::single_port(spec.paper_depth());
+        let d = build_graph_design(&spec, &layers, &ports, DesignConfig::default()).unwrap();
+        let names: Vec<&str> = d.cores().iter().map(|c| c.name.as_str()).collect();
+        // three residual blocks: three forks, three adds, two 1x1 skips
+        assert_eq!(names.iter().filter(|n| n.starts_with("fork")).count(), 3);
+        assert_eq!(names.iter().filter(|n| n.starts_with("add")).count(), 3);
+        assert_eq!(names.iter().filter(|n| n.starts_with("conv")).count(), 9);
+        assert_eq!(d.classes(), 4);
+        assert!(d.is_graph());
+
+        // the inception cell folds its 4-way concat pairwise
+        let spec = GraphSpec::inception_cell();
+        let layers = spec.build_layers(&mut rng);
+        let ports = PortConfig::single_port(spec.paper_depth());
+        let d = build_graph_design(&spec, &layers, &ports, DesignConfig::default()).unwrap();
+        let concats = d
+            .cores()
+            .iter()
+            .filter(|c| c.name.starts_with("concat"))
+            .count();
+        assert_eq!(concats, 3);
+    }
+
+    #[test]
+    fn graph_lowering_rejects_mismatched_ports_len() {
+        use dfcnn_nn::topology::GraphSpec;
+        let spec = GraphSpec::inception_cell();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let layers = spec.build_layers(&mut rng);
+        let short = PortConfig::single_port(spec.paper_depth() - 1);
+        let err = build_graph_design(&spec, &layers, &short, DesignConfig::default()).unwrap_err();
+        assert!(err.contains("shorter"), "{err}");
+        let long = PortConfig::single_port(spec.paper_depth() + 1);
+        let err = build_graph_design(&spec, &layers, &long, DesignConfig::default()).unwrap_err();
+        assert!(err.contains("longer"), "{err}");
     }
 }

@@ -68,8 +68,8 @@ pub use check::{
 };
 pub use exec::{ExecResult, PipelineProfile, ReplicationPlan, StageProfile, ThreadedEngine};
 pub use graph::{
-    DesignConfig, EdgeInfo, GraphBuilder, LayerPorts, NetworkDesign, NodeRef, PortConfig,
-    StageInput, StageNode, Tap,
+    build_graph_design, DesignConfig, EdgeInfo, GraphBuilder, LayerPorts, NetworkDesign, NodeRef,
+    PortConfig, StageInput, StageNode, Tap,
 };
 pub use model::{host_pipeline, reference_forward, HostStage};
 pub use observe::{DriftReport, RunReport};

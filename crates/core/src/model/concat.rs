@@ -1,0 +1,524 @@
+//! The feature-map concatenation core — the Inception-style join of a
+//! fork/join graph.
+//!
+//! Where the eltwise add zips two same-shaped operands value for value, a
+//! concat join *appends* operand B's feature maps after operand A's: both
+//! operands share the pixel grid and the per-operand port count `P`, and
+//! the output carries `C1 + C2` FMs per pixel in the usual `(y, x, c)`
+//! pixel-major, FM-minor stream order — operand A's FMs first, then B's.
+//! No arithmetic happens: the join is pure stream interleaving, walking
+//! the summed FM sequence and forwarding each value from the owning
+//! operand's port group. Like the eltwise add it reads two full port
+//! groups ([`CoreModel::input_channel_count`] is `2·IN_PORTS`): operand
+//! `o`'s port `p` is input channel `o·P + p`.
+//!
+//! Because `P` divides both `C1` and `C2`, output FM `f` lands on output
+//! port `f mod P` *and* arrives on the same port index inside the owning
+//! operand's group — the selector only ever switches groups, never lanes.
+//!
+//! The two operand streams carry *different* per-image volumes
+//! (`C1·H·W` vs `C2·H·W`), unlike the add join where both edges carry the
+//! output volume. The static checker's rate-conservation rule learns the
+//! asymmetric split through [`CoreModel::in_edge_volumes`].
+
+use super::{CoreModel, CorePlan, StageSpec, StageWorker, StaticProfile};
+use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign, NodeRef};
+use crate::port::fm_port;
+use crate::sim::{Actor, Quiescence, Wiring};
+use crate::stream::{ChannelId, ChannelSet};
+use crate::trace::{EventKind, Stall, Trace};
+use dfcnn_fpga::resources::{CoreKind, CoreParams};
+use dfcnn_hls::ii::pipeline_ii;
+use dfcnn_nn::layer::Layer;
+use dfcnn_tensor::{Shape3, Tensor3};
+use std::fmt::Write as _;
+
+/// The concat-join [`CoreModel`].
+pub struct ConcatJoinModel;
+
+/// Plan a concat core appending a `b_shape`-sized stream after an
+/// `a_shape`-sized one on `ports` ports per operand; `index` numbers the
+/// core in pipeline order. Operand legality (shared pixel grid, `ports`
+/// dividing both FM counts) is enforced by `GraphBuilder::concat`.
+pub(crate) fn plan_concat(
+    a_shape: Shape3,
+    b_shape: Shape3,
+    ports: usize,
+    index: usize,
+) -> CoreInfo {
+    let c = a_shape.c + b_shape.c;
+    CoreInfo {
+        name: format!("concat{index}"),
+        params: CoreParams {
+            kind: CoreKind::ConcatJoin,
+            in_fm: c,
+            out_fm: c,
+            in_ports: ports,
+            out_ports: ports,
+            kh: 1,
+            kw: 1,
+            image_w: a_shape.w,
+            ii: pipeline_ii(c, ports, c, ports),
+            weights: 0,
+            accumulators: 1,
+        },
+        layer_index: None,
+        in_values_per_image: (a_shape.len() + b_shape.len()) as u64,
+        positions: (a_shape.h * a_shape.w) as u64,
+    }
+}
+
+/// Find a core's index and the FM count of its first operand (recovered
+/// from the first in-edge's recorded volume: `C1·H·W / (H·W)`).
+fn operand_split(design: &NetworkDesign, core: &CoreInfo) -> usize {
+    let idx = design
+        .cores()
+        .iter()
+        .position(|c| c.name == core.name)
+        .expect("concat core must be in the design it was planned for");
+    let first_in = design
+        .edges()
+        .iter()
+        .find(|e| e.to == NodeRef::Core(idx))
+        .expect("concat core must have in-edges");
+    (first_in.values_per_image / core.positions.max(1)) as usize
+}
+
+/// The join actor: forwards the summed FM sequence in strict global
+/// order, reading FM `f < split` from operand A's port group and
+/// `f >= split` from operand B's. Pure routing — values pass through
+/// unchanged in every numeric mode, so the actor is not generic over the
+/// element type.
+pub struct ConcatCore {
+    name: String,
+    in_chs: Vec<ChannelId>,
+    out_chs: Vec<ChannelId>,
+    fm: usize,
+    split: usize,
+    seq: u64,
+    moved: u64,
+}
+
+impl ConcatCore {
+    /// Build the join over `fm` total FMs of which the first `split`
+    /// belong to operand A; `in_chs` is `2·P` wide.
+    pub fn new(
+        name: impl Into<String>,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+        fm: usize,
+        split: usize,
+    ) -> Self {
+        assert_eq!(
+            in_chs.len(),
+            2 * out_chs.len(),
+            "concat reads two operand port groups"
+        );
+        assert!(!out_chs.is_empty(), "concat needs ports");
+        assert!(0 < split && split < fm, "both operands must carry FMs");
+        let ports = out_chs.len();
+        assert_eq!(split % ports, 0, "ports must divide operand A's FM count");
+        assert_eq!(
+            (fm - split) % ports,
+            0,
+            "ports must divide operand B's FM count"
+        );
+        ConcatCore {
+            name: name.into(),
+            in_chs,
+            out_chs,
+            fm,
+            split,
+            seq: 0,
+            moved: 0,
+        }
+    }
+
+    /// The input channel carrying output FM `f`: operand A's group for
+    /// `f < split`, operand B's (offset by `P`) above.
+    fn src_index(&self, f: usize) -> usize {
+        let p_count = self.out_chs.len();
+        if f < self.split {
+            fm_port(f, p_count)
+        } else {
+            p_count + fm_port(f - self.split, p_count)
+        }
+    }
+}
+
+impl Actor for ConcatCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, chans: &mut ChannelSet, trace: &mut Trace) {
+        let p_count = self.out_chs.len();
+        let mut used = vec![false; p_count];
+        // strict global order; stop at the first value the owning operand
+        // cannot supply or the output cannot accept
+        for _ in 0..p_count {
+            let f = (self.seq % self.fm as u64) as usize;
+            let p = fm_port(f, p_count);
+            if used[p] {
+                break;
+            }
+            let src = self.in_chs[self.src_index(f)];
+            if chans.peek(src).is_none() || !chans.can_push(self.out_chs[p]) {
+                break;
+            }
+            let v = chans.pop(src).unwrap();
+            chans.push(self.out_chs[p], v);
+            used[p] = true;
+            self.seq += 1;
+            self.moved += 1;
+            trace.record(cycle, &self.name, EventKind::Emit);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        false // the interleave holds no state between cycles
+    }
+
+    fn initiations(&self) -> u64 {
+        self.moved
+    }
+
+    fn wiring(&self) -> Wiring {
+        Wiring {
+            inputs: self.in_chs.clone(),
+            outputs: self.out_chs.clone(),
+        }
+    }
+
+    fn quiescence(&self, _now: u64, chans: &ChannelSet) -> Quiescence {
+        let p_count = self.out_chs.len();
+        let f = (self.seq % self.fm as u64) as usize;
+        let p = fm_port(f, p_count);
+        if chans.peek(self.in_chs[self.src_index(f)]).is_some() && chans.can_push(self.out_chs[p]) {
+            Quiescence::Active
+        } else {
+            Quiescence::Wait(None)
+        }
+    }
+
+    fn stall(&self, chans: &ChannelSet) -> Stall {
+        let p_count = self.out_chs.len();
+        let f = (self.seq % self.fm as u64) as usize;
+        let p = fm_port(f, p_count);
+        let src = self.src_index(f);
+        if chans.peek(self.in_chs[src]).is_none() {
+            Stall::Starved(src)
+        } else if !chans.can_push(self.out_chs[p]) {
+            Stall::Backpressured(p)
+        } else {
+            Stall::Computing // the move happens next tick
+        }
+    }
+}
+
+struct ConcatWorker;
+
+impl StageWorker for ConcatWorker {
+    fn apply_into(&mut self, _input: &Tensor3<f32>, _out: &mut Tensor3<f32>) {
+        unreachable!("concat is a two-operand stage; use apply_multi")
+    }
+
+    fn apply_multi(&mut self, inputs: &[&Tensor3<f32>], out: &mut Tensor3<f32>) {
+        let (a, b) = (inputs[0], inputs[1]);
+        let (c1, c2) = (a.shape().c, b.shape().c);
+        let (asl, bsl) = (a.as_slice(), b.as_slice());
+        let o = out.as_mut_slice();
+        let mut oi = 0;
+        for px in 0..a.shape().h * a.shape().w {
+            o[oi..oi + c1].copy_from_slice(&asl[px * c1..(px + 1) * c1]);
+            oi += c1;
+            o[oi..oi + c2].copy_from_slice(&bsl[px * c2..(px + 1) * c2]);
+            oi += c2;
+        }
+    }
+}
+
+impl CoreModel for ConcatJoinModel {
+    fn kind(&self) -> CoreKind {
+        CoreKind::ConcatJoin
+    }
+
+    fn label(&self) -> &'static str {
+        "concat"
+    }
+
+    fn feature_maps(&self, _layer: &Layer) -> (usize, usize) {
+        unreachable!("concat cores are planned from graph joins, not layers")
+    }
+
+    fn plan(&self, _layer: &Layer, _lp: LayerPorts, _config: &DesignConfig) -> CorePlan {
+        unreachable!("concat cores are planned from graph joins, not layers")
+    }
+
+    fn estimate_interval(&self, core: &CoreInfo, _config: &DesignConfig) -> u64 {
+        core.positions * core.params.ii as u64
+    }
+
+    fn static_profile(&self, _design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
+        let p = &core.params;
+        StaticProfile {
+            // every operand value is forwarded: volume is conserved
+            out_values_per_image: core.in_values_per_image,
+            expected_ii: pipeline_ii(p.in_fm, p.in_ports, p.out_fm, p.out_ports),
+            line_buffer: None,
+        }
+    }
+
+    fn in_edge_volumes(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_degree: usize,
+    ) -> Vec<u64> {
+        // the operands carry their own FM counts, not an even split; trust
+        // the recorded edge volumes only if they sum to the core's total —
+        // otherwise fall back to the even split so a tampered edge still
+        // trips the producer-side comparison
+        let idx = design.cores().iter().position(|c| c.name == core.name);
+        let recorded: Vec<u64> = match idx {
+            Some(idx) => design
+                .edges()
+                .iter()
+                .filter(|e| e.to == NodeRef::Core(idx))
+                .map(|e| e.values_per_image)
+                .collect(),
+            None => Vec::new(),
+        };
+        if recorded.len() == in_degree && recorded.iter().sum::<u64>() == core.in_values_per_image {
+            recorded
+        } else {
+            vec![core.in_values_per_image / in_degree.max(1) as u64; in_degree]
+        }
+    }
+
+    fn block_label(&self, core: &CoreInfo) -> String {
+        format!(
+            "[{} concat {}FM in:2x{} out:{} II={}]",
+            core.name,
+            core.params.out_fm,
+            core.params.in_ports,
+            core.params.out_ports,
+            core.params.ii
+        )
+    }
+
+    fn make_actor(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        in_chs: Vec<ChannelId>,
+        out_chs: Vec<ChannelId>,
+    ) -> Box<dyn Actor> {
+        Box::new(ConcatCore::new(
+            core.name.clone(),
+            in_chs,
+            out_chs,
+            core.params.in_fm,
+            operand_split(design, core),
+        ))
+    }
+
+    fn emit_cpp(&self, design: &NetworkDesign, idx: usize) -> String {
+        use crate::codegen::{header, interface_pragmas, stream_args};
+        let info = &design.cores()[idx];
+        let p = &info.params;
+        let split = operand_split(design, info);
+        let (a_rounds, b_rounds) = (split / p.in_ports, (p.in_fm - split) / p.in_ports);
+        let mut s = header();
+        let _ = write!(
+            s,
+            "// concat join core: appends operand B's {cb} feature maps after\n\
+             // operand A's {ca} per pixel. Pure stream interleaving — each\n\
+             // output port forwards its operand-A lane then its operand-B\n\
+             // lane; no arithmetic, no weights.\n\
+             void {name}({a}, {b}, {outs}) {{\n{apr}{bpr}{opr}\
+             \x20   concat: for (int px = 0; ; ++px) {{\n\
+             #pragma HLS PIPELINE II={ii}\n",
+            ca = split,
+            cb = p.in_fm - split,
+            name = info.name,
+            a = stream_args("a", p.in_ports),
+            b = stream_args("b", p.in_ports),
+            outs = stream_args("out", p.out_ports),
+            apr = interface_pragmas("a", p.in_ports),
+            bpr = interface_pragmas("b", p.in_ports),
+            opr = interface_pragmas("out", p.out_ports),
+            ii = p.ii,
+        );
+        let _ = writeln!(s, "        for (int f = 0; f < {a_rounds}; ++f) {{");
+        for port in 0..p.out_ports {
+            let _ = writeln!(s, "            out{port}.write(a{port}.read());");
+        }
+        s.push_str("        }\n");
+        let _ = writeln!(s, "        for (int f = 0; f < {b_rounds}; ++f) {{");
+        for port in 0..p.out_ports {
+            let _ = writeln!(s, "            out{port}.write(b{port}.read());");
+        }
+        s.push_str("        }\n    }\n}\n");
+        s
+    }
+
+    fn stage(
+        &self,
+        _name: String,
+        _layer: &Layer,
+        _lp: LayerPorts,
+        _config: &DesignConfig,
+    ) -> Option<StageSpec> {
+        None // not layer-backed; graph_stage builds the join stage
+    }
+
+    fn input_channel_count(&self, core: &CoreInfo) -> usize {
+        2 * core.params.in_ports
+    }
+
+    fn graph_stage(
+        &self,
+        _design: &NetworkDesign,
+        core: &CoreInfo,
+        in_shapes: &[Shape3],
+    ) -> Option<StageSpec> {
+        assert_eq!(in_shapes.len(), 2, "concat joins exactly two operands");
+        let (a, b) = (in_shapes[0], in_shapes[1]);
+        assert_eq!((a.h, a.w), (b.h, b.w), "operands must share the pixel grid");
+        let out_shape = Shape3::new(a.h, a.w, a.c + b.c);
+        Some(StageSpec::new(core.name.clone(), out_shape, || {
+            Box::new(ConcatWorker)
+        }))
+    }
+
+    fn reference_apply(
+        &self,
+        _design: &NetworkDesign,
+        _core: &CoreInfo,
+        inputs: &[&Tensor3<f32>],
+    ) -> Option<Tensor3<f32>> {
+        let (a, b) = (inputs[0], inputs[1]);
+        assert_eq!(
+            (a.shape().h, a.shape().w),
+            (b.shape().h, b.shape().w),
+            "operands must share the pixel grid"
+        );
+        let out_shape = Shape3::new(a.shape().h, a.shape().w, a.shape().c + b.shape().c);
+        let mut out = Tensor3::zeros(out_shape);
+        ConcatWorker.apply_multi(&[a, b], &mut out);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(core: &mut ConcatCore, chans: &mut ChannelSet, cycles: usize) {
+        let mut trace = Trace::disabled();
+        for c in 0..cycles {
+            core.tick(c as u64, chans, &mut trace);
+            chans.commit_all();
+        }
+    }
+
+    fn drain(chans: &mut ChannelSet, id: ChannelId) -> Vec<f32> {
+        let mut v = Vec::new();
+        while let Some(x) = chans.pop(id) {
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn appends_operand_b_after_a_per_pixel() {
+        let mut chans = ChannelSet::new();
+        let a0 = chans.alloc(16);
+        let b0 = chans.alloc(16);
+        let o0 = chans.alloc(16);
+        // two pixels, C1 = 2 and C2 = 1
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            chans.push(a0, v);
+        }
+        for v in [10.0, 20.0] {
+            chans.push(b0, v);
+        }
+        chans.commit_all();
+        let mut core = ConcatCore::new("concat", vec![a0, b0], vec![o0], 3, 2);
+        drive(&mut core, &mut chans, 8);
+        assert_eq!(drain(&mut chans, o0), vec![1.0, 2.0, 10.0, 3.0, 4.0, 20.0]);
+        assert_eq!(core.initiations(), 6);
+    }
+
+    #[test]
+    fn dry_operand_stalls_the_join() {
+        let mut chans = ChannelSet::new();
+        let a0 = chans.alloc(16);
+        let b0 = chans.alloc(16);
+        let o0 = chans.alloc(16);
+        chans.push(a0, 1.0);
+        chans.commit_all();
+        let mut core = ConcatCore::new("concat", vec![a0, b0], vec![o0], 2, 1);
+        drive(&mut core, &mut chans, 4);
+        // operand A's FM moved, operand B's is awaited
+        assert_eq!(chans.get(o0).len(), 1, "A's value passes, B's is missing");
+        // the second operand group starts at index P
+        assert!(matches!(core.stall(&chans), Stall::Starved(1)));
+        chans.push(b0, 2.0);
+        chans.commit_all();
+        drive(&mut core, &mut chans, 4);
+        assert_eq!(drain(&mut chans, o0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_ports_move_in_parallel() {
+        let mut chans = ChannelSet::new();
+        let a: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        let b: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        let o: Vec<_> = (0..2).map(|_| chans.alloc(8)).collect();
+        // C1 = C2 = 2 on 2 ports: FMs 0/2 on port 0, FMs 1/3 on port 1
+        chans.push(a[0], 1.0);
+        chans.push(a[1], 2.0);
+        chans.push(b[0], 10.0);
+        chans.push(b[1], 20.0);
+        chans.commit_all();
+        let mut core = ConcatCore::new("concat", [a, b].concat(), o.clone(), 4, 2);
+        let mut trace = Trace::disabled();
+        core.tick(0, &mut chans, &mut trace);
+        chans.commit_all();
+        core.tick(1, &mut chans, &mut trace);
+        chans.commit_all();
+        // cycle 0 moves both of A's FMs, cycle 1 both of B's
+        assert_eq!(drain(&mut chans, o[0]), vec![1.0, 10.0]);
+        assert_eq!(drain(&mut chans, o[1]), vec![2.0, 20.0]);
+    }
+
+    #[test]
+    fn worker_matches_reference_interleave() {
+        let a = Tensor3::from_fn(Shape3::new(2, 2, 2), |y, x, c| (y * 4 + x * 2 + c) as f32);
+        let b = Tensor3::from_fn(Shape3::new(2, 2, 1), |y, x, _| -((y * 2 + x) as f32));
+        let mut out = Tensor3::zeros(Shape3::new(2, 2, 3));
+        ConcatWorker.apply_multi(&[&a, &b], &mut out);
+        for y in 0..2 {
+            for x in 0..2 {
+                assert_eq!(out.get(y, x, 0), a.get(y, x, 0));
+                assert_eq!(out.get(y, x, 1), a.get(y, x, 1));
+                assert_eq!(out.get(y, x, 2), b.get(y, x, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_concat_shape() {
+        let info = plan_concat(Shape3::new(4, 4, 4), Shape3::new(4, 4, 2), 2, 7);
+        assert_eq!(info.name, "concat7");
+        assert_eq!(info.params.kind, CoreKind::ConcatJoin);
+        assert_eq!(info.params.in_fm, 6);
+        assert_eq!(info.params.out_fm, 6);
+        assert_eq!(info.params.ii, 3); // 6 summed FMs over 2 ports
+        assert_eq!(info.in_values_per_image, 64 + 32);
+        assert_eq!(info.positions, 16);
+        assert!(info.layer_index.is_none());
+    }
+}

@@ -23,6 +23,7 @@
 //! module without touching any consumer.
 
 pub mod adapter;
+pub mod concat;
 pub mod conv;
 pub mod eltwise;
 pub mod fc;
@@ -235,9 +236,26 @@ pub trait CoreModel: Sync {
 
     /// How many input channels the instantiated actor consumes. The
     /// default is one channel per input port; two-operand joins (the
-    /// eltwise-add core) read a full port group per operand and override.
+    /// eltwise-add and concat cores) read a full port group per operand
+    /// and override.
     fn input_channel_count(&self, core: &CoreInfo) -> usize {
         core.params.in_ports
+    }
+
+    /// Expected per-image value volume on each of this core's input edges,
+    /// in edge order — what the static checker's rate-conservation rule
+    /// holds each producer to. The default splits the core's total input
+    /// volume evenly over its in-degree, which is exact for every
+    /// symmetric kind (a fork's branches and an add join's operands carry
+    /// equal volumes); the concat join, whose operands each carry their
+    /// own FM count, overrides.
+    fn in_edge_volumes(
+        &self,
+        _design: &NetworkDesign,
+        core: &CoreInfo,
+        in_degree: usize,
+    ) -> Vec<u64> {
+        vec![core.in_values_per_image / in_degree.max(1) as u64; in_degree]
     }
 
     /// The host pipeline stage of one core in a *graph* (fork/join)
@@ -326,6 +344,7 @@ static LOGSOFTMAX_MODEL: logsoftmax::LogSoftmaxModel = logsoftmax::LogSoftmaxMod
 static FORK_MODEL: fork::ForkModel = fork::ForkModel;
 static ELTWISE_MODEL: eltwise::EltwiseAddModel = eltwise::EltwiseAddModel;
 static SCALESHIFT_MODEL: scaleshift::ScaleShiftModel = scaleshift::ScaleShiftModel;
+static CONCAT_MODEL: concat::ConcatJoinModel = concat::ConcatJoinModel;
 
 /// The model owning a [`CoreKind`] — the single dispatch point every
 /// consumer goes through.
@@ -340,6 +359,7 @@ pub fn model_for(kind: CoreKind) -> &'static dyn CoreModel {
         CoreKind::Fork => &FORK_MODEL,
         CoreKind::EltwiseAdd => &ELTWISE_MODEL,
         CoreKind::ScaleShift => &SCALESHIFT_MODEL,
+        CoreKind::ConcatJoin => &CONCAT_MODEL,
     }
 }
 
@@ -581,6 +601,7 @@ mod tests {
             CoreKind::Fork,
             CoreKind::EltwiseAdd,
             CoreKind::ScaleShift,
+            CoreKind::ConcatJoin,
         ] {
             let m = model_for(kind);
             assert_eq!(m.kind(), kind, "model registered under the wrong kind");

@@ -113,6 +113,12 @@ impl MultiFpgaPlan {
 
 /// Partition a design's core chain across identical devices, first-fit.
 ///
+/// The walk is over the core *list* in pipeline order, so a cut may land
+/// inside a fork/join region: the boundary then severs both the branch
+/// edge and the fork's skip edge, and the link stage is charged the sum
+/// of every crossed edge's per-image traffic (the skip-edge traffic
+/// model below).
+///
 /// # Errors
 /// If any single core exceeds one bare device (platform + that core), no
 /// contiguous partition exists at this datapath precision — the error
@@ -470,6 +476,47 @@ mod tests {
         .unwrap();
         assert!(!fast.bottleneck.0.starts_with("link"));
         assert!(fast.bottleneck.1 < plan.bottleneck.1);
+    }
+
+    #[test]
+    fn cut_through_a_fork_charges_both_crossed_edges() {
+        use crate::graph::DesignConfig;
+        let d = crate::graph::fixtures::residual_graph(DesignConfig::default());
+        let cost = CostModel::default();
+        let overhead = cost.platform_base() + cost.dma_engine();
+        let rs: Vec<Resources> = d.cores().iter().map(|c| cost.core(&c.params)).collect();
+        assert_eq!(rs.len(), 6); // conv1, fork1, conv2, scaleshift1, add4, fc
+                                 // capacity exactly fits {conv1, fork1, conv2}: first-fit must cut
+                                 // between conv2 and scaleshift1, *inside* the fork/join region
+                                 // (other dims widened so the tail segment also fits one device)
+        let seg1 = overhead + rs[0] + rs[1] + rs[2];
+        let seg2 = overhead + rs[3] + rs[4] + rs[5];
+        let device = Device {
+            name: "crafted".into(),
+            capacity: Resources {
+                lut: seg1.lut,
+                ff: seg1.ff.max(seg2.ff),
+                bram18: seg1.bram18.max(seg2.bram18),
+                dsp: seg1.dsp.max(seg2.dsp),
+            },
+            clock_hz: 100_000_000,
+        };
+        let link = LinkConfig::aurora_like();
+        let plan = partition(&d, &cost, &device, &link).unwrap();
+        assert_eq!(plan.device_count(), 2, "{}", plan.render());
+        assert_eq!(
+            plan.segments[0].cores,
+            vec!["conv1", "fork1", "conv2"],
+            "{}",
+            plan.render()
+        );
+        // the cut severs two edges: conv2→scaleshift1 (the branch under
+        // transform, 8*8*2 = 128 values) and fork1→add4 (the identity
+        // skip, another 128) — the link is charged their sum
+        let wpc = link.words_per_cycle(d.config().clock_hz);
+        assert_eq!(plan.link_intervals[0], (256.0 / wpc).ceil() as u64);
+        // a naive chain model would have charged half of that
+        assert!(plan.link_intervals[0] > (128.0 / wpc).ceil() as u64);
     }
 
     #[test]

@@ -139,8 +139,23 @@ impl DriftReport {
         let mut cores = Vec::new();
         for stats in &res.actor_stats {
             let inits = trace.initiation_cycles(&stats.name);
-            let Some(gap) = quartile_interval(&inits) else {
-                continue; // endpoints, adapters, cold cores
+            let gap = match quartile_interval(&inits) {
+                Some(g) => g,
+                // Move-only cores (forks, joins, scale-shifts) record one
+                // `Emit` per value instead of compute initiations; for
+                // those the emit stream is the steady-state signal. Only
+                // design cores qualify — endpoints and port adapters also
+                // emit but have no Eq. 4 stage interval to drift from.
+                None => {
+                    let is_core = stage_intervals.iter().any(|(n, _)| n == &stats.name);
+                    match is_core
+                        .then(|| quartile_interval(&trace.emit_cycles(&stats.name)))
+                        .flatten()
+                    {
+                        Some(g) => g,
+                        None => continue, // endpoints, adapters, cold cores
+                    }
+                }
             };
             let per_image = stats.initiations as f64 / batch as f64;
             let measured_interval = gap * per_image;

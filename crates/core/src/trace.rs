@@ -328,6 +328,16 @@ impl Trace {
             .collect()
     }
 
+    /// Cycles at which the given actor emitted a value. Move-only cores
+    /// (forks, eltwise-adds, concats, scale-shifts) never record compute
+    /// initiations — each moved value's `Emit` is their throughput signal.
+    pub fn emit_cycles(&self, actor: &str) -> Vec<u64> {
+        self.for_actor(actor)
+            .filter(|e| e.kind == EventKind::Emit)
+            .map(|e| e.cycle)
+            .collect()
+    }
+
     /// The flight recorder's per-actor stall span tracks (actor name plus
     /// its chronological span list), populated by the simulator when
     /// tracing is enabled.

@@ -118,6 +118,9 @@ pub enum CoreKind {
     EltwiseAdd,
     /// Per-feature-map affine core (frozen batch normalisation).
     ScaleShift,
+    /// Two-input feature-map concatenation joining reconvergent DAG
+    /// branches (`OUT_FM` = sum of the operand FM counts).
+    ConcatJoin,
 }
 
 /// Design parameters of one generated core, as handed to the cost model by
@@ -474,6 +477,20 @@ impl CostModel {
                     dsp: 0,
                 };
             }
+            CoreKind::ConcatJoin => {
+                // pure stream interleaving, no arithmetic: the join walks
+                // the summed FM sequence and forwards each value from the
+                // owning operand's port group (2·in_ports input lanes) to
+                // the shared output ports — selector muxes and handshake
+                // logic only, costed like the other routing cores
+                let ports = (2 * p.in_ports).max(p.out_ports) as u64;
+                r += Resources {
+                    lut: 200 + 40 * ports,
+                    ff: 250 + 40 * ports,
+                    bram18: 0,
+                    dsp: 0,
+                };
+            }
             CoreKind::EltwiseAdd => {
                 // one DSP-assisted FP adder per port pair plus the input
                 // staging registers; no weights, no memory structure
@@ -733,6 +750,30 @@ mod tests {
         });
         assert_eq!(ss.dsp, (m.dsp_per_fmul + m.dsp_per_fadd) * 2);
         assert!(ss.lut > add.lut);
+
+        // concat join is pure routing like the fork: no arithmetic, no
+        // memory, cost scales with the 2·in_ports operand lanes
+        let cat = m.core(&CoreParams {
+            kind: CoreKind::ConcatJoin,
+            in_fm: 12,
+            out_fm: 12,
+            out_ports: 2,
+            ..base
+        });
+        assert_eq!(
+            CoreParams {
+                kind: CoreKind::ConcatJoin,
+                ..base
+            }
+            .parallel_macs(),
+            0
+        );
+        assert_eq!(cat.dsp, 0);
+        assert_eq!(cat.bram18, 0);
+        // 2 operands x 2 in-ports = 4 lanes: identical routing fabric to
+        // the 4-port fork above
+        assert_eq!(cat.lut, fork.lut);
+        assert_eq!(cat.ff, fork.ff);
     }
 
     #[test]

@@ -83,6 +83,101 @@ impl LayerSpec {
                 | LayerSpec::ScaleShift
         )
     }
+
+    /// Whether the kind is restricted to single-input-port /
+    /// single-output-port in the accelerator design (§IV-B's FC rule) —
+    /// mirrored here so spec-level tooling (graph-aware DSE) can prune
+    /// port candidates without building layers first.
+    pub fn forces_single_port(&self) -> bool {
+        matches!(self, LayerSpec::Linear { .. })
+    }
+
+    /// The output shape of this layer applied to a `cur`-shaped input.
+    ///
+    /// # Panics
+    /// If the layer is inconsistent with `cur` (e.g. a linear layer not
+    /// preceded by a flatten, or a window that does not fit).
+    pub fn output_shape(&self, cur: Shape3) -> Shape3 {
+        match self {
+            LayerSpec::Conv {
+                kh,
+                kw,
+                out_maps,
+                stride,
+                pad,
+                ..
+            } => ConvGeometry::new(cur, *kh, *kw, *stride, *pad).conv_output(*out_maps),
+            LayerSpec::Pool { kh, kw, stride, .. } => {
+                ConvGeometry::new(cur, *kh, *kw, *stride, 0).pool_output()
+            }
+            LayerSpec::Flatten => Shape3::new(1, 1, cur.len()),
+            LayerSpec::Linear { outputs, .. } => {
+                assert_eq!(
+                    (cur.h, cur.w),
+                    (1, 1),
+                    "linear layer requires a flattened 1x1 input, got {cur}"
+                );
+                Shape3::new(1, 1, *outputs)
+            }
+            LayerSpec::LogSoftmax => {
+                assert_eq!(
+                    (cur.h, cur.w),
+                    (1, 1),
+                    "logsoftmax requires a 1x1 input, got {cur}"
+                );
+                cur
+            }
+            LayerSpec::ScaleShift => cur,
+        }
+    }
+
+    /// Materialise the layer for a `cur`-shaped input, drawing any
+    /// parameters (weights, scale-shift coefficients) from `rng` with the
+    /// same initialisers [`NetworkSpec::build`] uses.
+    pub fn build_layer(&self, cur: Shape3, rng: &mut impl Rng) -> Layer {
+        match self {
+            LayerSpec::Conv {
+                kh,
+                kw,
+                out_maps,
+                stride,
+                pad,
+                activation,
+            } => {
+                let geo = ConvGeometry::new(cur, *kh, *kw, *stride, *pad);
+                let filters = init::conv_filters(rng, *out_maps, *kh, *kw, cur.c);
+                Layer::Conv(Conv2d::new(
+                    geo,
+                    filters,
+                    init::biases(*out_maps),
+                    *activation,
+                ))
+            }
+            LayerSpec::Pool {
+                kh,
+                kw,
+                stride,
+                kind,
+            } => {
+                let geo = ConvGeometry::new(cur, *kh, *kw, *stride, 0);
+                Layer::Pool(Pool2d::new(geo, *kind))
+            }
+            LayerSpec::Flatten => Layer::Flatten(Flatten::new(cur)),
+            LayerSpec::Linear {
+                outputs,
+                activation,
+            } => {
+                let w = init::linear_weights(rng, cur.c, *outputs);
+                Layer::Linear(Linear::new(w, init::biases(*outputs), *activation))
+            }
+            LayerSpec::LogSoftmax => Layer::LogSoftmax(LogSoftmax::new(cur.c)),
+            LayerSpec::ScaleShift => {
+                let scale = (0..cur.c).map(|_| rng.gen_range(0.5f32..1.5)).collect();
+                let shift = (0..cur.c).map(|_| rng.gen_range(-0.25f32..0.25)).collect();
+                Layer::ScaleShift(ScaleShift::new(cur, scale, shift))
+            }
+        }
+    }
 }
 
 /// A full network specification: input shape plus ordered layer specs.
@@ -381,40 +476,9 @@ impl NetworkSpec {
     /// layer not preceded by a flatten, or a window that does not fit).
     pub fn shapes(&self) -> Vec<Shape3> {
         let mut shapes = vec![self.input];
-        for (i, l) in self.layers.iter().enumerate() {
+        for l in &self.layers {
             let cur = *shapes.last().unwrap();
-            let next = match l {
-                LayerSpec::Conv {
-                    kh,
-                    kw,
-                    out_maps,
-                    stride,
-                    pad,
-                    ..
-                } => ConvGeometry::new(cur, *kh, *kw, *stride, *pad).conv_output(*out_maps),
-                LayerSpec::Pool { kh, kw, stride, .. } => {
-                    ConvGeometry::new(cur, *kh, *kw, *stride, 0).pool_output()
-                }
-                LayerSpec::Flatten => Shape3::new(1, 1, cur.len()),
-                LayerSpec::Linear { outputs, .. } => {
-                    assert_eq!(
-                        (cur.h, cur.w),
-                        (1, 1),
-                        "layer {i}: linear layer requires a flattened 1x1 input, got {cur}"
-                    );
-                    Shape3::new(1, 1, *outputs)
-                }
-                LayerSpec::LogSoftmax => {
-                    assert_eq!(
-                        (cur.h, cur.w),
-                        (1, 1),
-                        "layer {i}: logsoftmax requires a 1x1 input, got {cur}"
-                    );
-                    cur
-                }
-                LayerSpec::ScaleShift => cur,
-            };
-            shapes.push(next);
+            shapes.push(l.output_shape(cur));
         }
         shapes
     }
@@ -438,50 +502,7 @@ impl NetworkSpec {
         let shapes = self.shapes();
         let mut net = Network::new();
         for (i, l) in self.layers.iter().enumerate() {
-            let cur = shapes[i];
-            let layer = match l {
-                LayerSpec::Conv {
-                    kh,
-                    kw,
-                    out_maps,
-                    stride,
-                    pad,
-                    activation,
-                } => {
-                    let geo = ConvGeometry::new(cur, *kh, *kw, *stride, *pad);
-                    let filters = init::conv_filters(rng, *out_maps, *kh, *kw, cur.c);
-                    Layer::Conv(Conv2d::new(
-                        geo,
-                        filters,
-                        init::biases(*out_maps),
-                        *activation,
-                    ))
-                }
-                LayerSpec::Pool {
-                    kh,
-                    kw,
-                    stride,
-                    kind,
-                } => {
-                    let geo = ConvGeometry::new(cur, *kh, *kw, *stride, 0);
-                    Layer::Pool(Pool2d::new(geo, *kind))
-                }
-                LayerSpec::Flatten => Layer::Flatten(Flatten::new(cur)),
-                LayerSpec::Linear {
-                    outputs,
-                    activation,
-                } => {
-                    let w = init::linear_weights(rng, cur.c, *outputs);
-                    Layer::Linear(Linear::new(w, init::biases(*outputs), *activation))
-                }
-                LayerSpec::LogSoftmax => Layer::LogSoftmax(LogSoftmax::new(cur.c)),
-                LayerSpec::ScaleShift => {
-                    let scale = (0..cur.c).map(|_| rng.gen_range(0.5f32..1.5)).collect();
-                    let shift = (0..cur.c).map(|_| rng.gen_range(-0.25f32..0.25)).collect();
-                    Layer::ScaleShift(ScaleShift::new(cur, scale, shift))
-                }
-            };
-            net.push(layer);
+            net.push(l.build_layer(shapes[i], rng));
         }
         net
     }
@@ -553,6 +574,281 @@ impl NetworkSpec {
     /// Number of classes produced by the final layer.
     pub fn classes(&self) -> usize {
         self.shapes().last().unwrap().c
+    }
+}
+
+/// How a reconvergent branch group merges back into one stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// Element-wise addition — all branches must produce identical shapes.
+    Add,
+    /// Feature-map concatenation — branches share the pixel grid, output
+    /// channel count is the sum of the branch channel counts.
+    Concat,
+}
+
+/// One node of a fork/join graph specification: either a plain layer or a
+/// branch group that forks the running stream, runs each branch's op list
+/// on its own copy, and joins the results. An **empty branch is the
+/// identity** (a plain skip connection), so a classic residual block is
+/// `Branch { branches: vec![transform, vec![]], join: JoinKind::Add }`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GraphOp {
+    /// A single chain layer.
+    Layer(LayerSpec),
+    /// A fork into `branches` parallel op lists, reconverging at `join`.
+    /// Groups with more than two branches fold pairwise in declaration
+    /// order when lowered to two-input join cores.
+    Branch {
+        /// Per-branch op lists (each may itself contain nested branches).
+        branches: Vec<Vec<GraphOp>>,
+        /// How the branch outputs merge.
+        join: JoinKind,
+    },
+}
+
+impl GraphOp {
+    fn output_shape(&self, cur: Shape3) -> Shape3 {
+        match self {
+            GraphOp::Layer(l) => l.output_shape(cur),
+            GraphOp::Branch { branches, join } => {
+                assert!(
+                    branches.len() >= 2,
+                    "a branch group needs at least two branches"
+                );
+                let ends: Vec<Shape3> = branches
+                    .iter()
+                    .map(|ops| ops.iter().fold(cur, |s, op| op.output_shape(s)))
+                    .collect();
+                let first = ends[0];
+                match join {
+                    JoinKind::Add => {
+                        for e in &ends {
+                            assert_eq!(
+                                *e, first,
+                                "add-join requires identical branch shapes, got {e} vs {first}"
+                            );
+                        }
+                        first
+                    }
+                    JoinKind::Concat => {
+                        let mut c = 0;
+                        for e in &ends {
+                            assert_eq!(
+                                (e.h, e.w),
+                                (first.h, first.w),
+                                "concat-join requires a shared pixel grid, got {e} vs {first}"
+                            );
+                            c += e.c;
+                        }
+                        Shape3::new(first.h, first.w, c)
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each_layer(&self, cur: Shape3, f: &mut impl FnMut(&LayerSpec, Shape3)) -> Shape3 {
+        match self {
+            GraphOp::Layer(l) => {
+                f(l, cur);
+                l.output_shape(cur)
+            }
+            GraphOp::Branch { branches, .. } => {
+                for ops in branches {
+                    let mut s = cur;
+                    for op in ops {
+                        s = op.for_each_layer(s, f);
+                    }
+                }
+                self.output_shape(cur)
+            }
+        }
+    }
+}
+
+/// A fork/join network specification: the graph-native sibling of
+/// [`NetworkSpec`]. Layers inside branch groups are visited **depth-first
+/// in declaration order**, which fixes the order of [`build_layers`]'s
+/// output and of the per-layer port entries the dataflow lowering consumes
+/// (`dfcnn_core::graph::build_graph_design`).
+///
+/// [`build_layers`]: GraphSpec::build_layers
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Human-readable name used in reports ("resnet8-cifar", …).
+    pub name: String,
+    /// Input volume shape.
+    pub input: Shape3,
+    /// Ordered graph ops (the top-level chain).
+    pub ops: Vec<GraphOp>,
+}
+
+impl GraphSpec {
+    /// A parametric ResNet-8-style residual stack: a 3×3 stem conv with
+    /// `widths[0]` maps, then three residual blocks with `widths[0..3]`
+    /// maps — the first an identity-skip block, the last two downsampling
+    /// by stride 2 with a 1×1 projection on the skip path — followed by a
+    /// global mean-pool and a linear classifier. Eight weighted layers
+    /// (stem + 6 block convs + FC; skip projections uncounted), the
+    /// standard CIFAR ResNet recipe of He et al. scaled down to one block
+    /// per width. `input.h` and `input.w` must be divisible by 4.
+    pub fn resnet8(input: Shape3, widths: [usize; 3], classes: usize) -> Self {
+        let conv3 = |out_maps: usize, stride: usize, activation: Activation| {
+            GraphOp::Layer(LayerSpec::Conv {
+                kh: 3,
+                kw: 3,
+                out_maps,
+                stride,
+                pad: 1,
+                activation,
+            })
+        };
+        let block = |in_maps: usize, out_maps: usize, stride: usize| {
+            let transform = vec![
+                conv3(out_maps, stride, Activation::Relu),
+                GraphOp::Layer(LayerSpec::ScaleShift),
+                conv3(out_maps, 1, Activation::Identity),
+                GraphOp::Layer(LayerSpec::ScaleShift),
+            ];
+            let skip = if stride == 1 && out_maps == in_maps {
+                vec![] // identity skip
+            } else {
+                // 1x1 projection matching the transform path's shape
+                vec![GraphOp::Layer(LayerSpec::Conv {
+                    kh: 1,
+                    kw: 1,
+                    out_maps,
+                    stride,
+                    pad: 0,
+                    activation: Activation::Identity,
+                })]
+            };
+            GraphOp::Branch {
+                branches: vec![transform, skip],
+                join: JoinKind::Add,
+            }
+        };
+        assert!(
+            input.h.is_multiple_of(4) && input.w.is_multiple_of(4),
+            "resnet8 downsamples twice; input {input} must be divisible by 4"
+        );
+        let (fh, fw) = (input.h / 4, input.w / 4);
+        GraphSpec {
+            name: format!("resnet8-{}x{}x{}", input.h, input.w, input.c),
+            input,
+            ops: vec![
+                conv3(widths[0], 1, Activation::Relu),
+                block(widths[0], widths[0], 1),
+                block(widths[0], widths[1], 2),
+                block(widths[1], widths[2], 2),
+                GraphOp::Layer(LayerSpec::Pool {
+                    kh: fh,
+                    kw: fw,
+                    stride: fh.max(fw),
+                    kind: PoolKind::Mean,
+                }),
+                GraphOp::Layer(LayerSpec::Flatten),
+                GraphOp::Layer(LayerSpec::Linear {
+                    outputs: classes,
+                    activation: Activation::Identity,
+                }),
+            ],
+        }
+    }
+
+    /// The CIFAR-10-scale ResNet-8 preset: 32×32×3 input, widths 8/16/32,
+    /// ten classes.
+    pub fn resnet8_cifar() -> Self {
+        let mut spec = Self::resnet8(Shape3::new(32, 32, 3), [8, 16, 32], 10);
+        spec.name = "resnet8-cifar".to_string();
+        spec
+    }
+
+    /// An Inception-style cell (GoogLeNet lineage): a 3×3 stem conv, then
+    /// four parallel branches — 1×1, 3×3 and 5×5 convs plus an identity
+    /// pass-through — concatenated along the feature-map axis, followed by
+    /// a max-pool and a linear classifier.
+    pub fn inception_cell() -> Self {
+        let conv = |kh: usize, out_maps: usize| {
+            GraphOp::Layer(LayerSpec::Conv {
+                kh,
+                kw: kh,
+                out_maps,
+                stride: 1,
+                pad: kh / 2,
+                activation: Activation::Relu,
+            })
+        };
+        GraphSpec {
+            name: "inception-cell".to_string(),
+            input: Shape3::new(8, 8, 3),
+            ops: vec![
+                conv(3, 4),
+                GraphOp::Branch {
+                    branches: vec![vec![conv(1, 4)], vec![conv(3, 4)], vec![conv(5, 4)], vec![]],
+                    join: JoinKind::Concat,
+                },
+                GraphOp::Layer(LayerSpec::Pool {
+                    kh: 2,
+                    kw: 2,
+                    stride: 2,
+                    kind: PoolKind::Max,
+                }),
+                GraphOp::Layer(LayerSpec::Flatten),
+                GraphOp::Layer(LayerSpec::Linear {
+                    outputs: 10,
+                    activation: Activation::Identity,
+                }),
+            ],
+        }
+    }
+
+    /// The output shape of the whole graph.
+    ///
+    /// # Panics
+    /// If branch shapes are inconsistent at a join or a layer does not fit
+    /// its running shape.
+    pub fn output_shape(&self) -> Shape3 {
+        self.ops.iter().fold(self.input, |s, op| op.output_shape(s))
+    }
+
+    /// Number of classes produced by the final layer.
+    pub fn classes(&self) -> usize {
+        self.output_shape().c
+    }
+
+    /// The paper's layer count (conv/pool/linear/scale-shift) across the
+    /// whole graph in traversal order — the number of per-layer port
+    /// entries a lowering consumes.
+    pub fn paper_depth(&self) -> usize {
+        let mut n = 0;
+        self.visit_layers(|l, _| {
+            if l.counts_as_paper_layer() {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Visit every layer spec depth-first in declaration order, with the
+    /// shape of its input — the canonical traversal shared with the
+    /// dataflow lowering and the graph-aware DSE.
+    pub fn visit_layers(&self, mut f: impl FnMut(&LayerSpec, Shape3)) {
+        let mut cur = self.input;
+        for op in &self.ops {
+            cur = op.for_each_layer(cur, &mut f);
+        }
+    }
+
+    /// Materialise every layer in traversal order with Xavier-initialised
+    /// parameters. The result feeds `dfcnn_core::graph::build_graph_design`
+    /// (which re-walks the same traversal), and lets a design-space sweep
+    /// draw weights once and reuse them across thousands of candidates.
+    pub fn build_layers(&self, rng: &mut impl Rng) -> Vec<Layer> {
+        let mut layers = Vec::new();
+        self.visit_layers(|l, cur| layers.push(l.build_layer(cur, rng)));
+        layers
     }
 }
 
@@ -711,6 +1007,108 @@ mod tests {
         let s = NetworkSpec::test_case_1();
         let json = serde_json::to_string(&s).unwrap();
         let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn resnet8_cifar_shapes_and_depth() {
+        let s = GraphSpec::resnet8_cifar();
+        assert_eq!(s.output_shape(), Shape3::new(1, 1, 10));
+        assert_eq!(s.classes(), 10);
+        // stem + 3 blocks x (2 conv + 2 scale-shift) + 2 skip projections
+        // + pool + fc = 1 + 12 + 2 + 2 = 17 port-bearing layers
+        assert_eq!(s.paper_depth(), 17);
+        // exactly 8 weighted layers in the ResNet-counting convention
+        // (convs on the transform path + the classifier; projections and
+        // scale-shifts uncounted)
+        let mut weighted = 0;
+        s.visit_layers(|l, _| match l {
+            LayerSpec::Conv { kh, .. } if *kh == 3 => weighted += 1,
+            LayerSpec::Linear { .. } => weighted += 1,
+            _ => {}
+        });
+        assert_eq!(weighted, 8);
+    }
+
+    #[test]
+    fn resnet8_is_parametric() {
+        let s = GraphSpec::resnet8(Shape3::new(8, 8, 3), [2, 4, 4], 4);
+        assert_eq!(s.output_shape(), Shape3::new(1, 1, 4));
+        assert_eq!(s.paper_depth(), 17);
+        // downsampling stops at 2x2 before the global pool
+        let mut pool_in = None;
+        s.visit_layers(|l, cur| {
+            if matches!(l, LayerSpec::Pool { .. }) {
+                pool_in = Some(cur);
+            }
+        });
+        assert_eq!(pool_in, Some(Shape3::new(2, 2, 4)));
+    }
+
+    #[test]
+    fn inception_cell_concat_widens() {
+        let s = GraphSpec::inception_cell();
+        // stem 8x8x4, concat of 4+4+4+4 maps, pooled to 4x4
+        let mut linear_in = None;
+        s.visit_layers(|l, cur| {
+            if matches!(l, LayerSpec::Linear { .. }) {
+                linear_in = Some(cur);
+            }
+        });
+        assert_eq!(linear_in, Some(Shape3::new(1, 1, 4 * 4 * 16)));
+        assert_eq!(s.output_shape(), Shape3::new(1, 1, 10));
+        assert_eq!(s.classes(), 10);
+    }
+
+    #[test]
+    fn graph_build_layers_matches_traversal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = GraphSpec::inception_cell();
+        let layers = s.build_layers(&mut rng);
+        let mut specs = Vec::new();
+        s.visit_layers(|l, _| specs.push(l.clone()));
+        assert_eq!(layers.len(), specs.len());
+        for (layer, spec) in layers.iter().zip(&specs) {
+            let same_kind = matches!(
+                (layer, spec),
+                (Layer::Conv(_), LayerSpec::Conv { .. })
+                    | (Layer::Pool(_), LayerSpec::Pool { .. })
+                    | (Layer::Flatten(_), LayerSpec::Flatten)
+                    | (Layer::Linear(_), LayerSpec::Linear { .. })
+            );
+            assert!(same_kind, "{layer:?} vs {spec:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "add-join requires identical branch shapes")]
+    fn mismatched_add_join_rejected() {
+        let bad = GraphSpec {
+            name: "bad".into(),
+            input: Shape3::new(8, 8, 2),
+            ops: vec![GraphOp::Branch {
+                branches: vec![
+                    vec![GraphOp::Layer(LayerSpec::Conv {
+                        kh: 3,
+                        kw: 3,
+                        out_maps: 5,
+                        stride: 1,
+                        pad: 1,
+                        activation: Activation::Relu,
+                    })],
+                    vec![],
+                ],
+                join: JoinKind::Add,
+            }],
+        };
+        bad.output_shape();
+    }
+
+    #[test]
+    fn graph_spec_roundtrips_through_serde() {
+        let s = GraphSpec::resnet8_cifar();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GraphSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 }

@@ -6,7 +6,8 @@
 #   2. per-kind lint  — the CoreModel contract: layer kinds are defined in
 #                       exactly one place. Outside the model registry
 #                       (crates/core/src/model/ — including the fork tee,
-#                       eltwise-add and scale-shift modules) and the
+#                       eltwise-add, concat-join and scale-shift modules)
+#                       and the
 #                       resource cost model (crates/fpga/src/resources.rs),
 #                       no consumer may match on CoreKind or on Layer
 #                       variants — adding a layer kind must never require

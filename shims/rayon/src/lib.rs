@@ -1,0 +1,128 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The real rayon runs iterator pipelines on a work-stealing thread pool.
+//! This build environment has no registry access, so this shim keeps the
+//! API surface the workspace needs — `vec.into_par_iter().map(f).collect()`
+//! — but implements it with `std::thread::scope`: the input vector is
+//! split into one contiguous chunk per available core, each chunk is
+//! mapped on its own OS thread, and the chunk results are reassembled in
+//! input order. That loses work stealing (a skewed chunk can straggle)
+//! but preserves the two properties callers rely on: genuine multi-core
+//! execution and deterministic, order-preserving results, so code written
+//! against this shim compiles and behaves identically under real rayon.
+
+/// Everything a `use rayon::prelude::*;` caller expects to find.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, Map, ParIter};
+}
+
+/// Conversion into a parallel iterator (the entry point of the shim).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over an owned vector of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item, in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The adapter produced by [`ParIter::map`]; terminal `collect` runs it.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> Map<T, F> {
+    /// Run the map across the available cores and collect the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map(self.items, &self.f))
+    }
+}
+
+fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shim rayon worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let none: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(none.is_empty());
+        let one: Vec<u32> = vec![41].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn borrows_captured_state() {
+        let table: Vec<u64> = (0..10).map(|i| i * i).collect();
+        let out: Vec<u64> = (0u64..10)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| table[i as usize])
+            .collect();
+        assert_eq!(out, table);
+    }
+}

@@ -115,9 +115,12 @@ pub fn residual_design(config: DesignConfig) -> NetworkDesign {
 /// A random fork/join DAG: a trunk conv followed by a random sequence of
 /// residual blocks — possibly nested (a fork inside a branch) and with
 /// random ScaleShift / conv ops on either path — closed by flatten +
-/// linear. Every op is shape-preserving (3×3 pad-1 convs), so forks and
-/// joins always agree on geometry; the builder auto-sizes every skip
-/// FIFO, so the result must be checker-clean and deadlock-free.
+/// linear. Each block reconverges through either an eltwise-add or a
+/// concat join (the concat doubles the FM count, and a 1×1 reducing conv
+/// restores it). Every other op is shape-preserving (3×3 pad-1 convs),
+/// so forks and joins always agree on geometry; the builder auto-sizes
+/// every skip FIFO, so the result must be checker-clean and
+/// deadlock-free.
 pub fn random_dag_design(seed: u64, config: DesignConfig) -> NetworkDesign {
     use dfcnn::core::graph::{GraphBuilder, Tap};
     use dfcnn::nn::layer::{Flatten, Layer};
@@ -155,6 +158,24 @@ pub fn random_dag_design(seed: u64, config: DesignConfig) -> NetworkDesign {
         Layer::ScaleShift(dfcnn::nn::ScaleShift::new(shape, scale, shift))
     }
 
+    /// A 1×1 conv halving the FM count (used after a concat join widens
+    /// the stream to `2·c`, restoring the DAG's shape invariant).
+    fn rand_reduce_conv(rng: &mut ChaCha8Rng, shape: Shape3) -> Layer {
+        use rand::Rng;
+        let out_c = shape.c / 2;
+        let geo = ConvGeometry::new(shape, 1, 1, 1, 0);
+        let (a, b) = (rng.gen_range(1usize..5), rng.gen_range(2usize..7));
+        let f = Tensor4::from_fn(out_c, 1, 1, shape.c, move |k, _, _, ch| {
+            ((a * k + ch) % b) as f32 * 0.09 - 0.1
+        });
+        Layer::Conv(dfcnn::nn::Conv2d::new(
+            geo,
+            f,
+            Tensor1::zeros(out_c),
+            Activation::Identity,
+        ))
+    }
+
     /// One block: either a plain op, or fork → branch ops (recursing for
     /// nesting) + optional skip-path op → add.
     fn block(
@@ -190,7 +211,16 @@ pub fn random_dag_design(seed: u64, config: DesignConfig) -> NetworkDesign {
                 .unwrap(),
             _ => skip,
         };
-        g.add(a, skip).unwrap()
+        if rng.gen_bool(0.33) {
+            // concat join: the stream widens to 2c, and a 1×1 reducing
+            // conv restores the block's shape invariant
+            let wide = g.concat(a, skip).unwrap();
+            let wide_shape = Shape3::new(shape.h, shape.w, 2 * shape.c);
+            g.layer(wide, rand_reduce_conv(rng, wide_shape), LayerPorts::SINGLE)
+                .unwrap()
+        } else {
+            g.add(a, skip).unwrap()
+        }
     }
 
     let (mut g, mut tap) = GraphBuilder::new(input, config);

@@ -346,6 +346,49 @@ fn residual_block_verifies_against_reference() {
     assert!(report.passes(1e-3), "report: {report:?}");
 }
 
+/// Build a named graph preset with seeded weights, all single-port.
+fn preset_design(spec: &dfcnn::nn::topology::GraphSpec, seed: u64) -> NetworkDesign {
+    use dfcnn::core::graph::build_graph_design;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let layers = spec.build_layers(&mut rng);
+    let ports = PortConfig::single_port(spec.paper_depth());
+    build_graph_design(spec, &layers, &ports, DesignConfig::default()).unwrap()
+}
+
+fn preset_images(spec: &dfcnn::nn::topology::GraphSpec, n: usize, seed: u64) -> Vec<Tensor3<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0))
+        .collect()
+}
+
+/// The ResNet-8/CIFAR preset — three residual blocks with downsampling
+/// projections — lowered through `build_graph_design` with zero
+/// hand-written wiring, checker-clean and bit-identical across all three
+/// engines.
+#[test]
+fn resnet8_cifar_preset_engines_conform() {
+    use dfcnn::nn::topology::GraphSpec;
+    let spec = GraphSpec::resnet8_cifar();
+    let design = preset_design(&spec, 801);
+    let report = check_design(&design);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_conformance(&design, &preset_images(&spec, 2, 802));
+}
+
+/// The Inception-cell preset: a four-way branch group reconverging
+/// through pairwise concat joins — the concat interleave (operand A's FMs
+/// then operand B's, per pixel) must survive all three engines bit-exact.
+#[test]
+fn inception_cell_preset_engines_conform() {
+    use dfcnn::nn::topology::GraphSpec;
+    let spec = GraphSpec::inception_cell();
+    let design = preset_design(&spec, 803);
+    let report = check_design(&design);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_conformance(&design, &preset_images(&spec, 3, 804));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(50))]
 

@@ -29,6 +29,11 @@ const RESIDUAL_GOLDEN_PATH: &str = concat!(
     "/tests/golden/residual_trace.csv"
 );
 
+const RESNET8_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/resnet8_trace.csv"
+);
+
 /// The fixed fixture: a minimal conv → flatten → linear network, one
 /// deterministic image, single-port everywhere.
 fn fixture() -> (NetworkDesign, Vec<Tensor3<f32>>) {
@@ -166,6 +171,106 @@ fn residual_chrome_export_names_fork_and_join_actors() {
     }
 }
 
+/// The graph-native ResNet-8 fixture: the parametric preset at miniature
+/// scale (8×8×3 input, widths 2/4/4, four classes) so the golden CSV
+/// stays reviewable, one deterministic image — pins the trace format
+/// through a *spec-lowered* fork/join pipeline (three forks, three adds,
+/// two 1×1 skip projections).
+fn resnet8_fixture() -> (NetworkDesign, Vec<Tensor3<f32>>) {
+    use dfcnn::core::graph::build_graph_design;
+    use dfcnn::nn::topology::GraphSpec;
+    let spec = GraphSpec::resnet8(Shape3::new(8, 8, 3), [2, 4, 4], 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(79);
+    let layers = spec.build_layers(&mut rng);
+    let ports = PortConfig::single_port(spec.paper_depth());
+    let design = build_graph_design(&spec, &layers, &ports, DesignConfig::default()).unwrap();
+    let image = dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0);
+    (design, vec![image])
+}
+
+fn resnet8_rendered_csv() -> String {
+    let (design, images) = resnet8_fixture();
+    let (_, trace) = design.instantiate(&images).with_trace().run();
+    trace.to_csv()
+}
+
+#[test]
+fn resnet8_trace_csv_matches_golden_file() {
+    let csv = resnet8_rendered_csv();
+    let golden = std::fs::read_to_string(RESNET8_GOLDEN_PATH)
+        .expect("golden file missing — run the ignored bless_golden_trace test");
+    assert!(
+        csv == golden,
+        "resnet8 trace CSV diverged from {RESNET8_GOLDEN_PATH}\n\
+         first differing line: {:?}\n\
+         re-bless only if the format change is intentional",
+        csv.lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: got {a:?}, want {b:?}", i + 1))
+            .unwrap_or_else(|| "line count differs".into())
+    );
+}
+
+/// The ResNet-8 Perfetto/Chrome export names every join actor: all three
+/// residual adds and the forks feeding them are inspectable tracks.
+#[test]
+fn resnet8_chrome_export_names_join_actors() {
+    let (design, images) = resnet8_fixture();
+    let (_, trace) = design.instantiate(&images).with_trace().run();
+    let json = trace.to_chrome_json(design.config().clock_hz);
+    let forks = design
+        .cores()
+        .iter()
+        .filter(|c| c.name.starts_with("fork"))
+        .count();
+    let adds = design
+        .cores()
+        .iter()
+        .filter(|c| c.name.starts_with("add"))
+        .count();
+    assert_eq!((forks, adds), (3, 3));
+    for core in design.cores() {
+        if core.name.starts_with("fork") || core.name.starts_with("add") {
+            assert!(
+                json.contains(&format!("\"{}\"", core.name)),
+                "chrome export must name actor {}",
+                core.name
+            );
+        }
+    }
+}
+
+/// The Inception-cell Perfetto/Chrome export names the concat actors: the
+/// pairwise-folded concat joins appear as tracks next to the branch convs.
+#[test]
+fn inception_chrome_export_names_concat_actors() {
+    use dfcnn::core::graph::build_graph_design;
+    use dfcnn::nn::topology::GraphSpec;
+    let spec = GraphSpec::inception_cell();
+    let mut rng = ChaCha8Rng::seed_from_u64(80);
+    let layers = spec.build_layers(&mut rng);
+    let ports = PortConfig::single_port(spec.paper_depth());
+    let design = build_graph_design(&spec, &layers, &ports, DesignConfig::default()).unwrap();
+    let image = dfcnn::tensor::init::random_volume(&mut rng, spec.input, 0.0, 1.0);
+    let (_, trace) = design.instantiate(&[image]).with_trace().run();
+    let json = trace.to_chrome_json(design.config().clock_hz);
+    let concats: Vec<&str> = design
+        .cores()
+        .iter()
+        .filter(|c| c.name.starts_with("concat"))
+        .map(|c| c.name.as_str())
+        .collect();
+    assert_eq!(concats.len(), 3, "pairwise fold of the 4-way concat");
+    for name in concats {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "chrome export must name actor {name}"
+        );
+    }
+}
+
 /// Regenerate the golden files (ignored; run explicitly after intentional
 /// trace-format changes).
 #[test]
@@ -174,4 +279,5 @@ fn bless_golden_trace() {
     std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
     std::fs::write(GOLDEN_PATH, rendered_csv()).unwrap();
     std::fs::write(RESIDUAL_GOLDEN_PATH, residual_rendered_csv()).unwrap();
+    std::fs::write(RESNET8_GOLDEN_PATH, resnet8_rendered_csv()).unwrap();
 }
