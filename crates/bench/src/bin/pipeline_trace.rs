@@ -11,19 +11,24 @@
 //! [`RunReport`] (written to `results/run_report.json`) and the
 //! [`DriftReport`] checking measured behaviour against the Eq. 4 model —
 //! both asserted, so CI catches a simulator that drifts from the paper's
-//! analysis. With `--chrome-trace [path]` the stall tracks are also
-//! exported as Perfetto/Chrome-trace JSON
-//! (default `results/pipeline_trace.chrome.json`; load at
-//! `ui.perfetto.dev`).
+//! analysis. The run is sampled live (`observe::live`), producing the
+//! streaming artifacts `results/pipeline_trace.metrics.jsonl` and
+//! `results/pipeline_trace.prometheus.txt`. With `--chrome-trace [path]`
+//! the stall tracks plus live counter tracks are also exported as
+//! Perfetto/Chrome-trace JSON (default
+//! `results/pipeline_trace.chrome.json`; load at `ui.perfetto.dev`).
 //!
 //! ```text
 //! cargo run -p dfcnn-bench --release --bin pipeline_trace -- --chrome-trace
 //! ```
 
 use dfcnn_bench::{quick_test_case_1, write_json};
+use dfcnn_core::observe::live::{snapshots_to_jsonl, Sampler};
 use dfcnn_core::observe::{DriftReport, RunReport};
 use dfcnn_core::trace::EventKind;
 use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 #[derive(Serialize)]
 struct StageUtil {
@@ -46,7 +51,14 @@ fn main() {
         batch.len()
     );
     let sim = tc.design.instantiate(&batch).with_trace();
+    let live = sim.live_metrics();
+    let sampler = Rc::new(RefCell::new(Sampler::new(live.clone())));
+    let sim = sim.with_sampler(sampler.clone(), 256);
     let (result, trace) = sim.run();
+    let snapshots = Rc::try_unwrap(sampler)
+        .unwrap()
+        .into_inner()
+        .into_snapshots();
     println!(
         "total: {} cycles for {} images\n",
         result.cycles,
@@ -156,6 +168,27 @@ fn main() {
     }
     println!("drift check: measured IIs and occupancy HWMs within model bounds");
 
+    // the live-telemetry artifacts alongside the post-hoc reports: the
+    // JSONL time-series a dashboard would tail, and the Prometheus text
+    // exposition a scraper would poll at run end
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("results dir");
+    std::fs::write(
+        dir.join("pipeline_trace.metrics.jsonl"),
+        snapshots_to_jsonl(&snapshots),
+    )
+    .expect("metrics jsonl write");
+    println!(
+        "[written results/pipeline_trace.metrics.jsonl — {} snapshots]",
+        snapshots.len()
+    );
+    std::fs::write(
+        dir.join("pipeline_trace.prometheus.txt"),
+        live.render_prometheus(),
+    )
+    .expect("prometheus write");
+    println!("[written results/pipeline_trace.prometheus.txt]");
+
     // optional Perfetto export of the stall tracks
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--chrome-trace") {
@@ -167,8 +200,8 @@ fn main() {
         if let Some(dir) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(dir).expect("chrome-trace dir");
         }
-        let json = trace.to_chrome_json(tc.design.config().clock_hz);
+        let json = trace.to_chrome_json_with_metrics(tc.design.config().clock_hz, &snapshots);
         std::fs::write(path, &json).expect("chrome-trace write");
-        println!("[written {path} — load at ui.perfetto.dev]");
+        println!("[written {path} — stall tracks + live counter tracks, load at ui.perfetto.dev]");
     }
 }

@@ -22,6 +22,7 @@
 //! | `calibration` | fitting the DMA-overhead knob to the paper's absolute numbers |
 //! | `host_pipeline` | §IV-C on the host — sequential vs pipelined vs replicated stages, per-stage profile |
 //! | `numeric_kernels` | numeric datapath — SIMD vs scalar dot kernels, fixed vs f32 forward, accuracy-vs-FRAC sweep |
+//! | `telemetry_bench` | live-telemetry overhead (≤ 5% release gate) + adaptive vs static replication |
 //!
 //! All binaries print human-readable tables and write JSON records under
 //! `results/`.

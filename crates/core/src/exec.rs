@@ -55,6 +55,7 @@
 
 use crate::graph::{NetworkDesign, StageInput};
 use crate::model::{self, HostStage, StageWorker};
+use crate::observe::live::{LiveMetrics, MetricCell, MetricUnit, Sampler};
 use crate::trace::IntervalStats;
 use dfcnn_tensor::Tensor3;
 use serde::{Deserialize, Serialize};
@@ -102,10 +103,20 @@ impl ReplicationPlan {
     /// stage with the largest *effective* interval (`mean / factor`),
     /// capping each stage at `max_factor`. Stops early when the global
     /// bottleneck can no longer be replicated (further workers would not
-    /// raise throughput).
-    pub fn balanced(mean_interval_ns: &[u64], extra_workers: usize, max_factor: usize) -> Self {
+    /// raise throughput). On a host with a single hardware thread
+    /// (`host_threads <= 1`) replication cannot overlap anything — the
+    /// documented lose-to-sequential case — so the plan stays uniform.
+    pub fn balanced(
+        mean_interval_ns: &[u64],
+        host_threads: usize,
+        extra_workers: usize,
+        max_factor: usize,
+    ) -> Self {
         assert!(max_factor >= 1);
         let n = mean_interval_ns.len();
+        if host_threads <= 1 {
+            return ReplicationPlan::uniform(n);
+        }
         let mut factors = vec![1usize; n];
         let eff = |i: usize, f: &[usize]| mean_interval_ns[i] / f[i] as u64;
         for _ in 0..extra_workers {
@@ -119,6 +130,24 @@ impl ReplicationPlan {
             }
         }
         ReplicationPlan { factors }
+    }
+
+    /// A measurement-driven plan: replication factors computed from
+    /// *measured* per-stage service times (live telemetry cells), not a
+    /// static cost model. Returns `None` when the host has no parallelism
+    /// to exploit (`host_threads <= 1`) — the caller must fall back to
+    /// sequential execution, never a thread-per-stage pipeline.
+    pub fn adaptive(measured_ns: &[u64], host_threads: usize, max_factor: usize) -> Option<Self> {
+        if host_threads <= 1 {
+            return None;
+        }
+        let extra = host_threads.saturating_sub(1).min(8);
+        Some(ReplicationPlan::balanced(
+            measured_ns,
+            host_threads,
+            extra,
+            max_factor,
+        ))
     }
 
     /// Total worker threads the plan spawns.
@@ -146,6 +175,14 @@ pub struct StageProfile {
     /// Mean time a worker spent blocked sending its output downstream,
     /// per image — the host analogue of fabric backpressure.
     pub mean_send_wait_ns: u64,
+    /// Exact total service time across workers in nanoseconds. The means
+    /// above are integer divisions; the totals are what reconcile exactly
+    /// with the live telemetry cells and [`crate::observe::RunReport`].
+    pub service_total_ns: u64,
+    /// Exact total input-wait time across workers in nanoseconds.
+    pub queue_wait_total_ns: u64,
+    /// Exact total send-wait time across workers in nanoseconds.
+    pub send_wait_total_ns: u64,
 }
 
 impl StageProfile {
@@ -295,6 +332,7 @@ fn boundary<'a>(pc: usize, cc: usize, depth: usize) -> (TxRows<'a>, RxCols<'a>) 
 /// order; image `j` arrives on the channel from producer `j mod r_prev`
 /// and leaves on the channel to consumer `j mod r_next`. That fixed
 /// dealing rule is what keeps outputs in input order with no tags.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     stage: &HostStage,
     plan: &StagePlan,
@@ -303,6 +341,7 @@ fn worker_loop(
     rx_col: Vec<Receiver<Msg<'_>>>,
     tx_row: Vec<SyncSender<Msg<'_>>>,
     channel_depth: usize,
+    cell: Option<&MetricCell>,
 ) -> WorkerStats {
     let mut worker = stage.spec.make_worker();
     let (r_prev, r_next) = (rx_col.len(), tx_row.len());
@@ -320,7 +359,13 @@ fn worker_loop(
             Ok(m) => m,
             Err(_) => break, // upstream done
         };
-        wait.record(t0.elapsed().as_nanos() as u64);
+        // live cells receive the same measured u64s as the IntervalStats,
+        // so cumulative cell totals reconcile with the profile exactly
+        let dt_wait = t0.elapsed().as_nanos() as u64;
+        wait.record(dt_wait);
+        if let Some(c) = cell {
+            c.add_queue_wait(dt_wait);
+        }
         // reuse a recycled buffer — but only one of our own shape: a
         // bundle survivor recycles to its *last carrier*, which may not
         // be its creator, so foreign-shaped buffers are simply dropped
@@ -342,7 +387,13 @@ fn worker_loop(
                 worker.apply_multi(&refs, &mut out);
             }
         }
-        busy.record(t1.elapsed().as_nanos() as u64);
+        let dt_busy = t1.elapsed().as_nanos() as u64;
+        busy.record(dt_busy);
+        if let Some(c) = cell {
+            c.add_service(dt_busy);
+            c.add_items(1);
+            c.record_interval(dt_busy);
+        }
         // rebuild the bundle: survivors in plan order, own output last;
         // everything else goes back to the producer's pool (best effort:
         // a full or disconnected free-list just drops the buffer)
@@ -370,7 +421,11 @@ fn worker_loop(
         if sent.is_err() {
             break; // downstream done
         }
-        send.record(t2.elapsed().as_nanos() as u64);
+        let dt_send = t2.elapsed().as_nanos() as u64;
+        send.record(dt_send);
+        if let Some(c) = cell {
+            c.add_send_wait(dt_send);
+        }
         k += 1;
     }
     WorkerStats { busy, wait, send }
@@ -381,7 +436,14 @@ pub struct ThreadedEngine {
     stages: Vec<HostStage>,
     plans: Vec<StagePlan>,
     channel_depth: usize,
+    /// Live telemetry cells (one per stage) every run mirrors into.
+    live: Option<std::sync::Arc<LiveMetrics>>,
 }
+
+/// Images the adaptive runner executes sequentially before it reads the
+/// live cells and replans: enough to absorb cold caches without delaying
+/// the measurement-driven plan.
+const ADAPTIVE_WARMUP: usize = 2;
 
 impl ThreadedEngine {
     /// Build stages from a design via [`model::host_pipeline`] (one per
@@ -397,7 +459,31 @@ impl ThreadedEngine {
             stages,
             plans,
             channel_depth: 2,
+            live: None,
         }
+    }
+
+    /// A fresh live metrics plane matching this engine's stages (unit:
+    /// wall-clock nanoseconds), for [`ThreadedEngine::with_live`] or a
+    /// [`crate::observe::live::SpawnedSampler`].
+    pub fn live_metrics(&self) -> std::sync::Arc<LiveMetrics> {
+        LiveMetrics::new(
+            MetricUnit::Nanos,
+            self.stages.iter().map(|s| s.spec.name.clone()).collect(),
+        )
+    }
+
+    /// Mirror every worker's measured service/wait times, image counts
+    /// and per-image service histogram into `live` during runs. The cells
+    /// must have been built for this engine's stage list.
+    pub fn with_live(mut self, live: std::sync::Arc<LiveMetrics>) -> Self {
+        assert_eq!(
+            live.len(),
+            self.stages.len(),
+            "live metrics must have one cell per stage"
+        );
+        self.live = Some(live);
+        self
     }
 
     /// Number of pipeline stages (minimum threads spawned per run).
@@ -467,7 +553,7 @@ impl ThreadedEngine {
         let stats = self.profile_stages(warmup);
         let means: Vec<u64> = stats.iter().map(|s| s.mean_ns()).collect();
         let extra = threads.saturating_sub(1).min(8);
-        ReplicationPlan::balanced(&means, extra, 4)
+        ReplicationPlan::balanced(&means, threads, extra, 4)
     }
 
     /// Time each stage on a warmup sample (run sequentially, one
@@ -509,6 +595,15 @@ impl ThreadedEngine {
         images: &[Tensor3<f32>],
         plan: &ReplicationPlan,
     ) -> (ExecResult, PipelineProfile) {
+        self.run_with_plan_live(images, plan, self.live.as_deref())
+    }
+
+    fn run_with_plan_live(
+        &self,
+        images: &[Tensor3<f32>],
+        plan: &ReplicationPlan,
+        live: Option<&LiveMetrics>,
+    ) -> (ExecResult, PipelineProfile) {
         assert!(!images.is_empty(), "empty batch");
         assert!(!self.stages.is_empty(), "design has no pipeline stages");
         assert_eq!(
@@ -534,8 +629,11 @@ impl ThreadedEngine {
                     let plan = &self.plans[s];
                     let r_mine = r[s];
                     let stats_tx = stats_tx.clone();
+                    // replicated workers of one stage share its cell;
+                    // the counters are atomic, so concurrent adds merge
+                    let cell = live.map(|l| l.cell(s));
                     scope.spawn(move || {
-                        let ws = worker_loop(stage, plan, w, r_mine, rx_col, tx_row, depth);
+                        let ws = worker_loop(stage, plan, w, r_mine, rx_col, tx_row, depth, cell);
                         let _ = stats_tx.send((s, ws));
                     });
                 }
@@ -597,6 +695,9 @@ impl ThreadedEngine {
                     max_interval_ns: busy[s].max_ns,
                     mean_queue_wait_ns: wait[s].mean_ns(),
                     mean_send_wait_ns: send[s].mean_ns(),
+                    service_total_ns: busy[s].total_ns,
+                    queue_wait_total_ns: wait[s].total_ns,
+                    send_wait_total_ns: send[s].total_ns,
                 })
                 .collect(),
             batch: images.len(),
@@ -630,6 +731,14 @@ impl ThreadedEngine {
         &self,
         images: &[Tensor3<f32>],
     ) -> (ExecResult, PipelineProfile) {
+        self.run_sequential_live(images, self.live.as_deref())
+    }
+
+    fn run_sequential_live(
+        &self,
+        images: &[Tensor3<f32>],
+        live: Option<&LiveMetrics>,
+    ) -> (ExecResult, PipelineProfile) {
         assert!(!images.is_empty(), "empty batch");
         let start = Instant::now();
         let mut workers: Vec<Box<dyn StageWorker>> =
@@ -655,7 +764,13 @@ impl ThreadedEngine {
                     .collect();
                 let t = Instant::now();
                 worker.apply_multi(&refs, &mut rest[0]);
-                busy[s].record(t.elapsed().as_nanos() as u64);
+                let dt = t.elapsed().as_nanos() as u64;
+                busy[s].record(dt);
+                if let Some(cell) = live.map(|l| l.cell(s)) {
+                    cell.add_service(dt);
+                    cell.add_items(1);
+                    cell.record_interval(dt);
+                }
             }
             outputs.push(bufs.last().expect("at least one stage").clone());
             completion_times.push(start.elapsed());
@@ -674,6 +789,9 @@ impl ThreadedEngine {
                     max_interval_ns: busy[s].max_ns,
                     mean_queue_wait_ns: 0,
                     mean_send_wait_ns: 0,
+                    service_total_ns: busy[s].total_ns,
+                    queue_wait_total_ns: 0,
+                    send_wait_total_ns: 0,
                 })
                 .collect(),
             batch: images.len(),
@@ -687,6 +805,142 @@ impl ThreadedEngine {
             },
             profile,
         )
+    }
+
+    /// Measurement-driven pipelining: warm up sequentially, read the
+    /// measured per-stage service times from the live telemetry cells,
+    /// and run the rest of the batch under a [`ReplicationPlan::adaptive`]
+    /// replanned from those measurements (with one mid-batch replan on
+    /// long batches, so the plan tracks what the workers actually
+    /// measure). Falls back to plain sequential execution on a 1-thread
+    /// host. Outputs are in input order and bit-identical to
+    /// [`ThreadedEngine::run_sequential`].
+    pub fn run_adaptive(
+        &self,
+        images: &[Tensor3<f32>],
+    ) -> (ExecResult, PipelineProfile, ReplicationPlan) {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.run_adaptive_with_parallelism(images, threads)
+    }
+
+    /// [`ThreadedEngine::run_adaptive`] with the host parallelism passed
+    /// explicitly, so the sequential fallback is testable on any machine.
+    /// Returns the final plan alongside the stitched result and profile.
+    pub fn run_adaptive_with_parallelism(
+        &self,
+        images: &[Tensor3<f32>],
+        threads: usize,
+    ) -> (ExecResult, PipelineProfile, ReplicationPlan) {
+        assert!(!images.is_empty(), "empty batch");
+        let n = self.stages.len();
+        let live = match &self.live {
+            Some(l) => l.clone(),
+            None => self.live_metrics(),
+        };
+        // ReplicationPlan::adaptive returns None exactly when pipelining
+        // cannot pay off; tiny batches never outrun their warmup either
+        if !Self::should_pipeline(threads, n) || images.len() <= ADAPTIVE_WARMUP {
+            let (res, prof) = self.run_sequential_live(images, Some(&live));
+            return (res, prof, ReplicationPlan::uniform(n));
+        }
+        let mut sampler = Sampler::new(live.clone());
+        let start = Instant::now();
+        let (warm_res, warm_prof) =
+            self.run_sequential_live(&images[..ADAPTIVE_WARMUP], Some(&live));
+        let mut plan = Self::replan(&mut sampler, &start, threads);
+        let rest = &images[ADAPTIVE_WARMUP..];
+        // long batches get a second measurement point: the first pipelined
+        // chunk's deltas (true per-worker service under concurrency)
+        // refine the plan for the remainder
+        let split = if rest.len() >= 2 * n.max(4) {
+            rest.len() / 2
+        } else {
+            rest.len()
+        };
+        let mut parts = vec![warm_prof];
+        let mut outputs = warm_res.outputs;
+        let mut completion_times = warm_res.completion_times;
+        let mut chunk_at = ADAPTIVE_WARMUP;
+        for chunk in [&rest[..split], &rest[split..]] {
+            if chunk.is_empty() {
+                continue;
+            }
+            if chunk_at > ADAPTIVE_WARMUP {
+                plan = Self::replan(&mut sampler, &start, threads);
+            }
+            let offset = start.elapsed();
+            let (res, prof) = self.run_with_plan_live(chunk, &plan, Some(&live));
+            outputs.extend(res.outputs);
+            completion_times.extend(res.completion_times.into_iter().map(|t| offset + t));
+            parts.push(prof);
+            chunk_at += chunk.len();
+        }
+        let total = start.elapsed();
+        let profile = Self::merge_profiles(&parts, images.len(), total.as_nanos() as u64);
+        (
+            ExecResult {
+                outputs,
+                completion_times,
+                total,
+            },
+            profile,
+            plan,
+        )
+    }
+
+    /// Sample the live cells and derive a fresh adaptive plan from the
+    /// measured mean service time per stage since the last sample.
+    fn replan(sampler: &mut Sampler, start: &Instant, threads: usize) -> ReplicationPlan {
+        let snap = sampler.sample(start.elapsed().as_nanos() as u64);
+        let measured: Vec<u64> = snap
+            .stages
+            .iter()
+            .map(|d| d.service / d.items.max(1))
+            .collect();
+        ReplicationPlan::adaptive(&measured, threads, 4)
+            .expect("adaptive callers check threads > 1 first")
+    }
+
+    /// Fold per-chunk profiles into one batch profile: totals and image
+    /// counts add; means re-derive from the exact totals; replication
+    /// reports the widest factor any chunk used.
+    fn merge_profiles(parts: &[PipelineProfile], batch: usize, total_ns: u64) -> PipelineProfile {
+        let first = parts.first().expect("at least one chunk profile");
+        let stages = (0..first.stages.len())
+            .map(|s| {
+                let images: u64 = parts.iter().map(|p| p.stages[s].images).sum();
+                let service: u64 = parts.iter().map(|p| p.stages[s].service_total_ns).sum();
+                let queue: u64 = parts.iter().map(|p| p.stages[s].queue_wait_total_ns).sum();
+                let send: u64 = parts.iter().map(|p| p.stages[s].send_wait_total_ns).sum();
+                StageProfile {
+                    name: first.stages[s].name.clone(),
+                    replication: parts
+                        .iter()
+                        .map(|p| p.stages[s].replication)
+                        .max()
+                        .unwrap_or(1),
+                    images,
+                    mean_interval_ns: service / images.max(1),
+                    max_interval_ns: parts
+                        .iter()
+                        .map(|p| p.stages[s].max_interval_ns)
+                        .max()
+                        .unwrap_or(0),
+                    mean_queue_wait_ns: queue / images.max(1),
+                    mean_send_wait_ns: send / images.max(1),
+                    service_total_ns: service,
+                    queue_wait_total_ns: queue,
+                    send_wait_total_ns: send,
+                }
+            })
+            .collect();
+        PipelineProfile {
+            stages,
+            batch,
+            total_ns,
+        }
     }
 }
 
@@ -880,16 +1134,77 @@ mod tests {
     #[test]
     fn balanced_plan_targets_bottleneck() {
         // stage 1 is 4x slower: extra workers must go there first
-        let plan = ReplicationPlan::balanced(&[100, 400, 100], 3, 4);
+        let plan = ReplicationPlan::balanced(&[100, 400, 100], 4, 3, 4);
         assert_eq!(plan.factors, vec![1, 4, 1]);
         // cap respected even with surplus budget
-        let capped = ReplicationPlan::balanced(&[100, 400, 100], 8, 2);
+        let capped = ReplicationPlan::balanced(&[100, 400, 100], 4, 8, 2);
         assert_eq!(capped.factors[1], 2);
         // equal stages: workers spread rather than stack
-        let even = ReplicationPlan::balanced(&[100, 100], 2, 4);
+        let even = ReplicationPlan::balanced(&[100, 100], 4, 2, 4);
         assert_eq!(even.workers(), 4);
         // uniform is all ones
         assert_eq!(ReplicationPlan::uniform(3).factors, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn balanced_plan_refuses_replication_on_one_thread() {
+        // the documented lose-to-sequential case: a 1-thread host must
+        // never get a plan that spawns overlapping workers
+        let plan = ReplicationPlan::balanced(&[100, 400, 100], 1, 3, 4);
+        assert_eq!(plan.factors, vec![1, 1, 1]);
+        assert_eq!(ReplicationPlan::balanced(&[900], 0, 8, 4).factors, vec![1]);
+        // and the adaptive constructor refuses outright
+        assert!(ReplicationPlan::adaptive(&[100, 400, 100], 1, 4).is_none());
+        let adaptive = ReplicationPlan::adaptive(&[100, 400, 100], 4, 4).unwrap();
+        assert_eq!(adaptive.factors, vec![1, 4, 1]);
+    }
+
+    #[test]
+    fn adaptive_run_is_bit_identical_and_falls_back_on_one_thread() {
+        let design = tc1_design();
+        let imgs = batch(&design, 10, 41);
+        let engine = ThreadedEngine::new(&design);
+        let seq = engine.run_sequential(&imgs);
+        // 1-thread host: sequential fallback, uniform plan, bit-identical
+        let (res1, prof1, plan1) = engine.run_adaptive_with_parallelism(&imgs, 1);
+        assert_eq!(res1.outputs, seq.outputs);
+        assert_eq!(plan1, ReplicationPlan::uniform(engine.stage_count()));
+        assert!(prof1.stages.iter().all(|s| s.images == 10));
+        // multi-thread host: warmup + replanned pipelined chunks, still
+        // bit-identical and every image accounted for exactly once
+        let (res4, prof4, plan4) = engine.run_adaptive_with_parallelism(&imgs, 4);
+        assert_eq!(res4.outputs, seq.outputs);
+        assert!(plan4.factors.iter().all(|&f| (1..=4).contains(&f)));
+        assert!(prof4.stages.iter().all(|s| s.images == 10));
+        assert!(res4.completion_times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*res4.completion_times.last().unwrap() <= res4.total);
+        // a tiny batch never outruns its warmup: sequential fallback
+        let (res_tiny, _, plan_tiny) = engine.run_adaptive_with_parallelism(&imgs[..2], 4);
+        assert_eq!(res_tiny.outputs, seq.outputs[..2]);
+        assert_eq!(plan_tiny, ReplicationPlan::uniform(engine.stage_count()));
+    }
+
+    #[test]
+    fn engine_live_cells_reconcile_with_profile_totals() {
+        let design = tc1_design();
+        let imgs = batch(&design, 8, 42);
+        let engine = ThreadedEngine::new(&design);
+        let live = engine.live_metrics();
+        let engine = engine.with_live(live.clone());
+        let (_, profile) =
+            engine.run_with_plan(&imgs, &ReplicationPlan::uniform(engine.stage_count()));
+        for (s, sp) in profile.stages.iter().enumerate() {
+            let c = live.cell(s).counters();
+            assert_eq!(c.items, sp.images, "{}", sp.name);
+            assert_eq!(c.service, sp.service_total_ns, "{}", sp.name);
+            assert_eq!(c.queue_wait, sp.queue_wait_total_ns, "{}", sp.name);
+            assert_eq!(c.send_wait, sp.send_wait_total_ns, "{}", sp.name);
+            // the cell histogram carries the same measurements
+            let stats = live.cell(s).interval_stats();
+            assert_eq!(stats.count, sp.images);
+            assert_eq!(stats.total_ns, sp.service_total_ns);
+            assert_eq!(stats.max_ns, sp.max_interval_ns);
+        }
     }
 
     #[test]

@@ -72,5 +72,9 @@ pub use graph::{
     PortConfig, StageInput, StageNode, Tap,
 };
 pub use model::{host_pipeline, reference_forward, HostStage};
-pub use observe::{DriftReport, RunReport};
+pub use observe::live::{
+    CellCounters, LiveMetrics, MetricCell, MetricUnit, MetricsSnapshot, Sampler, SpawnedSampler,
+    StageDelta,
+};
+pub use observe::{DriftReport, RunReport, SCHEMA_VERSION};
 pub use sim::{DeadlockReport, SimError, SimResult, Simulator};

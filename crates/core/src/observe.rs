@@ -24,6 +24,10 @@ use crate::sim::SimResult;
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 
+pub mod live;
+
+pub use live::SCHEMA_VERSION;
+
 /// Minimum initiations for a steady-state interval estimate: the quartile
 /// span needs enough samples to exclude pipeline fill and drain.
 const MIN_INITIATIONS: usize = 8;
@@ -96,6 +100,8 @@ pub struct BufferDrift {
 /// Measured run behaviour compared against the analytical model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DriftReport {
+    /// Serialisation schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Predicted bottleneck stage name (Eq. 4 / DMA rate).
     pub bottleneck_name: String,
     /// Predicted steady-state pipeline interval in cycles per image.
@@ -199,6 +205,7 @@ impl DriftReport {
             .collect();
 
         DriftReport {
+            schema_version: SCHEMA_VERSION,
             bottleneck_name,
             predicted_pipeline_interval: predicted,
             bottleneck_fill,
@@ -305,6 +312,8 @@ pub struct StageReport {
 /// the simulator's and the threaded engine's reports are comparable.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
+    /// Serialisation schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Which engine produced the report (`cycle-sim` or `threaded-host`).
     pub engine: String,
     /// Batch size.
@@ -320,6 +329,7 @@ impl RunReport {
     pub fn from_sim(res: &SimResult, clock_hz: u64) -> Self {
         let ns_per_cycle = 1e9 / clock_hz as f64;
         RunReport {
+            schema_version: SCHEMA_VERSION,
             engine: "cycle-sim".to_string(),
             batch: res.completions.len(),
             total_ns: res.cycles as f64 * ns_per_cycle,
@@ -337,9 +347,13 @@ impl RunReport {
         }
     }
 
-    /// Build from a threaded-engine profile.
+    /// Build from a threaded-engine profile. Uses the profile's exact
+    /// per-stage totals (not mean × images, which loses the integer
+    /// division's remainder), so the report reconciles bit-exactly with
+    /// the live telemetry cells.
     pub fn from_profile(profile: &PipelineProfile) -> Self {
         RunReport {
+            schema_version: SCHEMA_VERSION,
             engine: "threaded-host".to_string(),
             batch: profile.batch,
             total_ns: profile.total_ns as f64,
@@ -348,9 +362,9 @@ impl RunReport {
                 .iter()
                 .map(|s| StageReport {
                     name: s.name.clone(),
-                    service_ns: (s.mean_interval_ns * s.images) as f64,
-                    starved_ns: (s.mean_queue_wait_ns * s.images) as f64,
-                    backpressured_ns: (s.mean_send_wait_ns * s.images) as f64,
+                    service_ns: s.service_total_ns as f64,
+                    starved_ns: s.queue_wait_total_ns as f64,
+                    backpressured_ns: s.send_wait_total_ns as f64,
                     idle_ns: 0.0,
                 })
                 .collect(),
@@ -404,7 +418,7 @@ mod tests {
     }
 
     #[test]
-    fn run_report_from_profile_scales_by_images() {
+    fn run_report_from_profile_uses_exact_totals() {
         let profile = PipelineProfile {
             stages: vec![StageProfile {
                 name: "conv1".into(),
@@ -414,6 +428,9 @@ mod tests {
                 max_interval_ns: 150,
                 mean_queue_wait_ns: 20,
                 mean_send_wait_ns: 5,
+                service_total_ns: 403,
+                queue_wait_total_ns: 81,
+                send_wait_total_ns: 22,
             }],
             batch: 4,
             total_ns: 1000,
@@ -421,12 +438,15 @@ mod tests {
         let report = RunReport::from_profile(&profile);
         assert_eq!(report.engine, "threaded-host");
         assert_eq!(report.stages.len(), 1);
-        assert_eq!(report.stages[0].service_ns, 400.0);
-        assert_eq!(report.stages[0].starved_ns, 80.0);
-        assert_eq!(report.stages[0].backpressured_ns, 20.0);
+        // exact totals, not mean × images (which would say 400/80/20)
+        assert_eq!(report.stages[0].service_ns, 403.0);
+        assert_eq!(report.stages[0].starved_ns, 81.0);
+        assert_eq!(report.stages[0].backpressured_ns, 22.0);
         let json = serde_json::to_string(&report).unwrap();
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.stages[0].name, "conv1");
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert!(json.contains("\"schema_version\""));
         assert!(report.render().contains("conv1"));
     }
 }

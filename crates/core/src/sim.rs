@@ -39,6 +39,7 @@
 //! Spurious wake-ups are always safe (the actor just no-ops), so actors
 //! only need their sleep conditions to be *sound*, not tight.
 
+use crate::observe::live::{LiveMetrics, MetricUnit, Sampler};
 use crate::stream::{ChannelId, ChannelSet, FifoStats};
 use crate::trace::{ActorStallStats, EventKind, Stall, StallRecorder, Trace};
 
@@ -213,6 +214,16 @@ impl SimResult {
     }
 }
 
+/// An inline sampling hook: the simulator is single-threaded, so the
+/// sampler is driven at cycle boundaries instead of from a thread.
+struct SamplerHook {
+    sampler: std::rc::Rc<std::cell::RefCell<Sampler>>,
+    /// Sampling period in cycles.
+    every: u64,
+    /// Next cycle boundary at (or past) which to sample.
+    next: u64,
+}
+
 /// The synchronous dataflow simulator.
 pub struct Simulator {
     actors: Vec<Box<dyn Actor>>,
@@ -223,6 +234,9 @@ pub struct Simulator {
     sink_state: std::rc::Rc<std::cell::RefCell<crate::endpoints::SinkState>>,
     trace: Trace,
     config: SimConfig,
+    /// Live telemetry cells mirrored during the run (one per actor).
+    live: Option<std::sync::Arc<LiveMetrics>>,
+    sampler: Option<SamplerHook>,
 }
 
 impl Simulator {
@@ -241,6 +255,8 @@ impl Simulator {
             sink_state,
             trace: Trace::disabled(),
             config: SimConfig::default(),
+            live: None,
+            sampler: None,
         }
     }
 
@@ -259,6 +275,51 @@ impl Simulator {
     /// Select the dense reference sweep (the conformance oracle).
     pub fn reference_mode(mut self) -> Self {
         self.config.reference_mode = true;
+        self
+    }
+
+    /// A fresh live metrics plane matching this simulator's actors (unit:
+    /// simulated cycles), for use with [`Simulator::with_live`] or a
+    /// [`Sampler`].
+    pub fn live_metrics(&self) -> std::sync::Arc<LiveMetrics> {
+        LiveMetrics::new(
+            MetricUnit::Cycles,
+            self.actors.iter().map(|a| a.name().to_string()).collect(),
+        )
+    }
+
+    /// Mirror the flight recorder's per-cycle classifications, initiation
+    /// counts and inter-initiation intervals into `live` while the run
+    /// executes. The cells must have been built for this simulator's
+    /// actor list (see [`Simulator::live_metrics`]). Works with tracing
+    /// on or off; the simulated behaviour is bit-identical either way.
+    pub fn with_live(mut self, live: std::sync::Arc<LiveMetrics>) -> Self {
+        assert_eq!(
+            live.len(),
+            self.actors.len(),
+            "live metrics must have one cell per actor"
+        );
+        self.live = Some(live);
+        self
+    }
+
+    /// Drive `sampler` inline every `every_cycles` cycles (plus one final
+    /// flush when the run ends or deadlocks), attaching its metrics plane
+    /// as with [`Simulator::with_live`]. Snapshots are timestamped in
+    /// simulated cycles.
+    pub fn with_sampler(
+        mut self,
+        sampler: std::rc::Rc<std::cell::RefCell<Sampler>>,
+        every_cycles: u64,
+    ) -> Self {
+        assert!(every_cycles > 0, "sampling period must be positive");
+        let live = sampler.borrow().live().clone();
+        self = self.with_live(live);
+        self.sampler = Some(SamplerHook {
+            sampler,
+            every: every_cycles,
+            next: every_cycles,
+        });
         self
     }
 
@@ -298,21 +359,51 @@ impl Simulator {
             .filter(|a| a.busy())
             .map(|a| a.name().to_string())
             .collect();
+        let stalls = recorder.map(|r| r.finish(cycle).0).unwrap_or_default();
+        Self::flush_sampler(&self.sampler, cycle);
         SimError::Deadlock(DeadlockReport {
             cycle,
             collected: self.sink_state.borrow().completions.len(),
             expected: self.expected_images,
             busy,
-            stalls: recorder.map(|r| r.finish(cycle).0).unwrap_or_default(),
+            stalls,
         })
     }
 
-    /// A stall recorder when tracing is on; `None` keeps the flight
-    /// recorder strictly zero-cost on untraced runs.
+    /// A stall recorder when tracing or live telemetry is on; `None`
+    /// keeps the flight recorder strictly zero-cost on unobserved runs.
+    /// Live runs attach their cells so every classification is mirrored
+    /// as it is recorded.
     fn make_recorder(&self) -> Option<StallRecorder> {
-        self.trace
-            .is_enabled()
-            .then(|| StallRecorder::new(self.actors.iter().map(|a| a.name().to_string()).collect()))
+        (self.trace.is_enabled() || self.live.is_some()).then(|| {
+            let mut rec =
+                StallRecorder::new(self.actors.iter().map(|a| a.name().to_string()).collect());
+            if let Some(live) = &self.live {
+                rec.attach_live(live.clone());
+            }
+            rec
+        })
+    }
+
+    /// Take the boundary sample when the run clock reaches the hook's
+    /// next tick. Called with the post-commit cycle from both schedulers;
+    /// the event engine's cycle-skip may land past several boundaries, in
+    /// which case one (delta-complete) sample covers them.
+    fn maybe_sample(sampler: &mut Option<SamplerHook>, cycle: u64) {
+        if let Some(hook) = sampler.as_mut() {
+            if cycle >= hook.next {
+                hook.sampler.borrow_mut().sample(cycle);
+                hook.next = (cycle / hook.every + 1) * hook.every;
+            }
+        }
+    }
+
+    /// Final sampler flush so the snapshot series sums to the run totals;
+    /// must run *after* the recorder finishes (trailing-sleep back-fill).
+    fn flush_sampler(sampler: &Option<SamplerHook>, cycle: u64) {
+        if let Some(hook) = sampler {
+            hook.sampler.borrow_mut().sample(cycle);
+        }
     }
 
     fn finish(mut self, cycles: u64, recorder: Option<StallRecorder>) -> (SimResult, Trace) {
@@ -329,6 +420,7 @@ impl Simulator {
             }
             None => (Vec::new(), Vec::new()),
         };
+        Self::flush_sampler(&self.sampler, cycles);
         let sink = self.sink_state.borrow();
         let result = SimResult {
             completions: sink.completions.clone(),
@@ -356,6 +448,7 @@ impl Simulator {
     /// The dense sweep: every actor, every cycle, in actor order.
     fn run_reference(mut self) -> Result<(SimResult, Trace), SimError> {
         let mut recorder = self.make_recorder();
+        let mut prev_init: Vec<Option<u64>> = vec![None; self.actors.len()];
         let mut cycle: u64 = 0;
         let mut last_activity_cycle: u64 = 0;
         let mut last_activity = 0u64;
@@ -373,12 +466,24 @@ impl Simulator {
                         a.stall(&self.channels)
                     };
                     rec.note(i, cycle, class);
+                    if let Some(live) = &self.live {
+                        let delta = a.initiations() - before_inits;
+                        if delta > 0 {
+                            let cell = live.cell(i);
+                            cell.add_items(delta);
+                            if let Some(p) = prev_init[i] {
+                                cell.record_interval(cycle - p);
+                            }
+                            prev_init[i] = Some(cycle);
+                        }
+                    }
                 } else {
                     a.tick(cycle, &mut self.channels, &mut self.trace);
                 }
             }
             self.channels.commit_all();
             cycle += 1;
+            Self::maybe_sample(&mut self.sampler, cycle);
 
             if self.done() {
                 break;
@@ -414,6 +519,7 @@ impl Simulator {
     /// `cycles × actors`) to stderr after the run.
     fn run_event(mut self) -> Result<(SimResult, Trace), SimError> {
         let mut recorder = self.make_recorder();
+        let mut prev_init: Vec<Option<u64>> = vec![None; self.actors.len()];
         let n = self.actors.len();
         for (i, a) in self.actors.iter().enumerate() {
             let w = a.wiring();
@@ -483,6 +589,17 @@ impl Simulator {
                             || self.actors[i].initiations() != before_inits;
                         rec.note(i, cycle, if worked { Stall::Computing } else { st });
                         rec.set_sleep(i, st);
+                        if let Some(live) = &self.live {
+                            let delta = self.actors[i].initiations() - before_inits;
+                            if delta > 0 {
+                                let cell = live.cell(i);
+                                cell.add_items(delta);
+                                if let Some(p) = prev_init[i] {
+                                    cell.record_interval(cycle - p);
+                                }
+                                prev_init[i] = Some(cycle);
+                            }
+                        }
                     } else {
                         self.actors[i].tick(cycle, &mut self.channels, &mut self.trace);
                     }
@@ -504,6 +621,7 @@ impl Simulator {
 
             self.channels.commit_dirty();
             let post = cycle + 1;
+            Self::maybe_sample(&mut self.sampler, post);
 
             if self.done() {
                 cycle = post;
@@ -798,6 +916,70 @@ mod tests {
         let (res, trace) = pipeline(8, 2, 1);
         assert!(res.stalls.is_empty());
         assert!(trace.stall_tracks().is_empty());
+    }
+
+    #[test]
+    fn live_cells_reconcile_with_recorder_in_both_schedulers() {
+        for reference in [false, true] {
+            let mut sim = build(12, 3, 9).with_trace();
+            if reference {
+                sim = sim.reference_mode();
+            }
+            let live = sim.live_metrics();
+            let (res, _) = sim.with_live(live.clone()).run();
+            assert_eq!(live.len(), res.stalls.len());
+            for (i, s) in res.stalls.iter().enumerate() {
+                let c = live.cell(i).counters();
+                assert_eq!(c.service, s.computing, "{}", s.name);
+                assert_eq!(c.queue_wait, s.starved_total(), "{}", s.name);
+                assert_eq!(c.send_wait, s.backpressured_total(), "{}", s.name);
+                assert_eq!(c.idle, s.idle, "{}", s.name);
+                assert_eq!(c.items, res.actor_stats[i].initiations, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn live_telemetry_does_not_change_the_simulation() {
+        let (plain, plain_trace) = build(12, 3, 9).with_trace().run();
+        let sim = build(12, 3, 9).with_trace();
+        let live = sim.live_metrics();
+        let (observed, observed_trace) = sim.with_live(live).run();
+        assert_eq!(plain, observed);
+        assert_eq!(plain_trace.events(), observed_trace.events());
+        assert_eq!(plain_trace.stall_tracks(), observed_trace.stall_tracks());
+    }
+
+    #[test]
+    fn sampler_deltas_sum_to_run_totals() {
+        use crate::observe::live::sum_deltas;
+        for reference in [false, true] {
+            let mut sim = build(20, 2, 3);
+            if reference {
+                sim = sim.reference_mode();
+            }
+            let live = sim.live_metrics();
+            let sampler = Rc::new(RefCell::new(Sampler::new(live.clone())));
+            let (res, _) = sim.with_sampler(sampler.clone(), 7).run();
+            let sampler = Rc::try_unwrap(sampler)
+                .expect("run dropped its handle")
+                .into_inner();
+            let snaps = sampler.into_snapshots();
+            assert!(snaps.len() >= 2, "mid-run ticks plus the final flush");
+            assert!(snaps.windows(2).all(|w| w[0].at <= w[1].at));
+            assert_eq!(snaps.last().unwrap().at, res.cycles);
+            let summed = sum_deltas(&snaps);
+            // live runs record the stall taxonomy even without a trace
+            assert_eq!(res.stalls.len(), summed.len());
+            for (i, (name, acc)) in summed.iter().enumerate() {
+                assert_eq!(name, &res.stalls[i].name);
+                assert_eq!(acc.service, res.stalls[i].computing);
+                assert_eq!(acc.queue_wait, res.stalls[i].starved_total());
+                assert_eq!(acc.send_wait, res.stalls[i].backpressured_total());
+                assert_eq!(acc.idle, res.stalls[i].idle);
+                assert_eq!(acc.items, res.actor_stats[i].initiations);
+            }
+        }
     }
 
     #[test]

@@ -158,6 +158,11 @@ pub(crate) struct StallRecorder {
     sleep_class: Vec<Stall>,
     stats: Vec<ActorStallStats>,
     tracks: Vec<Vec<StallSpan>>,
+    /// Live telemetry cells mirrored by every classification, so the
+    /// counters are observable *while the run executes* (see
+    /// [`crate::observe::live`]). `None` keeps the recorder free of
+    /// atomic traffic when nobody is watching.
+    live: Option<std::sync::Arc<crate::observe::live::LiveMetrics>>,
 }
 
 impl StallRecorder {
@@ -174,7 +179,19 @@ impl StallRecorder {
                 })
                 .collect(),
             tracks: vec![Vec::new(); n],
+            live: None,
         }
+    }
+
+    /// Mirror every classification into `live`'s per-actor cells. The
+    /// cell layout must match the recorder's actor order.
+    pub(crate) fn attach_live(&mut self, live: std::sync::Arc<crate::observe::live::LiveMetrics>) {
+        assert_eq!(
+            live.len(),
+            self.stats.len(),
+            "live metrics must have one cell per recorded actor"
+        );
+        self.live = Some(live);
     }
 
     /// Add `n` cycles of `class` for actor `i`, merging consecutive
@@ -186,6 +203,9 @@ impl StallRecorder {
             return;
         }
         self.stats[i].add(class, n);
+        if let Some(live) = &self.live {
+            live.cell(i).add_stall(class, n);
+        }
         let start = self.counted_to[i];
         let track = &mut self.tracks[i];
         match track.last_mut() {
@@ -355,6 +375,20 @@ impl Trace {
     /// the given fabric clock. Load the file at `ui.perfetto.dev` or
     /// `chrome://tracing` to read the run like a waveform.
     pub fn to_chrome_json(&self, clock_hz: u64) -> String {
+        self.to_chrome_json_with_metrics(clock_hz, &[])
+    }
+
+    /// [`Trace::to_chrome_json`] plus live-telemetry counter tracks: every
+    /// [`crate::observe::live::MetricsSnapshot`] contributes one `ph:"C"`
+    /// counter event per stage (name `telemetry:<stage>`) carrying the
+    /// *cumulative* item and stall counters at that sample point, so
+    /// Perfetto draws throughput/stall staircases alongside the stall-span
+    /// slices. An empty snapshot list renders the plain span export.
+    pub fn to_chrome_json_with_metrics(
+        &self,
+        clock_hz: u64,
+        snapshots: &[crate::observe::live::MetricsSnapshot],
+    ) -> String {
         let us_per_cycle = 1e6 / clock_hz as f64;
         let mut events = Vec::new();
         for (tid, (name, spans)) in self.tracks.iter().enumerate() {
@@ -407,6 +441,38 @@ impl Trace {
                 ]));
             }
         }
+        // counter tracks: cumulative items / stalled time per stage at
+        // every snapshot, one multi-series counter per stage
+        let mut cum: std::collections::HashMap<String, (u64, u64)> =
+            std::collections::HashMap::new();
+        for snap in snapshots {
+            let ts_us = match snap.unit {
+                crate::observe::live::MetricUnit::Cycles => snap.at as f64 * us_per_cycle,
+                crate::observe::live::MetricUnit::Nanos => snap.at as f64 / 1e3,
+            };
+            for d in &snap.stages {
+                let e = cum.entry(d.stage.clone()).or_insert((0, 0));
+                e.0 += d.items;
+                e.1 += d.queue_wait + d.send_wait;
+                events.push(serde::Value::Map(vec![
+                    (
+                        "name".to_string(),
+                        serde::Value::Str(format!("telemetry:{}", d.stage)),
+                    ),
+                    ("cat".to_string(), serde::Value::Str("telemetry".into())),
+                    ("ph".to_string(), serde::Value::Str("C".into())),
+                    ("pid".to_string(), serde::Value::U64(0)),
+                    ("ts".to_string(), serde::Value::F64(ts_us)),
+                    (
+                        "args".to_string(),
+                        serde::Value::Map(vec![
+                            ("items".to_string(), serde::Value::U64(e.0)),
+                            ("stalled".to_string(), serde::Value::U64(e.1)),
+                        ]),
+                    ),
+                ]));
+            }
+        }
         let root = serde::Value::Map(vec![
             ("traceEvents".to_string(), serde::Value::Seq(events)),
             (
@@ -453,8 +519,10 @@ impl Default for IntervalStats {
 }
 
 /// Histogram bucket holding `ns`: indexed by bit length, so bucket `b`
-/// spans `[2^(b-1), 2^b)` with upper bound `2^b - 1`.
-fn bucket_of(ns: u64) -> usize {
+/// spans `[2^(b-1), 2^b)` with upper bound `2^b - 1`. Shared with the
+/// live-telemetry cells ([`crate::observe::live::MetricCell`]), which use
+/// the same 64-bucket scheme so live and post-hoc quantiles agree.
+pub(crate) fn bucket_of(ns: u64) -> usize {
     (64 - ns.leading_zeros() as usize).min(63)
 }
 
@@ -462,6 +530,25 @@ impl IntervalStats {
     /// An empty series.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a series from raw counters — used by the live-telemetry
+    /// cells, which accumulate the same fields in atomics and fold them
+    /// back into an [`IntervalStats`] to reuse the quantile machinery.
+    pub(crate) fn from_raw(
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+        min_ns: u64,
+        buckets: [u64; 64],
+    ) -> Self {
+        IntervalStats {
+            count,
+            total_ns,
+            max_ns,
+            min_ns,
+            buckets,
+        }
     }
 
     /// Record one interval.
@@ -593,6 +680,48 @@ mod tests {
         // the extreme quantile reaches the outlier's bucket
         assert_eq!(s.quantile_ns(1.0), 1000);
         assert_eq!(IntervalStats::new().p99_ns(), 0);
+    }
+
+    #[test]
+    fn interval_stats_merge_of_disjoint_buckets_is_p99_monotone() {
+        // two populations in disjoint histogram buckets: a ∈ [16,31],
+        // b ∈ [4096,8191] — merging a strictly-larger population must
+        // never lower the p99, and the merged p99 stays bounded by the
+        // larger population's own p99
+        let mut a = IntervalStats::new();
+        for _ in 0..100 {
+            a.record(20);
+        }
+        let mut b = IntervalStats::new();
+        for _ in 0..100 {
+            b.record(5000);
+        }
+        let (pa, pb) = (a.p99_ns(), b.p99_ns());
+        assert!(pa < pb, "populations must be orderable: {pa} vs {pb}");
+        let mut m = a;
+        m.merge(&b);
+        assert!(m.p99_ns() >= pa, "merge lowered p99: {} < {pa}", m.p99_ns());
+        assert!(m.p99_ns() <= pb, "merged p99 above both: {}", m.p99_ns());
+        // with equal counts the p99 rank lands in the slow population
+        assert_eq!(m.p99_ns(), pb);
+    }
+
+    #[test]
+    fn interval_stats_merge_of_disjoint_buckets_keeps_min() {
+        let mut fast = IntervalStats::new();
+        fast.record(20);
+        fast.record(25);
+        let mut slow = IntervalStats::new();
+        slow.record(5000);
+        // min survives the merge in both directions
+        let mut m1 = fast;
+        m1.merge(&slow);
+        assert_eq!(m1.min_ns(), 20);
+        let mut m2 = slow;
+        m2.merge(&fast);
+        assert_eq!(m2.min_ns(), 20);
+        assert_eq!(m1.max_ns, 5000);
+        assert_eq!(m2.max_ns, 5000);
     }
 
     #[test]

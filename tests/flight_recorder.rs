@@ -19,11 +19,14 @@
 //!   actually loads in `ui.perfetto.dev`.
 
 use dfcnn::core::graph::{DesignConfig, NetworkDesign, PortConfig};
-use dfcnn::core::observe::{DriftReport, RunReport};
+use dfcnn::core::observe::live::Sampler;
+use dfcnn::core::observe::{DriftReport, RunReport, SCHEMA_VERSION};
 use dfcnn::core::trace::Stall;
 use dfcnn::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn tc1() -> (NetworkDesign, Vec<Tensor3<f32>>) {
     let mut rng = ChaCha8Rng::seed_from_u64(61);
@@ -193,4 +196,103 @@ fn test_case_1_perfetto_export_validates() {
         .map(|(_, spans)| spans.iter().filter(|s| s.class != Stall::Idle).count())
         .sum();
     assert_eq!(slices, expected);
+}
+
+/// Every serialised observability record carries the schema version, and
+/// it survives the round trip — the contract exporter consumers pin
+/// against before parsing anything else.
+#[test]
+fn reports_carry_the_schema_version() {
+    let (design, images) = tc1();
+    let (res, trace) = design.instantiate(&images).with_trace().run();
+
+    let report = RunReport::from_sim(&res, design.config().clock_hz);
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"schema_version\""));
+    let back: RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+
+    let drift = DriftReport::new(&design, &res, &trace);
+    assert_eq!(drift.schema_version, SCHEMA_VERSION);
+    let djson = serde_json::to_string(&drift).unwrap();
+    assert!(djson.contains("\"schema_version\""));
+    let dback: DriftReport = serde_json::from_str(&djson).unwrap();
+    assert_eq!(dback.schema_version, SCHEMA_VERSION);
+}
+
+/// The live counter tracks exported alongside the stall spans: one `C`
+/// (counter) event per stage per snapshot, named `telemetry:<stage>`,
+/// category `telemetry`, args carrying the *cumulative* `items` and
+/// `stalled` values so Perfetto renders monotone counter tracks. The
+/// span/metadata schema of the base export is unchanged.
+#[test]
+fn perfetto_counter_tracks_follow_the_schema() {
+    let (design, images) = tc1();
+    let sim = design.instantiate(&images).with_trace();
+    let live = sim.live_metrics();
+    let sampler = Rc::new(RefCell::new(Sampler::new(live.clone())));
+    let (res, trace) = sim.with_sampler(sampler.clone(), 256).run();
+    let snaps = Rc::try_unwrap(sampler)
+        .unwrap()
+        .into_inner()
+        .into_snapshots();
+    assert!(snaps.len() >= 2, "need mid-run snapshots plus the flush");
+
+    let json = trace.to_chrome_json_with_metrics(design.config().clock_hz, &snaps);
+    let root: serde::Value = serde_json::from_str(&json).unwrap();
+    let serde::Value::Seq(events) = root.field("traceEvents").unwrap() else {
+        panic!("traceEvents is not an array");
+    };
+
+    let mut counters = 0usize;
+    let mut last_items: std::collections::HashMap<String, u64> = Default::default();
+    let mut others = 0usize;
+    for ev in events {
+        let serde::Value::Str(ph) = ev.field("ph").unwrap() else {
+            panic!("ph is not a string");
+        };
+        if ph != "C" {
+            others += 1;
+            continue;
+        }
+        let serde::Value::Str(name) = ev.field("name").unwrap() else {
+            panic!("counter name is not a string");
+        };
+        let stage = name
+            .strip_prefix("telemetry:")
+            .unwrap_or_else(|| panic!("counter name {name:?} lacks the telemetry: prefix"));
+        assert!(
+            matches!(ev.field("cat").unwrap(), serde::Value::Str(c) if c == "telemetry"),
+            "counter category"
+        );
+        assert!(matches!(ev.field("ts").unwrap(), serde::Value::F64(_)));
+        let args = ev.field("args").unwrap();
+        let serde::Value::U64(items) = args.field("items").unwrap() else {
+            panic!("args.items is not a u64");
+        };
+        assert!(matches!(
+            args.field("stalled").unwrap(),
+            serde::Value::U64(_)
+        ));
+        // cumulative: per-stage counter values never decrease over time
+        let prev = last_items.insert(stage.to_string(), *items);
+        assert!(prev.unwrap_or(0) <= *items, "items regressed for {stage}");
+        counters += 1;
+    }
+    assert_eq!(
+        counters,
+        snaps.len() * res.actor_stats.len(),
+        "one counter event per stage per snapshot"
+    );
+    assert!(others > 0, "span/metadata events must still be exported");
+    // the final cumulative counter equals the run's initiation total
+    for (i, stats) in res.actor_stats.iter().enumerate() {
+        assert_eq!(
+            last_items.get(&stats.name).copied().unwrap_or(0),
+            stats.initiations,
+            "final counter for {} (cell {i})",
+            stats.name
+        );
+    }
 }

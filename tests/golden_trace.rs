@@ -94,6 +94,27 @@ fn trace_csv_matches_golden_file() {
     );
 }
 
+/// Attaching the live-telemetry plane (cells + a periodic sampler) must
+/// not perturb the recorded trace by a single byte: the golden CSV is the
+/// proof that observation is free at the event level.
+#[test]
+fn trace_csv_is_byte_stable_with_telemetry_attached() {
+    use dfcnn::core::observe::live::Sampler;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let (design, images) = fixture();
+    let sim = design.instantiate(&images).with_trace();
+    let live = sim.live_metrics();
+    let sampler = Rc::new(RefCell::new(Sampler::new(live.clone())));
+    let (_, trace) = sim.with_sampler(sampler, 32).run();
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the ignored bless_golden_trace test");
+    assert!(
+        trace.to_csv() == golden,
+        "telemetry-on trace CSV diverged from the golden file"
+    );
+}
+
 /// Both schedulers must render the same bytes (a corollary of engine
 /// conformance, pinned here at the CSV level where consumers sit).
 #[test]
