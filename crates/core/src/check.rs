@@ -105,6 +105,11 @@ pub enum RuleId {
     /// Reconvergent fork/join path pairs must buffer the sibling path's
     /// line-buffer holdback.
     ReconvergenceBuffering,
+    /// Statically proven value intervals must fit the fixed-point
+    /// container (error), with at least one bit of headroom (warning).
+    ValueRange,
+    /// The exact-sum i64 accumulator must provably never wrap.
+    AccumulatorWidth,
 }
 
 impl RuleId {
@@ -117,6 +122,8 @@ impl RuleId {
             RuleId::ReplicationSoundness => "replication-soundness",
             RuleId::PortLegality => "port-legality",
             RuleId::ReconvergenceBuffering => "reconvergence-buffering",
+            RuleId::ValueRange => "value-range",
+            RuleId::AccumulatorWidth => "accumulator-width",
         }
     }
 }
@@ -182,6 +189,18 @@ impl CheckReport {
         self.errors().is_empty()
     }
 
+    /// Whether the design is free of *structural* errors — rates,
+    /// buffers, IIs, ports, replication. Numeric-range findings
+    /// (`value-range`, `accumulator-width`) are excluded: they predict
+    /// accuracy loss under a too-narrow format, not deadlock or engine
+    /// disagreement — a saturating design still runs, clamping into its
+    /// container (the `range` module's soundness tests depend on that).
+    pub fn is_structurally_clean(&self) -> bool {
+        self.errors()
+            .iter()
+            .all(|d| matches!(d.rule, RuleId::ValueRange | RuleId::AccumulatorWidth))
+    }
+
     /// Whether some diagnostic fired with the given rule at the given
     /// severity (test helper and CLI filter).
     pub fn has(&self, severity: Severity, rule: RuleId) -> bool {
@@ -227,6 +246,7 @@ pub fn check_design(design: &NetworkDesign) -> CheckReport {
     buffer_sufficiency(design, &mut diagnostics);
     ii_consistency(design, &mut diagnostics);
     reconvergence_buffering(design, &mut diagnostics);
+    value_ranges(design, &mut diagnostics);
     CheckReport { diagnostics }
 }
 
@@ -483,6 +503,85 @@ fn reconvergence_buffering(design: &NetworkDesign, out: &mut Vec<DesignDiagnosti
             "deepen the skip-path FIFO to cover the sibling's line-buffer holdback \
              (clear skip_fifo_cap)",
         ));
+    }
+}
+
+/// Rules 7 & 8: the value-range analyzer's proofs
+/// ([`crate::range::analyze`]) must hold under the design's fixed-point
+/// format.
+///
+/// - `value-range` (error): a core's pre-saturation interval escapes the
+///   container, so the saturating narrow can clip real activations — the
+///   statically-predicted form of the q8f6 accuracy collapse measured in
+///   `BENCH_kernels.json`.
+/// - `value-range` (warning): the interval fits but with under one bit of
+///   headroom; a slightly different input scale would saturate.
+/// - `accumulator-width` (error): the worst-case exact-sum magnitude
+///   exceeds `i64`, so the accumulator itself could wrap (no saturation
+///   guards it — the whole point of the exact-sum contract is that it
+///   never needs them).
+///
+/// Float designs are skipped: they have no container and their
+/// accumulators cannot wrap.
+fn value_ranges(design: &NetworkDesign, out: &mut Vec<DesignDiagnostic>) {
+    let spec = design.config().numeric;
+    if !spec.is_fixed() {
+        return;
+    }
+    let report = crate::range::analyze(design);
+    let (clo, chi) = (report.container_lo, report.container_hi);
+    for c in &report.cores {
+        if c.saturation_possible {
+            let frac_hint = match crate::range::recommend_frac(design, spec.storage_bits()) {
+                Some(f) => format!("use frac={f} at this width"),
+                None => "widen the storage (16-bit) or rescale the weights".to_string(),
+            };
+            out.push(diag(
+                Severity::Error,
+                RuleId::ValueRange,
+                c.name.clone(),
+                format!(
+                    "pre-saturation values provably reach [{:.4}, {:.4}] but the {} \
+                     container only holds [{:.4}, {:.4}]: the saturating narrow \
+                     will clip real activations",
+                    c.pre_lo.unwrap_or(c.out_lo),
+                    c.pre_hi.unwrap_or(c.out_hi),
+                    report.numeric,
+                    clo.unwrap_or(f64::NEG_INFINITY),
+                    chi.unwrap_or(f64::INFINITY),
+                ),
+                frac_hint,
+            ));
+        } else if let Some(h) = c.headroom_bits {
+            if h < 1.0 {
+                out.push(diag(
+                    Severity::Warning,
+                    RuleId::ValueRange,
+                    c.name.clone(),
+                    format!(
+                        "only {h:.2} bits of headroom between the proven range \
+                         [{:.4}, {:.4}] and the {} container",
+                        c.pre_lo.unwrap_or(c.out_lo),
+                        c.pre_hi.unwrap_or(c.out_hi),
+                        report.numeric,
+                    ),
+                    "lower FRAC by one bit or rescale the preceding layer's weights",
+                ));
+            }
+        }
+        if !c.acc_safe {
+            out.push(diag(
+                Severity::Error,
+                RuleId::AccumulatorWidth,
+                c.name.clone(),
+                format!(
+                    "the exact-sum accumulator can reach 2^{:.1} at product scale, \
+                     beyond the i64 it runs in",
+                    c.acc_bits.unwrap_or(f64::NAN),
+                ),
+                "reduce FRAC (each bit halves the product scale) or split the layer",
+            ));
+        }
     }
 }
 

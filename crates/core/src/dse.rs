@@ -41,6 +41,7 @@ use dfcnn_fpga::resources::{CostModel, Resources};
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::topology::{GraphOp, GraphSpec};
 use dfcnn_nn::Network;
+use dfcnn_tensor::NumericSpec;
 use rayon::prelude::*;
 
 /// One explored design point.
@@ -48,6 +49,8 @@ use rayon::prelude::*;
 pub struct DesignPoint {
     /// The port configuration.
     pub ports: PortConfig,
+    /// The numeric format the point was evaluated under.
+    pub numeric: NumericSpec,
     /// Estimated resources.
     pub resources: Resources,
     /// Estimated bottleneck stage and its interval (cycles/image).
@@ -64,6 +67,10 @@ pub struct DseDiscards {
     pub build_failed: usize,
     /// The static verifier found rate/buffer/II errors.
     pub checker_rejected: usize,
+    /// The value-range analyzer proved the numeric format unsound for
+    /// this network (saturation or accumulator wrap) — the candidate
+    /// would build and stream fine but compute clipped values.
+    pub numeric_rejected: usize,
     /// Resources exceed the device; pruned before interval estimation
     /// (graph sweeps only — chain sweeps keep infeasible points in
     /// [`DseReport::points`] with `fits = false`).
@@ -73,7 +80,7 @@ pub struct DseDiscards {
 impl DseDiscards {
     /// Total discarded candidates.
     pub fn total(&self) -> usize {
-        self.build_failed + self.checker_rejected + self.over_budget
+        self.build_failed + self.checker_rejected + self.numeric_rejected + self.over_budget
     }
 }
 
@@ -108,13 +115,14 @@ impl DseReport {
         };
         format!(
             "{} points ({} feasible), {}; discarded {} (build-failed {}, \
-             checker-rejected {}, over-budget {})",
+             checker-rejected {}, numeric-rejected {}, over-budget {})",
             self.points.len(),
             self.feasible().count(),
             best,
             d.total(),
             d.build_failed,
             d.checker_rejected,
+            d.numeric_rejected,
             d.over_budget,
         )
     }
@@ -202,7 +210,26 @@ enum Eval {
     Point(DesignPoint),
     BuildFailed,
     CheckerRejected,
+    NumericRejected,
     OverBudget,
+}
+
+/// Classify a failing check report: a candidate whose *only* errors come
+/// from the value-range analyzer is numerically unsound (wrong format for
+/// this network's dynamics) rather than structurally broken, and the
+/// sweep tallies it separately.
+fn rejection(report: &crate::check::CheckReport) -> Eval {
+    let numeric_only = report.errors().iter().all(|d| {
+        matches!(
+            d.rule,
+            crate::check::RuleId::ValueRange | crate::check::RuleId::AccumulatorWidth
+        )
+    });
+    if numeric_only {
+        Eval::NumericRejected
+    } else {
+        Eval::CheckerRejected
+    }
 }
 
 /// Fold per-candidate outcomes (in enumeration order) into a report.
@@ -214,6 +241,7 @@ fn collect_report(evals: Vec<Eval>) -> DseReport {
             Eval::Point(p) => points.push(p),
             Eval::BuildFailed => discards.build_failed += 1,
             Eval::CheckerRejected => discards.checker_rejected += 1,
+            Eval::NumericRejected => discards.numeric_rejected += 1,
             Eval::OverBudget => discards.over_budget += 1,
         }
     }
@@ -232,9 +260,10 @@ fn collect_report(evals: Vec<Eval>) -> DseReport {
 
 /// Run `eval` over every candidate, in parallel or serially; both paths
 /// keep enumeration order, so the reports are identical.
-fn sweep<F>(configs: Vec<PortConfig>, parallel: bool, eval: F) -> DseReport
+fn sweep<T, F>(configs: Vec<T>, parallel: bool, eval: F) -> DseReport
 where
-    F: Fn(PortConfig) -> Eval + Sync,
+    T: Send,
+    F: Fn(T) -> Eval + Sync,
 {
     let evals = if parallel {
         configs.into_par_iter().map(eval).collect()
@@ -282,14 +311,16 @@ fn explore_impl(
             Ok(d) => d,
             Err(_) => return Eval::BuildFailed,
         };
-        if !crate::check::check_design(&design).is_clean() {
-            return Eval::CheckerRejected; // statically broken: would deadlock or mis-rate
+        let report = crate::check::check_design(&design);
+        if !report.is_clean() {
+            return rejection(&report); // statically broken or numerically unsound
         }
         let resources = design.resources(cost);
         let fits = device.fits(&resources);
         let bottleneck = design.estimated_bottleneck();
         Eval::Point(DesignPoint {
             ports,
+            numeric: config.numeric,
             resources,
             bottleneck,
             fits,
@@ -443,7 +474,37 @@ pub fn explore_graph(
     device: &Device,
     max_ports: usize,
 ) -> DseReport {
-    explore_graph_impl(spec, layers, config, cost, device, max_ports, true)
+    explore_graph_numerics(
+        spec,
+        layers,
+        config,
+        cost,
+        device,
+        max_ports,
+        &[config.numeric],
+    )
+}
+
+/// [`explore_graph`] over a cross-product of port configurations *and*
+/// numeric formats: each `(ports, numeric)` candidate is built, checked
+/// (including the value-range analyzer's saturation/accumulator proofs)
+/// and estimated under its own [`DesignConfig::numeric`]. Statically
+/// unsound formats land in [`DseDiscards::numeric_rejected`] instead of
+/// producing points the lab would later watch collapse — the sweep makes
+/// the q8f6-style failure a tallied discard, not a measurement.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_graph_numerics(
+    spec: &GraphSpec,
+    layers: &[Layer],
+    config: &DesignConfig,
+    cost: &CostModel,
+    device: &Device,
+    max_ports: usize,
+    numerics: &[NumericSpec],
+) -> DseReport {
+    explore_graph_impl(
+        spec, layers, config, cost, device, max_ports, numerics, true,
+    )
 }
 
 /// Serial variant of [`explore_graph`] (same report; benchmark baseline).
@@ -455,7 +516,16 @@ pub fn explore_graph_serial(
     device: &Device,
     max_ports: usize,
 ) -> DseReport {
-    explore_graph_impl(spec, layers, config, cost, device, max_ports, false)
+    explore_graph_impl(
+        spec,
+        layers,
+        config,
+        cost,
+        device,
+        max_ports,
+        &[config.numeric],
+        false,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -466,16 +536,23 @@ fn explore_graph_impl(
     cost: &CostModel,
     device: &Device,
     max_ports: usize,
+    numerics: &[NumericSpec],
     parallel: bool,
 ) -> DseReport {
-    let configs = enumerate_graph_configs(spec, layers, max_ports);
-    sweep(configs, parallel, |ports| {
-        let design = match build_graph_design(spec, layers, &ports, *config) {
+    let candidates: Vec<(PortConfig, NumericSpec)> =
+        enumerate_graph_configs(spec, layers, max_ports)
+            .into_iter()
+            .flat_map(|ports| numerics.iter().map(move |&n| (ports.clone(), n)))
+            .collect();
+    sweep(candidates, parallel, |(ports, numeric)| {
+        let candidate_config = DesignConfig { numeric, ..*config };
+        let design = match build_graph_design(spec, layers, &ports, candidate_config) {
             Ok(d) => d,
             Err(_) => return Eval::BuildFailed,
         };
-        if !crate::check::check_design(&design).is_clean() {
-            return Eval::CheckerRejected;
+        let report = crate::check::check_design(&design);
+        if !report.is_clean() {
+            return rejection(&report);
         }
         let resources = design.resources(cost);
         if !device.fits(&resources) {
@@ -484,6 +561,7 @@ fn explore_graph_impl(
         let bottleneck = design.estimated_bottleneck();
         Eval::Point(DesignPoint {
             ports,
+            numeric,
             resources,
             bottleneck,
             fits: true,

@@ -146,6 +146,12 @@ pub struct DesignConfig {
     /// All three engines quantise at each core's stream boundary, so they
     /// stay bit-identical to each other in any supported spec.
     pub numeric: NumericSpec,
+    /// Interval the source DMA's input values are promised to lie in.
+    /// The static value-range analyzer ([`crate::range`]) propagates this
+    /// through every core; the default `(-1, 1)` covers normalised image
+    /// pixels (the datasets feed `[0, 1]`, a subset). Widen it if a design
+    /// ingests un-normalised data, or tighten it to prove more headroom.
+    pub input_range: (f32, f32),
 }
 
 impl Default for DesignConfig {
@@ -162,6 +168,7 @@ impl Default for DesignConfig {
             omit_adapters: false,
             skip_fifo_cap: None,
             numeric: NumericSpec::F32,
+            input_range: (-1.0, 1.0),
         }
     }
 }

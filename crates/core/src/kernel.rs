@@ -318,7 +318,7 @@ pub fn pool_window<E: Numeric>(kind: PoolKind, values: &[E]) -> E {
         PoolKind::Max => values.iter().copied().fold(E::min_value(), E::max_hw),
         PoolKind::Mean => {
             let t = TreeAdder::new(values.len());
-            t.sum(values) * E::from_f32(1.0 / values.len() as f32)
+            t.sum(values) * E::from_f32(1.0 / dfcnn_tensor::cast::len_to_f32(values.len()))
         }
     }
 }
@@ -1091,7 +1091,7 @@ mod tests {
         let vals = q::<Q>(&[1.0, 5.0, -2.0, 3.0]);
         assert_eq!(pool_window(PoolKind::Max, &vals).to_f32(), 5.0);
         let mean = pool_window(PoolKind::Mean, &q::<Q>(&[1.0, 2.0, 3.0, 6.0])).to_f32();
-        assert!((mean - 3.0).abs() < 2.0 * Q::epsilon() as f32 + 1e-6);
+        assert!((mean - 3.0).abs() < 2.0 * dfcnn_tensor::cast::f64_to_f32(Q::epsilon()) + 1e-6);
     }
 
     #[test]
@@ -1100,10 +1100,10 @@ mod tests {
         assert_eq!(eltwise_add_hw::<f32>(1.25, -0.5), 0.75);
         assert_eq!(scale_shift_hw::<f32>(2.0, 0.5, 1.5), 3.5);
         // fixed: quantised but close, and saturating at the type's range
-        assert!((eltwise_add_hw::<Q>(1.25, -0.5) - 0.75).abs() < 2.0 * Q::epsilon() as f32);
+        let eps = dfcnn_tensor::cast::f64_to_f32(Q::epsilon());
+        assert!((eltwise_add_hw::<Q>(1.25, -0.5) - 0.75).abs() < 2.0 * eps);
         assert!(
-            (scale_shift_hw::<Q>(Q::from_f64(2.0), Q::from_f64(0.5), 1.5) - 3.5).abs()
-                < 3.0 * Q::epsilon() as f32
+            (scale_shift_hw::<Q>(Q::from_f64(2.0), Q::from_f64(0.5), 1.5) - 3.5).abs() < 3.0 * eps
         );
         let sat = eltwise_add_hw::<Fixed8<4>>(7.9, 7.9);
         assert_eq!(sat, Fixed8::<4>::MAX.to_f32());

@@ -22,6 +22,7 @@
 //! | Functional verification against the `dfcnn-nn` reference | [`verify`] |
 //! | Design-space exploration over port configurations (the paper's future work) | [`dse`] |
 //! | Multi-FPGA pipeline partitioning (§VI future work) | [`multi`] |
+//! | Static value-range analysis (saturation & accumulator proofs) | [`range`] |
 //! | Event tracing, stall taxonomy, Perfetto export | [`trace`] |
 //! | Flight-recorder analysis: drift & run reports | [`observe`] |
 //! | Static design verifier (deadlock, buffers, rates, replication) | [`check`] |
@@ -56,6 +57,7 @@ pub mod model;
 pub mod multi;
 pub mod observe;
 pub mod port;
+pub mod range;
 pub mod sim;
 pub mod sst;
 pub mod stream;
@@ -77,4 +79,5 @@ pub use observe::live::{
     StageDelta,
 };
 pub use observe::{DriftReport, RunReport, SCHEMA_VERSION};
+pub use range::{analyze, analyze_with, observe_ranges, recommend_frac, Interval, RangeReport};
 pub use sim::{DeadlockReport, SimError, SimResult, Simulator};

@@ -87,6 +87,32 @@ impl CoreModel for ConvModel {
         windowed_interval(core)
     }
 
+    fn range_transfer(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        let idx = core.layer_index.expect("conv core has a layer");
+        let c = conv_layer(&design.network().layers()[idx]);
+        let mut input = crate::range::Interval::union_all(inputs);
+        if c.geometry().pad > 0 {
+            // zero padding injects exact zeros into the window
+            input = input.include_zero();
+        }
+        let f = c.filters();
+        let bias = c.bias().as_slice();
+        let channels = (0..f.k()).map(|k| {
+            let weights = (0..f.kh()).flat_map(move |dy| {
+                (0..f.kw())
+                    .flat_map(move |dx| (0..f.c()).map(move |ch| f64::from(f.get(k, dy, dx, ch))))
+            });
+            (weights, f64::from(bias[k]))
+        });
+        crate::range::mac_transfer(spec, input, channels, c.activation())
+    }
+
     fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
         let idx = core.layer_index.expect("conv core has a layer");
         let layer = &design.network().layers()[idx];

@@ -209,6 +209,21 @@ impl CoreModel for EltwiseAddModel {
         core.positions * core.params.ii as u64
     }
 
+    fn range_transfer(
+        &self,
+        _design: &NetworkDesign,
+        _core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        let a = inputs
+            .first()
+            .copied()
+            .unwrap_or(crate::range::Interval::point(0.0));
+        let b = inputs.get(1).copied().unwrap_or(a);
+        crate::range::eltwise_transfer(spec, a, b)
+    }
+
     fn static_profile(&self, _design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
         let p = &core.params;
         StaticProfile {

@@ -96,6 +96,29 @@ impl CoreModel for FcModel {
         p.in_fm as u64 * in_ii + p.out_fm as u64
     }
 
+    fn range_transfer(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        let idx = core.layer_index.expect("fc core has a layer");
+        let f = fc_layer(&design.network().layers()[idx]);
+        let w = f.weights();
+        let bias = f.bias().as_slice();
+        let channels = (0..f.outputs()).map(|j| {
+            let row = (0..f.inputs()).map(move |i| f64::from(w.get(j, 0, 0, i)));
+            (row, f64::from(bias[j]))
+        });
+        crate::range::mac_transfer(
+            spec,
+            crate::range::Interval::union_all(inputs),
+            channels,
+            f.activation(),
+        )
+    }
+
     fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
         let idx = core.layer_index.expect("fc core has a layer");
         let layer = &design.network().layers()[idx];

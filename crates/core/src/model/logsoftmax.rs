@@ -259,6 +259,20 @@ impl CoreModel for LogSoftmaxModel {
         k + drain_latency(core.params.in_fm, &config.ops) + k
     }
 
+    fn range_transfer(
+        &self,
+        _design: &NetworkDesign,
+        core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        crate::range::logsoftmax_transfer(
+            spec,
+            crate::range::Interval::union_all(inputs),
+            core.params.in_fm,
+        )
+    }
+
     fn block_label(&self, core: &CoreInfo) -> String {
         format!("[{} logsoftmax K={}]", core.name, core.params.in_fm)
     }

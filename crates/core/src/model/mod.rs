@@ -33,13 +33,14 @@ pub mod pool;
 pub mod scaleshift;
 
 use crate::graph::{CoreInfo, DesignConfig, LayerPorts, NetworkDesign, StageInput};
+use crate::range::{Interval, Transfer};
 use crate::sim::Actor;
 use crate::stream::ChannelId;
 use dfcnn_fpga::resources::{CoreKind, CoreParams};
 use dfcnn_hls::ii::divisor_port_options;
 use dfcnn_nn::layer::Layer;
 use dfcnn_nn::Network;
-use dfcnn_tensor::{Shape3, Tensor3};
+use dfcnn_tensor::{NumericSpec, Shape3, Tensor3};
 
 /// Line-buffer facts of a windowed core, for the static checker's buffer
 /// sufficiency rule: the capacity the design will instantiate per port and
@@ -206,6 +207,24 @@ pub trait CoreModel: Sync {
             expected_ii,
             line_buffer: None,
         }
+    }
+
+    /// Abstract-interpretation transfer function for the value-range
+    /// analyzer ([`crate::range`]): given sound interval bounds on each of
+    /// this core's input streams (in design edge order), return sound
+    /// bounds on its output stream, its widest pre-saturation intermediate
+    /// and its worst-case accumulator magnitude under `spec`'s
+    /// quantisation. The default is the routing identity (output = union
+    /// of inputs), correct for any kind that forwards values verbatim;
+    /// every value-transforming kind must override.
+    fn range_transfer(
+        &self,
+        _design: &NetworkDesign,
+        _core: &CoreInfo,
+        _spec: NumericSpec,
+        inputs: &[Interval],
+    ) -> Transfer {
+        Transfer::identity(inputs)
     }
 
     /// Fig. 4/5-style block label, e.g. `[conv1 5x5 1->6FM in:1 out:6 II=1]`.

@@ -76,6 +76,26 @@ impl CoreModel for PoolModel {
         windowed_interval(core)
     }
 
+    fn range_transfer(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        let idx = core.layer_index.expect("pool core has a layer");
+        let p = pool_layer(&design.network().layers()[idx]);
+        let g = p.geometry();
+        let mut input = crate::range::Interval::union_all(inputs);
+        if g.pad > 0 {
+            input = input.include_zero();
+        }
+        match p.kind() {
+            PoolKind::Max => crate::range::pool_max_transfer(spec, input),
+            PoolKind::Mean => crate::range::pool_mean_transfer(spec, input, g.kh * g.kw),
+        }
+    }
+
     fn static_profile(&self, design: &NetworkDesign, core: &CoreInfo) -> StaticProfile {
         let idx = core.layer_index.expect("pool core has a layer");
         let layer = &design.network().layers()[idx];

@@ -216,6 +216,27 @@ impl CoreModel for ScaleShiftModel {
         core.positions * core.params.ii as u64
     }
 
+    fn range_transfer(
+        &self,
+        design: &NetworkDesign,
+        core: &CoreInfo,
+        spec: dfcnn_tensor::NumericSpec,
+        inputs: &[crate::range::Interval],
+    ) -> crate::range::Transfer {
+        let idx = core.layer_index.expect("scale-shift core has a layer");
+        let l = scaleshift_of(&design.network().layers()[idx]);
+        let channels = l
+            .scale()
+            .iter()
+            .zip(l.shift())
+            .map(|(&s, &sh)| (f64::from(s), f64::from(sh)));
+        crate::range::scale_shift_transfer(
+            spec,
+            crate::range::Interval::union_all(inputs),
+            channels,
+        )
+    }
+
     fn block_label(&self, core: &CoreInfo) -> String {
         let p = &core.params;
         format!(

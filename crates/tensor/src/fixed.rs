@@ -55,20 +55,15 @@ impl<const FRAC: u32> Fixed<FRAC> {
 
     /// Convert from `f64`, saturating at the representable range.
     pub fn from_f64(v: f64) -> Self {
-        let scaled = (v * Self::SCALE).round();
-        if scaled >= i32::MAX as f64 {
-            Self::MAX
-        } else if scaled <= i32::MIN as f64 {
-            Self::MIN
-        } else {
-            Fixed(scaled as i32)
-        }
+        Fixed(<i32 as crate::cast::SatNarrow>::sat_round_f64(
+            v * Self::SCALE,
+        ))
     }
 
     /// Convert to `f64` exactly.
     #[inline]
     pub fn to_f64(self) -> f64 {
-        self.0 as f64 / Self::SCALE
+        f64::from(self.0) / Self::SCALE
     }
 
     /// Quantisation step (the value of one LSB).
@@ -93,14 +88,8 @@ impl<const FRAC: u32> Fixed<FRAC> {
     /// slice computes it (widen, multiply, shift back, saturate).
     #[inline]
     pub fn saturating_mul(self, rhs: Self) -> Self {
-        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC;
-        if wide > i32::MAX as i64 {
-            Self::MAX
-        } else if wide < i32::MIN as i64 {
-            Self::MIN
-        } else {
-            Fixed(wide as i32)
-        }
+        let wide = (i64::from(self.0) * i64::from(rhs.0)) >> FRAC;
+        Fixed(<i32 as crate::cast::SatNarrow>::sat_i64(wide))
     }
 }
 
@@ -147,11 +136,11 @@ impl<const FRAC: u32> Element for Fixed<FRAC> {
     }
     #[inline]
     fn from_f32(v: f32) -> Self {
-        Self::from_f64(v as f64)
+        Self::from_f64(f64::from(v))
     }
     #[inline]
     fn to_f32(self) -> f32 {
-        self.to_f64() as f32
+        crate::cast::f64_to_f32(self.to_f64())
     }
 }
 
@@ -188,13 +177,15 @@ macro_rules! narrow_fixed {
 
         impl<const FRAC: u32> Serialize for $name<FRAC> {
             fn to_value(&self) -> serde::Value {
-                (self.0 as i32).to_value()
+                i32::from(self.0).to_value()
             }
         }
 
         impl<const FRAC: u32> Deserialize for $name<FRAC> {
             fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-                i32::from_value(v).map(|raw| $name(raw as $store))
+                i32::from_value(v).map(|raw| {
+                    $name(<$store as crate::cast::SatNarrow>::sat_i32(raw))
+                })
             }
         }
 
@@ -220,20 +211,13 @@ macro_rules! narrow_fixed {
 
             /// Convert from `f64`, saturating at the representable range.
             pub fn from_f64(v: f64) -> Self {
-                let scaled = (v * Self::SCALE).round();
-                if scaled >= <$store>::MAX as f64 {
-                    Self::MAX
-                } else if scaled <= <$store>::MIN as f64 {
-                    Self::MIN
-                } else {
-                    $name(scaled as $store)
-                }
+                $name(<$store as crate::cast::SatNarrow>::sat_round_f64(v * Self::SCALE))
             }
 
             /// Convert to `f64` exactly.
             #[inline]
             pub fn to_f64(self) -> f64 {
-                self.0 as f64 / Self::SCALE
+                f64::from(self.0) / Self::SCALE
             }
 
             /// Quantisation step (the value of one LSB).
@@ -260,14 +244,8 @@ macro_rules! narrow_fixed {
             /// hardware rescale).
             #[inline]
             pub fn saturating_mul(self, rhs: Self) -> Self {
-                let wide = (self.0 as i32 * rhs.0 as i32) >> FRAC;
-                if wide > <$store>::MAX as i32 {
-                    Self::MAX
-                } else if wide < <$store>::MIN as i32 {
-                    Self::MIN
-                } else {
-                    $name(wide as $store)
-                }
+                let wide = (i32::from(self.0) * i32::from(rhs.0)) >> FRAC;
+                $name(<$store as crate::cast::SatNarrow>::sat_i32(wide))
             }
 
             /// Lane-chunked MAC with `i64` lane accumulators: `i32`
@@ -287,15 +265,15 @@ macro_rules! narrow_fixed {
                 for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
                     let mut prod = [0i32; LANES];
                     for l in 0..LANES {
-                        prod[l] = ka[l].0 as i32 * kb[l].0 as i32;
+                        prod[l] = i32::from(ka[l].0) * i32::from(kb[l].0);
                     }
                     for l in 0..LANES {
-                        lanes[l] += prod[l] as i64;
+                        lanes[l] += i64::from(prod[l]);
                     }
                 }
                 let mut acc: i64 = lanes.iter().sum();
                 for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-                    acc += (x.0 as i32 * y.0 as i32) as i64;
+                    acc += i64::from(i32::from(x.0) * i32::from(y.0));
                 }
                 acc
             }
@@ -310,6 +288,9 @@ macro_rules! narrow_fixed {
             fn dot_i32_lanes(a: &[Self], b: &[Self]) -> i64 {
                 const LANES: usize = 16;
                 const BLOCK: usize = LANES * (1 << 16);
+                // Exactness argument (doc above) requires 1-byte storage:
+                // wider products would overflow the i32 lane accumulators.
+                debug_assert!(core::mem::size_of::<$store>() == 1);
                 let n = a.len().min(b.len());
                 let (mut a, mut b) = (&a[..n], &b[..n]);
                 let mut acc = 0i64;
@@ -322,12 +303,12 @@ macro_rules! narrow_fixed {
                     let mut cb = hb.chunks_exact(LANES);
                     for (ka, kb) in ca.by_ref().zip(cb.by_ref()) {
                         for l in 0..LANES {
-                            lanes[l] += ka[l].0 as i32 * kb[l].0 as i32;
+                            lanes[l] += i32::from(ka[l].0) * i32::from(kb[l].0);
                         }
                     }
-                    acc += lanes.iter().map(|&v| v as i64).sum::<i64>();
+                    acc += lanes.iter().map(|&v| i64::from(v)).sum::<i64>();
                     for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-                        acc += (x.0 as i32 * y.0 as i32) as i64;
+                        acc += i64::from(i32::from(x.0) * i32::from(y.0));
                     }
                     a = ta;
                     b = tb;
@@ -379,11 +360,11 @@ macro_rules! narrow_fixed {
             }
             #[inline]
             fn from_f32(v: f32) -> Self {
-                Self::from_f64(v as f64)
+                Self::from_f64(f64::from(v))
             }
             #[inline]
             fn to_f32(self) -> f32 {
-                self.to_f64() as f32
+                crate::cast::f64_to_f32(self.to_f64())
             }
         }
 
@@ -409,14 +390,15 @@ macro_rules! narrow_fixed {
             /// added to raw products (how the bias enters a MAC chain).
             #[inline]
             fn widen(self) -> i64 {
-                (self.0 as i64) << FRAC
+                debug_assert!(FRAC < 32, "widen would shift past the i64 product scale");
+                i64::from(self.0) << FRAC
             }
 
             /// Full-width product at scale `2^(2·FRAC)`; narrow×narrow
             /// cannot overflow the `i32` intermediate.
             #[inline]
             fn mul_full(self, rhs: Self) -> i64 {
-                (self.0 as i32 * rhs.0 as i32) as i64
+                i64::from(i32::from(self.0) * i32::from(rhs.0))
             }
 
             /// Rescale an accumulator back to `2^FRAC` (arithmetic shift:
@@ -424,14 +406,8 @@ macro_rules! narrow_fixed {
             /// saturate into storage.
             #[inline]
             fn narrow(acc: i64) -> Self {
-                let scaled = acc >> FRAC;
-                if scaled > <$store>::MAX as i64 {
-                    Self::MAX
-                } else if scaled < <$store>::MIN as i64 {
-                    Self::MIN
-                } else {
-                    $name(scaled as $store)
-                }
+                debug_assert!(FRAC < 63, "narrow would shift the accumulator away");
+                $name(<$store as crate::cast::SatNarrow>::sat_i64(acc >> FRAC))
             }
 
             #[cfg(not(feature = "portable-simd"))]
@@ -461,16 +437,16 @@ macro_rules! narrow_fixed {
                 for c in 0..chunks {
                     let base = c * LANES;
                     let va = Simd::<i32, LANES>::from_array(core::array::from_fn(|l| {
-                        a[base + l].0 as i32
+                        i32::from(a[base + l].0)
                     }));
                     let vb = Simd::<i32, LANES>::from_array(core::array::from_fn(|l| {
-                        b[base + l].0 as i32
+                        i32::from(b[base + l].0)
                     }));
                     lanes += (va * vb).cast::<i64>();
                 }
                 let mut acc = lanes.reduce_sum();
                 for i in chunks * LANES..n {
-                    acc += (a[i].0 as i32 * b[i].0 as i32) as i64;
+                    acc += i64::from(i32::from(a[i].0) * i32::from(b[i].0));
                 }
                 acc
             }
@@ -479,7 +455,7 @@ macro_rules! narrow_fixed {
                 let n = a.len().min(b.len());
                 let mut acc = 0i64;
                 for i in 0..n {
-                    acc += (a[i].0 as i32 * b[i].0 as i32) as i64;
+                    acc += i64::from(i32::from(a[i].0) * i32::from(b[i].0));
                 }
                 acc
             }

@@ -24,10 +24,14 @@
 //! - [`fixed`]: a Q-format fixed-point scalar, supporting the paper's §IV-B
 //!   remark that integer arithmetic sidesteps the floating-point accumulation
 //!   latency (a "future work" data-type study we implement).
+//! - [`cast`]: the allowlisted widen/narrow conversions (saturating
+//!   narrows + a debug-only saturation-event tally); the only module where
+//!   the numeric hot paths may lose value range.
 //! - [`init`]: deterministic weight initialisers for the reference trainer.
 //! - [`iter`]: sliding-window and stream-order iterators shared by the
 //!   reference CNN and the dataflow simulator.
 
+pub mod cast;
 pub mod fixed;
 pub mod init;
 pub mod iter;

@@ -101,7 +101,7 @@ mod tests {
 
     fn ramp(n: usize, phase: f32) -> Vec<f32> {
         (0..n)
-            .map(|i| ((i as f32) * 0.37 + phase).sin() * 1.5)
+            .map(|i| (crate::cast::len_to_f32(i) * 0.37 + phase).sin() * 1.5)
             .collect()
     }
 

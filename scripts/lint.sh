@@ -77,6 +77,27 @@ if [ -n "$hits" ]; then
 fi
 echo "numeric monomorphization confined to kernel.rs, model/ and crates/tensor"
 
+echo "== numeric-casts lint =="
+# Value-lossy `as` casts are banned in the numeric hot paths: every
+# narrowing conversion must go through crates/tensor/src/cast.rs, which
+# saturates (and, in debug builds, counts the clamp) instead of silently
+# truncating — otherwise the value-range analyzer's container bounds
+# (crates/core/src/range.rs) would be unsound. Widening stays as
+# `i32::from`/`i64::from`/`f64::from`, which the compiler proves lossless;
+# `as f64` from integers and usize/isize index arithmetic are exempt.
+numeric_paths="crates/tensor/src/fixed.rs crates/tensor/src/simd.rs \
+    crates/core/src/kernel.rs"
+hits=$(grep -nE ' as (i8|i16|i32|i64|u8|u16|u32|u64|f32)\b|as \$store\b' \
+    $numeric_paths || true)
+if [ -n "$hits" ]; then
+    echo "error: value-lossy 'as' cast in a numeric hot path:" >&2
+    echo "$hits" >&2
+    echo "route narrowing through crates/tensor/src/cast.rs (SatNarrow," >&2
+    echo "f64_to_f32, len_to_f32) or widen with i32::from/i64::from" >&2
+    exit 1
+fi
+echo "numeric narrowing confined to crates/tensor/src/cast.rs"
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings || exit 1
 
